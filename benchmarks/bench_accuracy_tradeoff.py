@@ -1,0 +1,86 @@
+"""Accuracy/efficiency trade-off of the approximate methods vs exact SLAM.
+
+Not a numbered paper artifact, but the quantitative backbone of the paper's
+introduction: approximate methods (Z-order sampling, aKDE) buy speed with
+error, while SLAM gets exactness *and* the lowest time.  Each row reports a
+method configuration's wall time alongside its relative L-infinity error,
+hotspot-overlap Jaccard, and peak displacement against the exact grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import grid_fn, run_cell, write_report
+from repro.bench.harness import format_table
+from repro.bench.metrics import hotspot_jaccard, peak_displacement, relative_linf
+from repro.bench.workloads import base_resolution, bench_raster
+from repro.core.kernels import get_kernel
+
+_DATASET = "new_york"
+
+CONFIGS = [
+    ("zorder", {"sample_size": 100}),
+    ("zorder", {"sample_size": 1_000}),
+    ("zorder", {"sample_size": 10_000}),
+    ("akde", {"tolerance": 1e-1}),
+    ("akde", {"tolerance": 1e-2}),
+    ("akde", {"tolerance": 1e-3}),
+    ("akde_dual", {"tolerance": 1e-2}),
+    ("binned_fft", {"linear_binning": True}),
+    ("binned_fft", {"linear_binning": False}),
+    ("slam_bucket_rao", {}),
+]
+
+_rows: list[list] = []
+_exact_holder: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _rows:
+        return
+    write_report(
+        "accuracy_tradeoff",
+        format_table(
+            ["config", "seconds", "rel Linf err", "hotspot Jaccard", "peak shift (px)"],
+            _rows,
+            title=f"Accuracy vs time ({_DATASET}, Epanechnikov, default bandwidth)",
+        ),
+    )
+
+
+def _config_id(cfg):
+    method, kwargs = cfg
+    suffix = ",".join(f"{k}={v}" for k, v in kwargs.items())
+    return f"{method}({suffix})" if suffix else method
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=_config_id)
+def test_accuracy_tradeoff(benchmark, datasets, bandwidths, config):
+    method, kwargs = config
+    points = datasets[_DATASET]
+    raster = bench_raster(points, base_resolution())
+    kernel = get_kernel("epanechnikov")
+    bandwidth = bandwidths[_DATASET]
+
+    if "exact" not in _exact_holder:
+        _exact_holder["exact"] = grid_fn(
+            "slam_bucket_rao", points.xy, raster, kernel, bandwidth
+        )()
+    exact = _exact_holder["exact"]
+
+    fn = grid_fn(method, points.xy, raster, kernel, bandwidth, **kwargs)
+    benchmark.group = "accuracy tradeoff"
+    seconds = run_cell(benchmark, fn)
+    grid = fn()
+    _rows.append(
+        [
+            _config_id(config),
+            seconds,
+            relative_linf(grid, exact),
+            hotspot_jaccard(grid, exact),
+            peak_displacement(grid, exact),
+        ]
+    )

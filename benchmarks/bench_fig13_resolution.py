@@ -1,0 +1,68 @@
+"""Paper Figure 13: response time vs resolution size (four datasets).
+
+The paper's observation: methods with O(XYn) complexity (SCAN, RQS, aKDE,
+QUAD's worst case) roughly quadruple when the pixel count quadruples, while
+SLAM_BUCKET^(RAO) — O(min(X,Y)(max(X,Y)+n)) — only doubles, so the gap widens
+with resolution.  aKDE is omitted from the figure methods because it exceeds
+the timeout at every setting in the paper's Table 7 (its cells would all read
+"timeout"); it is still measured in bench_table7_default.py.
+
+Cells whose predicted cost exceeds the budget are skipped and reported as
+``timeout`` (the paper's "> 14400 s" analog).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import grid_fn, run_cell, skip_if_over_budget, write_report
+from repro.bench.harness import TIMEOUT, format_series
+from repro.bench.workloads import bench_raster, resolution_ladder
+from repro.core.kernels import get_kernel
+from repro.data.datasets import dataset_names
+
+FIG_METHODS = ["scan", "rqs_kd", "zorder", "quad", "slam_bucket_rao"]
+ALL_DATASETS = list(dataset_names())
+LADDER = resolution_ladder()
+
+_cells: dict[tuple[str, str, tuple[int, int]], float] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _cells:
+        return
+    sections = []
+    for dataset in ALL_DATASETS:
+        series = {
+            m: [_cells.get((m, dataset, size), TIMEOUT) for size in LADDER]
+            for m in FIG_METHODS
+        }
+        sections.append(
+            format_series(
+                "XxY",
+                [f"{x}x{y}" for x, y in LADDER],
+                series,
+                title=f"Figure 13 ({dataset}): time (s) vs resolution",
+            )
+        )
+    write_report("fig13_resolution", "\n\n".join(sections))
+
+
+@pytest.mark.parametrize("size", LADDER, ids=lambda s: f"{s[0]}x{s[1]}")
+@pytest.mark.parametrize("dataset_name", ALL_DATASETS)
+@pytest.mark.parametrize("method", FIG_METHODS)
+def test_fig13(benchmark, datasets, bandwidths, method, dataset_name, size):
+    points = datasets[dataset_name]
+    skip_if_over_budget(method, size[0], size[1], len(points))
+    raster = bench_raster(points, size)
+    benchmark.group = f"fig13 {dataset_name}"
+    fn = grid_fn(
+        method,
+        points.xy,
+        raster,
+        get_kernel("epanechnikov"),
+        bandwidths[dataset_name],
+    )
+    _cells[(method, dataset_name, size)] = run_cell(benchmark, fn)

@@ -1,0 +1,75 @@
+"""Paper Figure 14: response time vs dataset size (25/50/75/100 % samples).
+
+All methods grow with n; SLAM_BUCKET^(RAO) keeps a visible margin over the
+best competitors at every sample size.  Samples are drawn without
+replacement, exactly like the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import grid_fn, run_cell, skip_if_over_budget, write_report
+from repro.bench.harness import TIMEOUT, format_series
+from repro.bench.workloads import SIZE_FRACTIONS, base_resolution, bench_raster
+from repro.core.kernels import get_kernel
+from repro.data.datasets import dataset_names
+from repro.data.sampling import sample_without_replacement
+
+FIG_METHODS = ["scan", "rqs_kd", "zorder", "quad", "slam_bucket_rao"]
+ALL_DATASETS = list(dataset_names())
+
+_cells: dict[tuple[str, str, float], float] = {}
+
+
+@pytest.fixture(scope="session")
+def samples(datasets):
+    """(dataset, fraction) -> sampled PointSet, shared across cells."""
+    return {
+        (name, fraction): sample_without_replacement(points, fraction, seed=0)
+        for name, points in datasets.items()
+        for fraction in SIZE_FRACTIONS
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _cells:
+        return
+    sections = []
+    for dataset in ALL_DATASETS:
+        series = {
+            m: [_cells.get((m, dataset, f), TIMEOUT) for f in SIZE_FRACTIONS]
+            for m in FIG_METHODS
+        }
+        sections.append(
+            format_series(
+                "fraction",
+                [f"{int(f * 100)}%" for f in SIZE_FRACTIONS],
+                series,
+                title=f"Figure 14 ({dataset}): time (s) vs dataset size",
+            )
+        )
+    write_report("fig14_datasize", "\n\n".join(sections))
+
+
+@pytest.mark.parametrize("fraction", SIZE_FRACTIONS, ids=lambda f: f"{int(f*100)}pct")
+@pytest.mark.parametrize("dataset_name", ALL_DATASETS)
+@pytest.mark.parametrize("method", FIG_METHODS)
+def test_fig14(benchmark, samples, bandwidths, method, dataset_name, fraction):
+    points = samples[(dataset_name, fraction)]
+    size = base_resolution()
+    skip_if_over_budget(method, size[0], size[1], len(points))
+    # Bandwidth follows the paper: Scott's rule on the *full* dataset stays
+    # the default; the sweep varies n only.
+    raster = bench_raster(points, size)
+    benchmark.group = f"fig14 {dataset_name}"
+    fn = grid_fn(
+        method,
+        points.xy,
+        raster,
+        get_kernel("epanechnikov"),
+        bandwidths[dataset_name],
+    )
+    _cells[(method, dataset_name, fraction)] = run_cell(benchmark, fn)

@@ -1,0 +1,77 @@
+"""Paper Figure 15: response time vs bandwidth (0.25x .. 4x Scott's rule).
+
+The paper's observation: every method slows as b grows (more points fall
+inside each pixel's range), with the range-query methods degrading fastest —
+their per-query result sets grow quadratically with b — while
+SLAM_BUCKET^(RAO) stays 5.8-34.8x ahead of the best competitors throughout.
+
+The RQS budget model scales with b^2 so oversized cells skip (timeout
+analog) instead of stalling the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import MAX_CELL_COST, grid_fn, predicted_cost, run_cell, write_report
+from repro.bench.harness import TIMEOUT, format_series
+from repro.bench.workloads import BANDWIDTH_RATIOS, base_resolution, bench_raster
+from repro.core.kernels import get_kernel
+from repro.data.datasets import dataset_names
+
+FIG_METHODS = ["scan", "rqs_kd", "zorder", "quad", "slam_bucket_rao"]
+ALL_DATASETS = list(dataset_names())
+
+_cells: dict[tuple[str, str, float], float] = {}
+
+
+def _skip_if_over_budget(method: str, width: int, height: int, n: int, ratio: float):
+    cost = predicted_cost(method, width, height, n)
+    if method in ("rqs_kd", "rqs_ball", "quad"):
+        cost *= max(1.0, ratio * ratio)
+    if cost > MAX_CELL_COST:
+        pytest.skip(
+            f"{method} at b x{ratio}: predicted cost exceeds the bench budget "
+            "(the paper's '> 14400 s' timeout analog)"
+        )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _cells:
+        return
+    sections = []
+    for dataset in ALL_DATASETS:
+        series = {
+            m: [_cells.get((m, dataset, r), TIMEOUT) for r in BANDWIDTH_RATIOS]
+            for m in FIG_METHODS
+        }
+        sections.append(
+            format_series(
+                "b ratio",
+                list(BANDWIDTH_RATIOS),
+                series,
+                title=f"Figure 15 ({dataset}): time (s) vs bandwidth multiplier",
+            )
+        )
+    write_report("fig15_bandwidth", "\n\n".join(sections))
+
+
+@pytest.mark.parametrize("ratio", BANDWIDTH_RATIOS, ids=lambda r: f"x{r}")
+@pytest.mark.parametrize("dataset_name", ALL_DATASETS)
+@pytest.mark.parametrize("method", FIG_METHODS)
+def test_fig15(benchmark, datasets, bandwidths, method, dataset_name, ratio):
+    points = datasets[dataset_name]
+    size = base_resolution()
+    _skip_if_over_budget(method, size[0], size[1], len(points), ratio)
+    raster = bench_raster(points, size)
+    benchmark.group = f"fig15 {dataset_name}"
+    fn = grid_fn(
+        method,
+        points.xy,
+        raster,
+        get_kernel("epanechnikov"),
+        bandwidths[dataset_name] * ratio,
+    )
+    _cells[(method, dataset_name, ratio)] = run_cell(benchmark, fn)

@@ -1,0 +1,123 @@
+"""Paper Figure 16: exploratory operations — zooming (a, b) and panning (c, d).
+
+Protocol, following Section 4.2 exactly:
+
+* datasets Seattle and Los Angeles, restricted by a time-based filter to one
+  year of events (the paper uses calendar 2019; our synthetic clock spans
+  four years and we take the second);
+* fixed resolution per frame;
+* zooming: the city MBR scaled by ratios 1 / 0.75 / 0.5 / 0.25 around its
+  center — smaller ratio = denser pixels = more work for every method except
+  SCAN;
+* panning: five random half-size rectangles inside the MBR; the reported
+  time is the mean frame time over the five viewports.
+
+The headline claim reproduced here: SLAM_BUCKET^(RAO) renders every
+exploratory frame fastest, in near-real-time, which the competitors cannot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import grid_fn, run_cell, skip_if_over_budget, write_report
+from repro.bench.harness import TIMEOUT, format_series
+from repro.bench.workloads import ZOOM_RATIOS, base_resolution
+from repro.core.kernels import get_kernel
+from repro.viz.explore import random_pan_regions
+from repro.viz.region import Raster, Region
+
+FIG_METHODS = ["scan", "rqs_kd", "zorder", "quad", "slam_bucket_rao"]
+FIG_DATASETS = ["seattle", "los_angeles"]
+
+YEAR_SECONDS = 365.25 * 24 * 3600.0
+
+_zoom_cells: dict[tuple[str, str, float], float] = {}
+_pan_cells: dict[tuple[str, str], float] = {}
+
+
+@pytest.fixture(scope="session")
+def year_filtered(datasets):
+    """Second synthetic year of events, as the paper filters to 2019."""
+    return {
+        name: datasets[name].filter_time(YEAR_SECONDS, 2 * YEAR_SECONDS)
+        for name in FIG_DATASETS
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not (_zoom_cells or _pan_cells):
+        return
+    sections = []
+    for dataset in FIG_DATASETS:
+        series = {
+            m: [_zoom_cells.get((m, dataset, r), TIMEOUT) for r in ZOOM_RATIOS]
+            for m in FIG_METHODS
+        }
+        sections.append(
+            format_series(
+                "zoom ratio",
+                list(ZOOM_RATIOS),
+                series,
+                title=f"Figure 16 zoom ({dataset}): time (s) per frame",
+            )
+        )
+    for dataset in FIG_DATASETS:
+        series = {
+            m: [_pan_cells.get((m, dataset), TIMEOUT)] for m in FIG_METHODS
+        }
+        sections.append(
+            format_series(
+                "",
+                ["mean over 5 pans"],
+                series,
+                title=f"Figure 16 pan ({dataset}): time (s) per frame",
+            )
+        )
+    write_report("fig16_explore", "\n\n".join(sections))
+
+
+@pytest.mark.parametrize("ratio", ZOOM_RATIOS, ids=lambda r: f"zoom{r}")
+@pytest.mark.parametrize("dataset_name", FIG_DATASETS)
+@pytest.mark.parametrize("method", FIG_METHODS)
+def test_fig16_zoom(benchmark, year_filtered, bandwidths, method, dataset_name, ratio):
+    points = year_filtered[dataset_name]
+    size = base_resolution()
+    skip_if_over_budget(method, size[0], size[1], len(points))
+    region = Region.from_points(points.xy).scaled(ratio)
+    raster = Raster(region, *size)
+    benchmark.group = f"fig16 zoom {dataset_name}"
+    fn = grid_fn(
+        method,
+        points.xy,
+        raster,
+        get_kernel("epanechnikov"),
+        bandwidths[dataset_name],
+    )
+    _zoom_cells[(method, dataset_name, ratio)] = run_cell(benchmark, fn)
+
+
+@pytest.mark.parametrize("dataset_name", FIG_DATASETS)
+@pytest.mark.parametrize("method", FIG_METHODS)
+def test_fig16_pan(benchmark, year_filtered, bandwidths, method, dataset_name):
+    points = year_filtered[dataset_name]
+    size = base_resolution()
+    skip_if_over_budget(method, size[0], size[1], len(points))
+    base = Region.from_points(points.xy)
+    regions = random_pan_regions(base, count=5, size_ratio=0.5, seed=16)
+    kernel = get_kernel("epanechnikov")
+    bandwidth = bandwidths[dataset_name]
+    calls = [
+        grid_fn(method, points.xy, Raster(region, *size), kernel, bandwidth)
+        for region in regions
+    ]
+
+    def all_pans():
+        for call in calls:
+            call()
+
+    benchmark.group = f"fig16 pan {dataset_name}"
+    total = run_cell(benchmark, all_pans)
+    _pan_cells[(method, dataset_name)] = total / len(regions)

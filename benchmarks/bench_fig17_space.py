@@ -1,0 +1,89 @@
+"""Paper Figure 17: space consumption vs dataset size.
+
+Theorem 4: SLAM's space complexity is O(XY + n), the same as RQS — so the
+measured footprints of all methods are similar and grow linearly in n.  We
+measure peak traced allocations (tracemalloc) during one KDV computation,
+which captures the result grid, the indexes/buckets, and all temporaries.
+
+The reported number is peak MiB; the shape to verify against the paper is
+"all methods within a small constant factor of each other, linear in n".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import grid_fn, skip_if_over_budget, write_report
+from repro.bench.harness import TIMEOUT, format_series, measure_peak_memory
+from repro.bench.workloads import SIZE_FRACTIONS, base_resolution, bench_raster
+from repro.core.kernels import get_kernel
+from repro.data.datasets import dataset_names
+from repro.data.sampling import sample_without_replacement
+
+FIG_METHODS = ["scan", "rqs_kd", "zorder", "quad", "slam_sort", "slam_bucket_rao"]
+ALL_DATASETS = list(dataset_names())
+
+_cells: dict[tuple[str, str, float], float] = {}
+
+
+@pytest.fixture(scope="session")
+def samples(datasets):
+    return {
+        (name, fraction): sample_without_replacement(points, fraction, seed=0)
+        for name, points in datasets.items()
+        for fraction in SIZE_FRACTIONS
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _cells:
+        return
+    sections = []
+    for dataset in ALL_DATASETS:
+        series = {
+            m: [_cells.get((m, dataset, f), TIMEOUT) for f in SIZE_FRACTIONS]
+            for m in FIG_METHODS
+        }
+        sections.append(
+            format_series(
+                "fraction",
+                [f"{int(f * 100)}%" for f in SIZE_FRACTIONS],
+                series,
+                title=f"Figure 17 ({dataset}): peak memory (MiB) vs dataset size",
+            )
+        )
+    write_report("fig17_space", "\n\n".join(sections))
+
+
+@pytest.mark.parametrize("fraction", SIZE_FRACTIONS, ids=lambda f: f"{int(f*100)}pct")
+@pytest.mark.parametrize("dataset_name", ALL_DATASETS)
+@pytest.mark.parametrize("method", FIG_METHODS)
+def test_fig17(benchmark, samples, bandwidths, method, dataset_name, fraction):
+    points = samples[(dataset_name, fraction)]
+    size = base_resolution()
+    skip_if_over_budget(method, size[0], size[1], len(points))
+    raster = bench_raster(points, size)
+    fn = grid_fn(
+        method,
+        points.xy,
+        raster,
+        get_kernel("epanechnikov"),
+        bandwidths[dataset_name],
+    )
+
+    def measured():
+        peak, _grid = measure_peak_memory(fn)
+        return peak
+
+    benchmark.group = f"fig17 {dataset_name}"
+    # the benchmark time here includes tracemalloc overhead; the figure's
+    # metric is the peak, recorded below
+    peak_holder = {}
+
+    def run():
+        peak_holder["peak"] = measured()
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    _cells[(method, dataset_name, fraction)] = peak_holder["peak"] / (1024 * 1024)

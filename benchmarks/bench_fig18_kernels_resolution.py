@@ -1,0 +1,72 @@
+"""Paper Figure 18: uniform & quartic kernels, time vs resolution (LA & SF).
+
+Section 3.7 extends SLAM to the uniform and quartic kernels via wider
+aggregate channel sets (1 and 10 channels respectively vs Epanechnikov's 4).
+The paper's observation: response times stay close to the Epanechnikov
+results of Figure 13 — no large kernel-support overhead for any method — and
+SLAM_BUCKET^(RAO)'s margin over the competitors again widens with resolution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import grid_fn, run_cell, skip_if_over_budget, write_report
+from repro.bench.harness import TIMEOUT, format_series
+from repro.bench.workloads import bench_raster, resolution_ladder
+from repro.core.kernels import get_kernel
+
+FIG_METHODS = ["scan", "zorder", "quad", "slam_bucket_rao"]
+FIG_DATASETS = ["los_angeles", "san_francisco"]
+FIG_KERNELS = ["uniform", "quartic"]
+LADDER = resolution_ladder()
+
+_cells: dict[tuple[str, str, str, tuple[int, int]], float] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _cells:
+        return
+    sections = []
+    for kernel_name in FIG_KERNELS:
+        for dataset in FIG_DATASETS:
+            series = {
+                m: [
+                    _cells.get((m, dataset, kernel_name, size), TIMEOUT)
+                    for size in LADDER
+                ]
+                for m in FIG_METHODS
+            }
+            sections.append(
+                format_series(
+                    "XxY",
+                    [f"{x}x{y}" for x, y in LADDER],
+                    series,
+                    title=(
+                        f"Figure 18 ({dataset}, {kernel_name} kernel): "
+                        "time (s) vs resolution"
+                    ),
+                )
+            )
+    write_report("fig18_kernels_resolution", "\n\n".join(sections))
+
+
+@pytest.mark.parametrize("size", LADDER, ids=lambda s: f"{s[0]}x{s[1]}")
+@pytest.mark.parametrize("kernel_name", FIG_KERNELS)
+@pytest.mark.parametrize("dataset_name", FIG_DATASETS)
+@pytest.mark.parametrize("method", FIG_METHODS)
+def test_fig18(benchmark, datasets, bandwidths, method, dataset_name, kernel_name, size):
+    points = datasets[dataset_name]
+    skip_if_over_budget(method, size[0], size[1], len(points))
+    raster = bench_raster(points, size)
+    benchmark.group = f"fig18 {dataset_name} {kernel_name}"
+    fn = grid_fn(
+        method,
+        points.xy,
+        raster,
+        get_kernel(kernel_name),
+        bandwidths[dataset_name],
+    )
+    _cells[(method, dataset_name, kernel_name, size)] = run_cell(benchmark, fn)

@@ -1,0 +1,84 @@
+"""Paper Figure 19: uniform & quartic kernels, time vs dataset size (LA & SF).
+
+Companion to Figure 18 along the dataset-size axis: SLAM_BUCKET^(RAO)
+achieves one-to-two-order-of-magnitude speedups over the competitors at
+every sample fraction for both kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import grid_fn, run_cell, skip_if_over_budget, write_report
+from repro.bench.harness import TIMEOUT, format_series
+from repro.bench.workloads import SIZE_FRACTIONS, base_resolution, bench_raster
+from repro.core.kernels import get_kernel
+from repro.data.sampling import sample_without_replacement
+
+FIG_METHODS = ["scan", "zorder", "quad", "slam_bucket_rao"]
+FIG_DATASETS = ["los_angeles", "san_francisco"]
+FIG_KERNELS = ["uniform", "quartic"]
+
+_cells: dict[tuple[str, str, str, float], float] = {}
+
+
+@pytest.fixture(scope="session")
+def samples(datasets):
+    return {
+        (name, fraction): sample_without_replacement(
+            datasets[name], fraction, seed=0
+        )
+        for name in FIG_DATASETS
+        for fraction in SIZE_FRACTIONS
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _cells:
+        return
+    sections = []
+    for kernel_name in FIG_KERNELS:
+        for dataset in FIG_DATASETS:
+            series = {
+                m: [
+                    _cells.get((m, dataset, kernel_name, f), TIMEOUT)
+                    for f in SIZE_FRACTIONS
+                ]
+                for m in FIG_METHODS
+            }
+            sections.append(
+                format_series(
+                    "fraction",
+                    [f"{int(f * 100)}%" for f in SIZE_FRACTIONS],
+                    series,
+                    title=(
+                        f"Figure 19 ({dataset}, {kernel_name} kernel): "
+                        "time (s) vs dataset size"
+                    ),
+                )
+            )
+    write_report("fig19_kernels_datasize", "\n\n".join(sections))
+
+
+@pytest.mark.parametrize("fraction", SIZE_FRACTIONS, ids=lambda f: f"{int(f*100)}pct")
+@pytest.mark.parametrize("kernel_name", FIG_KERNELS)
+@pytest.mark.parametrize("dataset_name", FIG_DATASETS)
+@pytest.mark.parametrize("method", FIG_METHODS)
+def test_fig19(
+    benchmark, samples, bandwidths, method, dataset_name, kernel_name, fraction
+):
+    points = samples[(dataset_name, fraction)]
+    size = base_resolution()
+    skip_if_over_budget(method, size[0], size[1], len(points))
+    raster = bench_raster(points, size)
+    benchmark.group = f"fig19 {dataset_name} {kernel_name}"
+    fn = grid_fn(
+        method,
+        points.xy,
+        raster,
+        get_kernel(kernel_name),
+        bandwidths[dataset_name],
+    )
+    _cells[(method, dataset_name, kernel_name, fraction)] = run_cell(benchmark, fn)

@@ -1,0 +1,59 @@
+"""Network KDV benchmarks: event-centric vs lixel-centric evaluation.
+
+Extension benchmark (the paper's future-work item [20]): the event-centric
+evaluator's cost scales with the number of events times the kernel's network
+reach, while the naive lixel-centric baseline scales with the (much larger)
+number of lixels — the same "evaluate only what can contribute" idea that
+powers SLAM, transplanted to networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import run_cell, write_report
+from repro.bench.harness import format_table
+from repro.core.kernels import get_kernel
+from repro.network import Lixelization, street_grid
+from repro.network.nkdv import nkdv_event_centric, nkdv_lixel_centric
+
+_rows: list[list] = []
+
+_NET = street_grid(25, 20, spacing=120.0, removal_fraction=0.1, seed=9)
+_RNG = np.random.default_rng(31)
+_EVENTS = _RNG.uniform((0, 0), (24 * 120.0, 19 * 120.0), (400, 2))
+_KERNEL = get_kernel("epanechnikov")
+_BANDWIDTH = 360.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _rows:
+        return
+    write_report(
+        "nkdv",
+        format_table(
+            ["evaluator", "lixel length (m)", "lixels", "seconds"],
+            _rows,
+            title=(
+                f"NKDV: {len(_EVENTS)} events, {_NET.num_edges} road segments, "
+                f"b = {_BANDWIDTH:.0f} m network distance"
+            ),
+        ),
+    )
+
+
+@pytest.mark.parametrize("lixel_length", [60.0, 30.0])
+@pytest.mark.parametrize("evaluator", ["event", "lixel"])
+def test_nkdv(benchmark, evaluator, lixel_length):
+    lixels = Lixelization(_NET, lixel_length)
+    if evaluator == "lixel" and lixel_length < 60.0:
+        pytest.skip("naive lixel-centric baseline only at the coarse resolution")
+    edges, offsets = _NET.snap(_EVENTS)
+    fn_impl = nkdv_event_centric if evaluator == "event" else nkdv_lixel_centric
+    fn = lambda: fn_impl(_NET, lixels, edges, offsets, _KERNEL, _BANDWIDTH)
+    benchmark.group = "nkdv"
+    seconds = run_cell(benchmark, fn)
+    _rows.append([evaluator, lixel_length, len(lixels), seconds])

@@ -1,0 +1,101 @@
+"""Paper Table 7: response time of all ten methods under default parameters.
+
+Default setting = the full city MBR, the paper's default resolution (scaled
+via ``REPRO_BENCH_RESOLUTION``), Scott's-rule bandwidth, Epanechnikov kernel,
+for all four datasets.  The paper's headline observations this reproduces:
+
+* the four SLAM variants beat every competitor by 1-2 orders of magnitude;
+* SLAM_BUCKET beats SLAM_SORT by ~1.6x;
+* RAO further reduces both;
+* SLAM_BUCKET^(RAO) is the overall fastest exact method.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import (
+    grid_fn,
+    run_cell,
+    skip_if_over_budget,
+    table_report,
+)
+from repro.bench.harness import TIMEOUT
+from repro.bench.workloads import base_resolution, bench_raster
+from repro.core.kernels import get_kernel
+from repro.data.datasets import dataset_names
+
+_cells: dict[tuple[str, str], float] = {}
+
+#: exactly the paper's Table 6 method set, in Table 7 row order, plus our
+#: two extension methods (R-tree RQS and dual-tree aKDE) as extra rows
+ALL_METHODS = [
+    "scan",
+    "rqs_kd",
+    "rqs_ball",
+    "zorder",
+    "akde",
+    "quad",
+    "slam_sort",
+    "slam_bucket",
+    "slam_sort_rao",
+    "slam_bucket_rao",
+    "rqs_rtree",
+    "akde_dual",
+    "binned_fft",
+]
+ALL_DATASETS = list(dataset_names())
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _cells:
+        return
+    rows = []
+    for method in ALL_METHODS:
+        rows.append(
+            [method] + [_cells.get((method, d), TIMEOUT) for d in ALL_DATASETS]
+        )
+    # derived headline ratios where available
+    lines = []
+    for d in ALL_DATASETS:
+        sort_t = _cells.get(("slam_sort", d))
+        bucket_t = _cells.get(("slam_bucket", d))
+        rao_t = _cells.get(("slam_bucket_rao", d))
+        quad_t = _cells.get(("quad", d))
+        if sort_t and bucket_t:
+            lines.append(
+                f"{d}: SLAM_BUCKET vs SLAM_SORT speedup {sort_t / bucket_t:.2f}x "
+                f"(paper: 1.57-1.65x)"
+            )
+        if quad_t and rao_t:
+            lines.append(
+                f"{d}: SLAM_BUCKET^(RAO) vs QUAD speedup {quad_t / rao_t:.1f}x"
+            )
+    x, y = base_resolution()
+    table_report(
+        "table7_default",
+        f"Table 7: response time (s), resolution {x}x{y}, Scott bandwidth, "
+        "Epanechnikov kernel",
+        ["method"] + ALL_DATASETS,
+        rows,
+    )
+    print("\n".join(lines))
+
+
+@pytest.mark.parametrize("dataset_name", ALL_DATASETS)
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_table7(benchmark, datasets, bandwidths, method, dataset_name):
+    points = datasets[dataset_name]
+    raster = bench_raster(points, base_resolution())
+    skip_if_over_budget(method, raster.width, raster.height, len(points))
+    benchmark.group = f"table7 {dataset_name}"
+    fn = grid_fn(
+        method,
+        points.xy,
+        raster,
+        get_kernel("epanechnikov"),
+        bandwidths[dataset_name],
+    )
+    _cells[(method, dataset_name)] = run_cell(benchmark, fn)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets and bandwidths are generated once per session at the configured
+scale (``REPRO_BENCH_SCALE``, default 0.01 of the paper's full sizes) so the
+per-cell timings measure the KDV computation only.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.bench.workloads import bench_dataset, default_bandwidth
+from repro.data.datasets import dataset_names
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """name -> PointSet at the benchmark scale, for all four cities."""
+    return {name: bench_dataset(name) for name in dataset_names()}
+
+
+@pytest.fixture(scope="session")
+def bandwidths(datasets):
+    """name -> Scott's-rule default bandwidth (the paper's default)."""
+    return {name: default_bandwidth(points) for name, points in datasets.items()}

@@ -1,0 +1,63 @@
+"""Adaptive (variable-bandwidth) KDV: sharp downtowns, smooth suburbs.
+
+Run:  python examples/adaptive_bandwidth.py
+
+A single global bandwidth cannot serve a city whose event density spans two
+orders of magnitude: Scott's rule smears the downtown into one blob while
+leaving the suburbs speckled.  Adaptive KDE gives each event its own
+bandwidth (distance to its k-th neighbor), and the library evaluates it
+*exactly* with the generalized sweep (``repro.extensions.adaptive``).
+
+This example contrasts the two on the San Francisco stand-in (the densest
+dataset) and shows the adaptive map resolving distinct sub-hotspots that the
+fixed map merges.
+"""
+
+import numpy as np
+
+from repro import compute_kdv, load_dataset
+from repro.analysis import extract_hotspots
+from repro.extensions.adaptive import compute_adaptive_kdv, knn_bandwidths
+from repro.viz.image import ascii_preview
+
+
+def main() -> None:
+    points = load_dataset("san_francisco", scale=0.002)  # ~8.7k calls
+    print(f"dataset: {points.name}, n = {len(points):,}")
+
+    bandwidths = knn_bandwidths(points.xy, k=25)
+    print(
+        "per-point kNN bandwidths: "
+        f"p5 = {np.percentile(bandwidths, 5):,.0f} m, "
+        f"median = {np.median(bandwidths):,.0f} m, "
+        f"p95 = {np.percentile(bandwidths, 95):,.0f} m "
+        f"({np.percentile(bandwidths, 95) / np.percentile(bandwidths, 5):.0f}x spread)"
+    )
+
+    fixed = compute_kdv(points, size=(192, 192), normalization="density")
+    adaptive = compute_adaptive_kdv(
+        points, size=(192, 192), bandwidths=bandwidths, normalization="density"
+    )
+    print(f"\nfixed Scott bandwidth: {fixed.bandwidth:,.0f} m everywhere")
+    print(f"adaptive: each event its own bandwidth (median {adaptive.bandwidth:,.0f} m)")
+
+    spots_fixed = extract_hotspots(fixed, quantile=0.98, min_pixels=3)
+    spots_adaptive = extract_hotspots(adaptive, quantile=0.98, min_pixels=3)
+    print(f"\ndistinct hotspots found: fixed {len(spots_fixed)}, "
+          f"adaptive {len(spots_adaptive)}")
+    print(f"peak density: fixed {fixed.max_density():.3e}, "
+          f"adaptive {adaptive.max_density():.3e} "
+          f"({adaptive.max_density() / fixed.max_density():.1f}x sharper)")
+
+    print("\nfixed-bandwidth map:")
+    print(ascii_preview(fixed.grid_image(), width=64, height=16))
+    print("adaptive-bandwidth map (same data, same color scale rules):")
+    print(ascii_preview(adaptive.grid_image(), width=64, height=16))
+
+    assert adaptive.max_density() > fixed.max_density()
+    print("adaptive resolves the dense core more sharply — exactly, "
+          "via the generalized sweep decomposition")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Interactive-style crime hotspot exploration (the paper's Figure 2 loop).
+
+Run:  python examples/crime_exploration.py
+
+Criminologists iterate: look at the whole city, zoom into a precinct, filter
+to one crime type, filter to one year, adjust the bandwidth — each step is a
+fresh KDV.  This example drives an :class:`ExplorationSession` through that
+loop on the Seattle stand-in dataset and prints the per-frame latency the
+paper's Figure 16 experiments measure, demonstrating that SLAM keeps every
+frame interactive.
+"""
+
+from repro import ExplorationSession, Region, load_dataset, random_pan_regions
+
+YEAR_SECONDS = 365.25 * 24 * 3600.0
+
+
+def show(title: str, result, session: ExplorationSession) -> None:
+    frame = session.frames[-1]
+    print(
+        f"{title:42s} n={frame.n_points:>7,}  "
+        f"peak={result.max_density():.3e}  {frame.seconds * 1000:7.1f} ms"
+    )
+
+
+def main() -> None:
+    points = load_dataset("seattle", scale=0.02)  # ~17k crime events
+    session = ExplorationSession(
+        points,
+        size=(320, 240),
+        method="slam_bucket_rao",
+        kernel="epanechnikov",
+    )
+    print(f"exploring {points.name}: n = {len(points):,}, "
+          f"b = {session.bandwidth:.1f} m (Scott)\n")
+
+    show("full city", session.render(), session)
+
+    # zoom ladder, as in Figure 16a
+    for ratio in (0.75, 0.5, 0.25):
+        show(f"zoom to {ratio:.2f} of the city MBR", session.zoom(ratio), session)
+
+    # pan around at half size, as in Figure 16c
+    session.reset_view()
+    base = Region.from_points(points.xy)
+    for i, region in enumerate(random_pan_regions(base, count=3, seed=4)):
+        show(f"pan to random half-size viewport #{i + 1}",
+             session.pan_to(region), session)
+
+    # attribute-based filtering: one crime category (e.g. robbery)
+    session.reset_view()
+    show("filter: category 0 only", session.filter_category(0), session)
+
+    # time-based filtering: second year of the data
+    show(
+        "filter: events during year 2",
+        session.filter_time(YEAR_SECONDS, 2 * YEAR_SECONDS),
+        session,
+    )
+    session.clear_filters()
+
+    # bandwidth selection
+    show("bandwidth halved", session.set_bandwidth(session.bandwidth / 2), session)
+    show("bandwidth doubled", session.set_bandwidth(session.bandwidth * 4), session)
+
+    summary = session.latency_summary()
+    print(
+        f"\n{summary['frames']} frames, per-frame latency "
+        f"min {summary['min'] * 1000:.1f} ms / "
+        f"mean {summary['mean'] * 1000:.1f} ms / "
+        f"max {summary['max'] * 1000:.1f} ms"
+    )
+    print("every frame was computed exactly (no sampling, no approximation)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Disease outbreak detection with spatio-temporal KDV and the K-function.
+
+Run:  python examples/disease_outbreak_stkdv.py
+
+Epidemiologists use KDV to find disease clusters (paper Section 1).  A single
+static map hides *when* an outbreak happened, so this example:
+
+1. simulates two years of background cases plus a three-month outbreak
+   cluster in one neighborhood;
+2. renders a spatio-temporal KDV (``repro.extensions.temporal``) and finds
+   the frame where hotspot intensity peaks — the outbreak window;
+3. confirms the spatial clustering statistically with Ripley's K against a
+   Monte-Carlo CSR envelope (``repro.extensions.kfunction``).
+"""
+
+import numpy as np
+
+from repro import PointSet, Region
+from repro.extensions import compute_stkdv, csr_envelope, k_function
+
+DAY = 24 * 3600.0
+MONTH = 30 * DAY
+
+
+def simulate_cases(seed: int = 42) -> PointSet:
+    """Two years of cases over a 20x20 km city + an outbreak in month 14."""
+    rng = np.random.default_rng(seed)
+    n_background = 4000
+    background_xy = rng.uniform(0.0, 20_000.0, (n_background, 2))
+    background_t = rng.uniform(0.0, 24 * MONTH, n_background)
+
+    n_outbreak = 900
+    outbreak_center = np.array([6_000.0, 14_000.0])
+    outbreak_xy = outbreak_center + rng.normal(0.0, 600.0, (n_outbreak, 2))
+    outbreak_t = rng.uniform(14 * MONTH, 17 * MONTH, n_outbreak)
+
+    xy = np.vstack([background_xy, outbreak_xy])
+    t = np.concatenate([background_t, outbreak_t])
+    return PointSet(np.clip(xy, 0, 20_000), t=t, name="simulated_cases")
+
+
+def main() -> None:
+    cases = simulate_cases()
+    print(f"simulated {len(cases):,} cases over 24 months")
+
+    # -- 1. spatio-temporal KDV: one frame per month --------------------------
+    frame_times = np.arange(24) * MONTH + MONTH / 2
+    st = compute_stkdv(
+        cases,
+        times=frame_times,
+        temporal_kernel="epanechnikov",
+        temporal_bandwidth=1.5 * MONTH,
+        size=(160, 160),
+        bandwidth=800.0,
+    )
+    peaks = [frame.max_density() for frame in st.frames]
+    peak_month = st.peak_frame()
+    print("\nper-month peak density (* marks the detected outbreak window):")
+    top = max(peaks)
+    for month, value in enumerate(peaks):
+        bar = "#" * int(40 * value / top)
+        marker = " *" if abs(month - peak_month) <= 1 else ""
+        print(f"  month {month:2d}  {bar}{marker}")
+    print(f"\noutbreak detected in month {peak_month} "
+          f"(simulated: months 14-16)")
+    assert 13 <= peak_month <= 17, "detection should land in the outbreak window"
+
+    # where: the hotspot pixels of the peak frame
+    peak_frame = st.frames[peak_month]
+    mask = peak_frame.hotspot_pixels(quantile=0.999)
+    ys, xs = np.nonzero(mask)
+    raster = peak_frame.raster
+    cx = raster.region.xmin + (xs.mean() + 0.5) * raster.gx
+    cy = raster.region.ymin + (ys.mean() + 0.5) * raster.gy
+    print(f"hotspot centroid: ({cx:,.0f} m, {cy:,.0f} m) "
+          f"(simulated outbreak at (6,000 m, 14,000 m))")
+
+    # -- 2. statistical confirmation via Ripley's K ---------------------------
+    region = Region(0.0, 0.0, 20_000.0, 20_000.0)
+    outbreak_window = cases.filter_time(14 * MONTH, 17 * MONTH)
+    radii = np.linspace(200.0, 2_000.0, 6)
+    k_observed = k_function(outbreak_window, radii, region=region)
+    lower, upper = csr_envelope(
+        len(outbreak_window), radii, region, simulations=19, seed=1
+    )
+    print("\nRipley's K for the outbreak window vs a 19-simulation CSR envelope:")
+    print(f"  {'r (m)':>8s} {'K observed':>14s} {'CSR upper':>14s}  verdict")
+    for r, k, hi in zip(radii, k_observed, upper):
+        verdict = "CLUSTERED" if k > hi else "consistent with CSR"
+        print(f"  {r:8.0f} {k:14.3e} {hi:14.3e}  {verdict}")
+    assert np.all(k_observed[:3] > upper[:3]), "outbreak must test as clustered"
+    print("\nclustering confirmed at sub-kilometer scales")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Real-time hotspot monitoring with incremental KDV.
+
+Run:  python examples/live_monitoring.py
+
+The paper's conclusion plans "the real-time KDV system, based on SLAM".
+This example simulates an operations-center feed: events arrive in ticks, a
+24-hour sliding window is maintained, and the hotspot map updates after every
+tick by computing the KDV *of the tick only* (density is additive), never of
+the full history.  A mid-stream incident (a sudden localized burst) appears
+on the map within one tick and decays as the window slides past it.
+"""
+
+import time
+
+import numpy as np
+
+from repro import Region
+from repro.extensions.streaming import StreamingKDV
+
+HOUR = 3600.0
+REGION = Region(0.0, 0.0, 20_000.0, 16_000.0)
+INCIDENT_XY = np.array([15_000.0, 4_000.0])
+INCIDENT_HOURS = range(18, 22)
+
+
+def tick_events(rng: np.random.Generator, hour: int) -> np.ndarray:
+    """One hour of events: city-wide background + the incident burst."""
+    background = rng.uniform((0.0, 0.0), (20_000.0, 16_000.0), (120, 2))
+    if hour in INCIDENT_HOURS:
+        burst = INCIDENT_XY + rng.normal(0.0, 400.0, (300, 2))
+        return np.vstack([background, burst])
+    return background
+
+
+def incident_cell(engine: StreamingKDV) -> float:
+    """Density at the incident location, as a multiple of the city median."""
+    raster = engine.raster
+    ix = int((INCIDENT_XY[0] - REGION.xmin) / raster.gx)
+    iy = int((INCIDENT_XY[1] - REGION.ymin) / raster.gy)
+    grid = engine.grid
+    med = np.median(grid[grid > 0]) if (grid > 0).any() else 0.0
+    return grid[iy, ix] / med if med > 0 else 0.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+    engine = StreamingKDV(
+        REGION, size=(320, 240), bandwidth=900.0, method="slam_bucket_rao"
+    )
+    window_hours = 24
+
+    print("hour  live events  tick ms  incident-cell/median  status")
+    alerts: list[int] = []
+    for hour in range(48):
+        events = tick_events(rng, hour)
+        start = time.perf_counter()
+        engine.insert(events, t=np.full(len(events), hour * HOUR))
+        engine.expire_before((hour - window_hours) * HOUR)
+        tick_ms = (time.perf_counter() - start) * 1000.0
+
+        ratio = incident_cell(engine)
+        alert = ratio > 10.0
+        if alert:
+            alerts.append(hour)
+        if hour % 4 == 0 or alert or hour in (min(INCIDENT_HOURS) - 1,):
+            status = "ALERT: hotspot at incident site" if alert else ""
+            print(f"{hour:4d}  {len(engine):11,}  {tick_ms:7.1f}  "
+                  f"{ratio:20.1f}  {status}")
+
+    print(f"\nincident simulated during hours {list(INCIDENT_HOURS)}")
+    print(f"alerts raised during hours {alerts[0]}..{alerts[-1]}")
+    assert alerts[0] == min(INCIDENT_HOURS), "alert should fire on the first burst tick"
+    assert alerts[-1] <= max(INCIDENT_HOURS) + window_hours, "alert must decay with the window"
+
+    drift = engine.drift()
+    print(f"\nafter 48 ticks of churn, grid drift vs full recompute: {drift:.2e}")
+    print("(the engine never recomputed the full window; each tick cost "
+          "one small-batch sweep)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Severity-weighted accident blackspots, multi-bandwidth, and progressive rendering.
+
+Run:  python examples/severity_weighted_accidents.py
+
+Transportation agencies rank road segments by accident *severity*, not just
+counts: a fatal crash should weigh more than a fender-bender.  This example
+shows three library extensions working together on the New York stand-in:
+
+1. **weighted KDV** — per-event severity weights shift the top blackspot;
+2. **multi-bandwidth batches** — one preprocessing pass, several smoothing
+   scales (micro vs macro blackspots);
+3. **progressive rendering** — exact coarse previews while the full
+   resolution computes.
+"""
+
+import time
+
+import numpy as np
+
+from repro import compute_kdv, load_dataset
+from repro.extensions import compute_multiband, progressive_kdv
+
+
+def main() -> None:
+    points = load_dataset("new_york", scale=0.01)
+    rng = np.random.default_rng(99)
+    # severity: 1 = property damage, 2 = injury, 5 = serious, 20 = fatal.
+    # Crashes away from the congested center happen at highway speeds, so
+    # the severe-outcome probability grows with distance from downtown —
+    # the classic reason severity-weighted blackspots differ from count ones.
+    center = points.xy.mean(axis=0)
+    dist = np.linalg.norm(points.xy - center, axis=1)
+    speed_factor = dist / dist.max()  # 0 downtown .. 1 at the city edge
+    severity = np.empty(len(points))
+    for i, f in enumerate(speed_factor):
+        p_severe = 0.02 + 0.25 * f
+        severity[i] = rng.choice(
+            [1.0, 2.0, 5.0, 20.0],
+            p=[0.75 - p_severe, 0.20, 0.05, p_severe],
+        )
+    print(f"dataset: {points.name}, n = {len(points):,}, "
+          f"total severity mass = {severity.sum():,.0f}")
+
+    # -- 1. counts vs severity ------------------------------------------------
+    by_count = compute_kdv(points, size=(160, 120), normalization="none")
+    by_severity = compute_kdv(
+        points, size=(160, 120), weights=severity, normalization="none",
+        bandwidth=by_count.bandwidth,
+    )
+    peak_count = np.unravel_index(np.argmax(by_count.grid), by_count.grid.shape)
+    peak_sev = np.unravel_index(np.argmax(by_severity.grid), by_severity.grid.shape)
+    print(f"\npeak pixel by count:    {tuple(int(v) for v in peak_count)}")
+    print(f"peak pixel by severity: {tuple(int(v) for v in peak_sev)}")
+    overlap = (
+        by_count.hotspot_pixels(0.99) & by_severity.hotspot_pixels(0.99)
+    ).sum() / max(by_count.hotspot_pixels(0.99).sum(), 1)
+    print(f"top-1% hotspot overlap between the two rankings: {overlap:.0%}")
+
+    # -- 2. multi-bandwidth exploration ---------------------------------------
+    bands = [by_count.bandwidth * r for r in (0.25, 1.0, 4.0)]
+    start = time.perf_counter()
+    results = compute_multiband(points, bands, size=(160, 120))
+    batched = time.perf_counter() - start
+    print(f"\n3 bandwidths in one batch: {batched:.3f}s "
+          "(shared y-sort across bandwidths)")
+    for res in results:
+        hot = int(res.hotspot_pixels(0.99).sum())
+        print(f"  b = {res.bandwidth:8,.0f} m -> {hot:4d} hotspot pixels "
+              f"({'micro' if res.bandwidth < bands[1] else 'macro' if res.bandwidth > bands[1] else 'default'} scale)")
+
+    # -- 3. progressive rendering ---------------------------------------------
+    print("\nprogressive rendering of the severity map at 640x480:")
+    t0 = time.perf_counter()
+    for level in progressive_kdv(
+        points, size=(640, 480), levels=4,
+        weights=severity, bandwidth=by_count.bandwidth,
+    ):
+        elapsed = time.perf_counter() - t0
+        print(f"  {level.raster.width:4d}x{level.raster.height:<4d} exact preview "
+              f"after {elapsed * 1000:7.1f} ms")
+    print("every preview is an exact KDV at its own resolution")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""SLAM: efficient sweep line algorithms for kernel density visualization.
+
+A faithful, self-contained Python reproduction of Chan, U, Choi, Xu,
+"SLAM: Efficient Sweep Line Algorithms for Kernel Density Visualization"
+(SIGMOD 2022), including the SLAM_SORT / SLAM_BUCKET algorithms, the
+resolution-aware optimization (RAO), every baseline of the paper's Table 6
+(SCAN, RQS_kd, RQS_ball, Z-order, aKDE, QUAD), synthetic stand-ins for the
+four evaluation datasets, and a benchmark harness that regenerates every
+table and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import load_dataset, compute_kdv
+
+    points = load_dataset("seattle", scale=0.02)
+    result = compute_kdv(points, size=(320, 240))   # SLAM_BUCKET^(RAO)
+    print(result.grid.shape, result.max_density())
+"""
+
+from .core.api import (
+    APPROXIMATE_METHODS,
+    EXACT_METHODS,
+    METHODS,
+    compute_kdv,
+    method_names,
+)
+from .core.kernels import (
+    KERNELS,
+    EpanechnikovKernel,
+    GaussianKernel,
+    Kernel,
+    QuarticKernel,
+    UniformKernel,
+    get_kernel,
+)
+from .core.result import KDVResult
+from .data.datasets import dataset_names, full_size, load_dataset
+from .data.generators import CityModel, generate_city
+from .data.io import load_csv, save_csv
+from .data.points import PointSet
+from .data.projection import LocalEquirectangular, WebMercator
+from .viz.bandwidth import (
+    lcv_bandwidth,
+    scaled_bandwidth,
+    scott_bandwidth,
+    silverman_bandwidth,
+)
+from .viz.explore import ExplorationSession, random_pan_regions
+from .viz.region import Raster, Region
+
+# subpackages kept importable without a separate import statement
+from . import analysis, extensions, network  # noqa: E402  (re-export)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compute_kdv",
+    "method_names",
+    "METHODS",
+    "EXACT_METHODS",
+    "APPROXIMATE_METHODS",
+    "KDVResult",
+    "Kernel",
+    "UniformKernel",
+    "EpanechnikovKernel",
+    "QuarticKernel",
+    "GaussianKernel",
+    "KERNELS",
+    "get_kernel",
+    "PointSet",
+    "Region",
+    "Raster",
+    "CityModel",
+    "generate_city",
+    "load_dataset",
+    "dataset_names",
+    "full_size",
+    "load_csv",
+    "save_csv",
+    "scott_bandwidth",
+    "scaled_bandwidth",
+    "silverman_bandwidth",
+    "lcv_bandwidth",
+    "LocalEquirectangular",
+    "WebMercator",
+    "ExplorationSession",
+    "random_pan_regions",
+    "analysis",
+    "extensions",
+    "network",
+    "__version__",
+]

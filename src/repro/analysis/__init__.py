@@ -1,0 +1,5 @@
+"""Hotspot analysis on top of KDV grids."""
+
+from .hotspots import Hotspot, extract_hotspots, label_regions, track_hotspots
+
+__all__ = ["Hotspot", "extract_hotspots", "label_regions", "track_hotspots"]

@@ -1,0 +1,23 @@
+"""Competitor methods of the paper's Table 6."""
+
+from .akde import akde_grid
+from .akde_dual import akde_dual_grid
+from .binned_fft import binned_fft_grid
+from .quad import quad_grid
+from .rqs import rqs_ball_grid, rqs_grid, rqs_kd_grid, rqs_rtree_grid
+from .scan import scan_grid
+from .zorder import zorder_grid, zorder_sample
+
+__all__ = [
+    "scan_grid",
+    "rqs_grid",
+    "rqs_kd_grid",
+    "rqs_ball_grid",
+    "rqs_rtree_grid",
+    "zorder_grid",
+    "zorder_sample",
+    "akde_grid",
+    "akde_dual_grid",
+    "binned_fft_grid",
+    "quad_grid",
+]

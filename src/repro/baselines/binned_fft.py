@@ -1,0 +1,134 @@
+"""Binned FFT-convolution KDE — the standard practical approximation.
+
+Outside the databases literature, the usual fast KDV recipe (KDEpy,
+seaborn/scipy pipelines, many GIS tools) is:
+
+1. **bin** the points onto the pixel grid (optionally with linear/CIC
+   splitting across the four surrounding pixels);
+2. **convolve** the count grid with the kernel's pixel stamp, via FFT —
+   O(XY log XY) regardless of n.
+
+This is *approximate*: each point is displaced to its bin's position, so the
+error is bounded by the kernel's variation over one pixel — vanishing as
+resolution grows or bandwidth grows relative to the pixel pitch, but
+unbounded in the adversarial case (the paper's complaint about inexact
+methods stands).  It is included as the practice-standard comparison point
+the paper's Table 6 lacks, with its error measurable through
+:mod:`repro.bench.metrics`.
+
+Complexity note: O(n + XY log XY) beats even SLAM_BUCKET^(RAO)'s
+O(min(X,Y)(max(X,Y)+n)) when n >> XY log XY — exactness, not speed, is what
+it trades away.  Supports every kernel (including Gaussian — the stamp is
+truncated at ``gaussian_cutoff`` sigmas) and per-point weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import Kernel
+from ..viz.region import Raster
+
+__all__ = ["binned_fft_grid"]
+
+
+def _bin_points(
+    xy: np.ndarray,
+    raster: Raster,
+    weights: np.ndarray | None,
+    linear: bool,
+) -> np.ndarray:
+    """Histogram points onto the pixel grid (nearest or linear/CIC)."""
+    xs0 = raster.region.xmin + 0.5 * raster.gx  # first pixel center
+    ys0 = raster.region.ymin + 0.5 * raster.gy
+    fx = (xy[:, 0] - xs0) / raster.gx  # fractional pixel coordinates
+    fy = (xy[:, 1] - ys0) / raster.gy
+    # Points outside the raster (beyond half a pixel past the border
+    # centers) cannot be binned and are DROPPED — unlike the exact methods,
+    # which correctly count outside points within one bandwidth of the
+    # border.  This border deficit is an inherent approximation of the
+    # binned approach; render a slightly padded region if it matters.
+    keep = (
+        (fx >= -0.5)
+        & (fx <= raster.width - 0.5)
+        & (fy >= -0.5)
+        & (fy <= raster.height - 0.5)
+    )
+    fx, fy = fx[keep], fy[keep]
+    w = (np.ones(len(xy)) if weights is None else weights)[keep]
+    grid = np.zeros(raster.shape, dtype=np.float64)
+    if not linear:
+        ix = np.clip(np.rint(fx).astype(np.int64), 0, raster.width - 1)
+        iy = np.clip(np.rint(fy).astype(np.int64), 0, raster.height - 1)
+        np.add.at(grid, (iy, ix), w)
+        return grid
+    # cloud-in-cell: split each point's mass over the 4 surrounding centers
+    ix0 = np.floor(fx).astype(np.int64)
+    iy0 = np.floor(fy).astype(np.int64)
+    tx = fx - ix0
+    ty = fy - iy0
+    for dx, wx in ((0, 1.0 - tx), (1, tx)):
+        for dy, wy in ((0, 1.0 - ty), (1, ty)):
+            ix = np.clip(ix0 + dx, 0, raster.width - 1)
+            iy = np.clip(iy0 + dy, 0, raster.height - 1)
+            np.add.at(grid, (iy, ix), w * wx * wy)
+    return grid
+
+
+def binned_fft_grid(
+    xy: np.ndarray,
+    raster: Raster,
+    kernel: Kernel,
+    bandwidth: float,
+    weights: np.ndarray | None = None,
+    linear_binning: bool = True,
+    gaussian_cutoff: float = 6.0,
+) -> np.ndarray:
+    """Approximate raw KDV grid by binning + FFT convolution.
+
+    Parameters
+    ----------
+    linear_binning:
+        Split each point's mass linearly over the four surrounding pixel
+        centers (substantially more accurate than nearest-pixel binning for
+        the same cost; tested).
+    gaussian_cutoff:
+        Stamp truncation radius in bandwidths for infinite-support kernels.
+    """
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    xy = np.asarray(xy, dtype=np.float64)
+    if xy.ndim != 2 or xy.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) coordinates, got {xy.shape}")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(xy),):
+            raise ValueError(f"weights must have shape ({len(xy)},)")
+    if len(xy) == 0:
+        return np.zeros(raster.shape, dtype=np.float64)
+
+    counts = _bin_points(xy, raster, weights, linear_binning)
+
+    # kernel stamp over pixel offsets within the support radius
+    radius = kernel.support_radius(bandwidth)
+    if not np.isfinite(radius):
+        radius = gaussian_cutoff * bandwidth
+    rx = int(np.ceil(radius / raster.gx))
+    ry = int(np.ceil(radius / raster.gy))
+    ox = np.arange(-rx, rx + 1) * raster.gx
+    oy = np.arange(-ry, ry + 1) * raster.gy
+    d_sq = ox[None, :] ** 2 + (oy**2)[:, None]
+    stamp = kernel.evaluate(d_sq, bandwidth)
+
+    # linear convolution via zero-padded FFT (sizes: grid + stamp - 1)
+    out_h = raster.height + stamp.shape[0] - 1
+    out_w = raster.width + stamp.shape[1] - 1
+    spectrum = np.fft.rfft2(counts, s=(out_h, out_w)) * np.fft.rfft2(
+        stamp, s=(out_h, out_w)
+    )
+    full = np.fft.irfft2(spectrum, s=(out_h, out_w))
+    # crop the "same" region (stamp is centered)
+    grid = full[ry : ry + raster.height, rx : rx + raster.width]
+    # FFT round-off can leave tiny negatives where the true density is 0
+    np.clip(grid, 0.0, None, out=grid)
+    return np.ascontiguousarray(grid)

@@ -1,0 +1,161 @@
+"""QUAD — quadratic-bound-based KDV [Chan, Cheng, Yiu, SIGMOD 2020].
+
+QUAD accelerates KDV by augmenting a kd-tree with per-node aggregate values
+and deriving quadratic lower/upper bound functions for a node's total kernel
+contribution.  For the finite-support kernels of the paper's Table 2 the
+bounds collapse to an *exact* three-way classification per (pixel, node):
+
+* node's bounding box entirely outside the support disc -> contributes 0;
+* entirely inside -> the contribution is computed *exactly in O(1)* from the
+  node's aggregate channel sums (the same decomposition SLAM uses,
+  Equation 5 / Table 4);
+* straddling -> recurse into the children (direct evaluation at leaves).
+
+This makes QUAD exact and substantially faster than RQS — matching its
+position in the paper's Table 7 (best competitor, still 10-50x slower than
+SLAM_BUCKET^(RAO)) — while remaining O(XYn) in the worst case because a
+pixel near the support boundary of every point degenerates to a full scan.
+
+Engines
+-------
+``engine="python"`` descends the tree once per pixel (the method as
+published); ``engine="numpy"`` descends once per pixel *row*, carrying the
+set of still-unresolved pixels as a vector — the classification is identical
+per pixel, so both produce the same grid, and tests assert so.
+
+Numerical note: the tree is built in a bandwidth-scaled frame centered on the
+raster (same conditioning trick as :mod:`repro.core.sweep`), so the aggregate
+recombination stays well-conditioned even for the quartic kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import Kernel
+from ..index.kdtree import KDTree
+from ..viz.region import Raster
+
+__all__ = ["quad_grid"]
+
+
+def _scaled_problem(
+    xy: np.ndarray, raster: Raster, bandwidth: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shift to the raster center and divide by the bandwidth."""
+    cx = (raster.region.xmin + raster.region.xmax) / 2.0
+    cy = (raster.region.ymin + raster.region.ymax) / 2.0
+    scaled = (np.asarray(xy, dtype=np.float64) - (cx, cy)) / bandwidth
+    xs = (raster.x_centers() - cx) / bandwidth
+    ys = (raster.y_centers() - cy) / bandwidth
+    return scaled, xs, ys
+
+
+def _quad_pixel(tree: KDTree, kernel: Kernel, qx: float, qy: float) -> float:
+    """Exact QUAD evaluation of a single pixel (scalar engine)."""
+    total = 0.0
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        if tree.node_size(node) == 0:
+            continue
+        if tree.min_dist_sq(node, qx, qy) > 1.0:
+            continue  # node entirely outside the unit support disc
+        if tree.max_dist_sq(node, qx, qy) <= 1.0:
+            total += float(
+                kernel.density_from_aggregates(qx, qy, tree.node_agg[node], 1.0)
+            )
+            continue
+        if tree.is_leaf(node):
+            start, end = tree.node_start[node], tree.node_end[node]
+            pts = tree.points[start:end]
+            d_sq = (pts[:, 0] - qx) ** 2 + (pts[:, 1] - qy) ** 2
+            values = kernel.evaluate(d_sq, 1.0)
+            if tree.weights is not None:
+                values = values * tree.weights[start:end]
+            total += float(values.sum())
+        else:
+            stack.append(int(tree.node_left[node]))
+            stack.append(int(tree.node_right[node]))
+    return total
+
+
+def _quad_row(
+    tree: KDTree, kernel: Kernel, xs: np.ndarray, qy: float, out_row: np.ndarray
+) -> None:
+    """Vectorized QUAD evaluation of one pixel row (batched engine)."""
+    stack: list[tuple[int, np.ndarray]] = [(0, np.arange(len(xs)))]
+    while stack:
+        node, active = stack.pop()
+        if tree.node_size(node) == 0 or len(active) == 0:
+            continue
+        xmin, ymin, xmax, ymax = tree.node_bbox[node]
+        qx = xs[active]
+        dx_min = np.maximum(np.maximum(xmin - qx, 0.0), qx - xmax)
+        dy_min = max(ymin - qy, 0.0, qy - ymax)
+        dmin_sq = dx_min * dx_min + dy_min * dy_min
+        dx_max = np.maximum(qx - xmin, xmax - qx)
+        dy_max = max(qy - ymin, ymax - qy)
+        dmax_sq = dx_max * dx_max + dy_max * dy_max
+
+        inside = dmax_sq <= 1.0
+        outside = dmin_sq > 1.0
+        if np.any(inside):
+            sel = active[inside]
+            out_row[sel] += kernel.density_from_aggregates(
+                xs[sel], qy, tree.node_agg[node], 1.0
+            )
+        rest = active[~(inside | outside)]
+        if len(rest) == 0:
+            continue
+        if tree.is_leaf(node):
+            start, end = tree.node_start[node], tree.node_end[node]
+            pts = tree.points[start:end]
+            d_sq = (pts[:, 0, None] - xs[rest][None, :]) ** 2 + (
+                (pts[:, 1] - qy) ** 2
+            )[:, None]
+            values = kernel.evaluate(d_sq, 1.0)
+            if tree.weights is not None:
+                values = values * tree.weights[start:end, None]
+            out_row[rest] += values.sum(axis=0)
+        else:
+            stack.append((int(tree.node_left[node]), rest))
+            stack.append((int(tree.node_right[node]), rest))
+
+
+def quad_grid(
+    xy: np.ndarray,
+    raster: Raster,
+    kernel: Kernel,
+    bandwidth: float,
+    leaf_size: int = 32,
+    engine: str = "numpy",
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute the exact raw KDV grid with the QUAD method."""
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    if kernel.num_channels is None:
+        raise ValueError(
+            f"kernel {kernel.name!r} has no aggregate decomposition; QUAD "
+            "supports the finite-support kernels of Table 2 only"
+        )
+    if engine not in ("numpy", "python"):
+        raise ValueError(f"unknown engine {engine!r}")
+    scaled, xs, ys = _scaled_problem(xy, raster, bandwidth)
+    grid = np.zeros(raster.shape, dtype=np.float64)
+    if len(scaled) == 0:
+        return grid
+    tree = KDTree(
+        scaled, leaf_size=leaf_size, num_channels=kernel.num_channels, weights=weights
+    )
+    for j, qy in enumerate(ys):
+        if engine == "numpy":
+            _quad_row(tree, kernel, xs, float(qy), grid[j])
+        else:
+            for i, qx in enumerate(xs):
+                grid[j, i] = _quad_pixel(tree, kernel, float(qx), float(qy))
+    factor = kernel.rescale_factor(bandwidth)
+    if factor != 1.0:
+        grid *= factor
+    return grid

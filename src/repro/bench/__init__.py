@@ -1,0 +1,43 @@
+"""Benchmark harness: timing, memory, tables, and shared workloads."""
+
+from .harness import (
+    TIMEOUT,
+    MethodTimer,
+    format_series,
+    format_table,
+    measure_peak_memory,
+    time_call,
+)
+from .workloads import (
+    BANDWIDTH_RATIOS,
+    SIZE_FRACTIONS,
+    ZOOM_RATIOS,
+    base_resolution,
+    bench_budget,
+    bench_dataset,
+    bench_raster,
+    bench_scale,
+    default_bandwidth,
+    grid_callable,
+    resolution_ladder,
+)
+
+__all__ = [
+    "time_call",
+    "MethodTimer",
+    "measure_peak_memory",
+    "format_table",
+    "format_series",
+    "TIMEOUT",
+    "bench_scale",
+    "bench_budget",
+    "base_resolution",
+    "resolution_ladder",
+    "bench_dataset",
+    "bench_raster",
+    "default_bandwidth",
+    "grid_callable",
+    "SIZE_FRACTIONS",
+    "BANDWIDTH_RATIOS",
+    "ZOOM_RATIOS",
+]

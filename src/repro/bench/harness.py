@@ -1,0 +1,121 @@
+"""Benchmark harness utilities.
+
+The paper reports wall-clock response time per (method, dataset, parameter)
+cell and a 4-hour timeout.  This module provides the measurement and
+reporting pieces the ``benchmarks/`` scripts share:
+
+* :func:`time_call` — wall-clock one invocation;
+* :class:`MethodTimer` — times a method across a parameter sweep with a soft
+  time budget: once a method exceeds the budget at some parameter value it is
+  marked timed-out and skipped for costlier parameter values (mirroring the
+  paper's "> 14400" entries without burning hours);
+* :func:`measure_peak_memory` — tracemalloc peak for the space experiment
+  (Figure 17);
+* :func:`format_table` / :func:`format_series` — aligned text output shaped
+  like the paper's Table 7 rows and figure series.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "time_call",
+    "MethodTimer",
+    "measure_peak_memory",
+    "format_table",
+    "format_series",
+    "TIMEOUT",
+]
+
+#: Sentinel recorded when a cell was skipped because the method already
+#: exceeded its soft budget at a cheaper parameter value.
+TIMEOUT = float("inf")
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Wall-clock one call; returns ``(seconds, result)``."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+@dataclass
+class MethodTimer:
+    """Times one method across increasingly expensive parameter values.
+
+    Parameters are assumed to be swept cheap-to-expensive (as in the paper's
+    resolution/size ladders); once a run exceeds ``soft_budget_s`` the
+    remaining cells are recorded as :data:`TIMEOUT`.
+    """
+
+    name: str
+    soft_budget_s: float = 60.0
+    times: list[float] = field(default_factory=list)
+    _exhausted: bool = False
+
+    def run(self, fn: Callable[[], Any]) -> float:
+        """Run (or skip) one sweep cell; returns seconds or ``TIMEOUT``."""
+        if self._exhausted:
+            self.times.append(TIMEOUT)
+            return TIMEOUT
+        elapsed, _ = time_call(fn)
+        self.times.append(elapsed)
+        if elapsed > self.soft_budget_s:
+            self._exhausted = True
+        return elapsed
+
+
+def measure_peak_memory(fn: Callable[[], Any]) -> tuple[int, Any]:
+    """Peak traced allocation (bytes) during ``fn()``; ``(peak, result)``."""
+    tracemalloc.start()
+    try:
+        result = fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, result
+
+
+def _format_cell(value: Any, width: int) -> str:
+    if isinstance(value, float):
+        text = "timeout" if value == TIMEOUT else f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(headers: list[str], rows: list[list[Any]], title: str = "") -> str:
+    """Render an aligned text table (Table 7 style)."""
+    str_rows = [
+        [("timeout" if isinstance(v, float) and v == TIMEOUT else f"{v:.3f}")
+         if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: list[Any],
+    series: dict[str, list[float]],
+    title: str = "",
+) -> str:
+    """Render figure-style series (one row per method, one column per x)."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = [[name] + list(times) for name, times in series.items()]
+    return format_table(headers, rows, title=title)

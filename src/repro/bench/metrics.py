@@ -1,0 +1,98 @@
+"""Grid comparison metrics.
+
+The paper argues exactness matters because approximate KDVs can mislead
+hotspot analysis.  These metrics quantify how far an approximate grid strays
+from the exact one, in the terms that matter to the application:
+
+* :func:`max_abs_error` / :func:`relative_linf` — worst-pixel error (the
+  guarantee Z-order/aKDE trade away);
+* :func:`rmse` — average-case error;
+* :func:`hotspot_jaccard` — do the two grids *identify the same hotspots*?
+  (Jaccard overlap of the top-quantile pixel sets);
+* :func:`peak_displacement` — how far the reported hottest pixel moved, in
+  pixels.
+
+Used by the accuracy/efficiency trade-off benchmark and available to users
+evaluating their own tolerance settings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "max_abs_error",
+    "relative_linf",
+    "rmse",
+    "hotspot_jaccard",
+    "peak_displacement",
+]
+
+
+def _check(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"grid shapes differ: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("grids are empty")
+    return a, b
+
+
+def max_abs_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """L-infinity distance between the grids."""
+    approx, exact = _check(approx, exact)
+    return float(np.abs(approx - exact).max())
+
+
+def relative_linf(approx: np.ndarray, exact: np.ndarray) -> float:
+    """L-infinity error relative to the exact grid's peak (0 when both
+    grids are identically zero)."""
+    approx, exact = _check(approx, exact)
+    peak = float(exact.max())
+    err = float(np.abs(approx - exact).max())
+    if peak == 0.0:
+        return 0.0 if err == 0.0 else math.inf
+    return err / peak
+
+
+def rmse(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Root-mean-square error over all pixels."""
+    approx, exact = _check(approx, exact)
+    return float(np.sqrt(((approx - exact) ** 2).mean()))
+
+
+def hotspot_jaccard(
+    approx: np.ndarray, exact: np.ndarray, quantile: float = 0.99
+) -> float:
+    """Jaccard overlap of the two grids' top-``quantile`` pixel sets.
+
+    1.0 means the approximate map flags exactly the same hotspots; values
+    below ~0.8 mean an analyst would be shown visibly different hotspots.
+    Both masks are taken against each grid's own positive-density quantile.
+    """
+    approx, exact = _check(approx, exact)
+    if not 0.0 < quantile < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+
+    def mask(grid: np.ndarray) -> np.ndarray:
+        positive = grid[grid > 0]
+        if positive.size == 0:
+            return np.zeros(grid.shape, dtype=bool)
+        return grid >= np.quantile(positive, quantile)
+
+    a_mask, e_mask = mask(approx), mask(exact)
+    union = (a_mask | e_mask).sum()
+    if union == 0:
+        return 1.0
+    return float((a_mask & e_mask).sum() / union)
+
+
+def peak_displacement(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Euclidean pixel distance between the two grids' argmax pixels."""
+    approx, exact = _check(approx, exact)
+    ay, ax = np.unravel_index(np.argmax(approx), approx.shape)
+    ey, ex = np.unravel_index(np.argmax(exact), exact.shape)
+    return float(math.hypot(float(ax) - float(ex), float(ay) - float(ey)))

@@ -1,0 +1,323 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``compute``
+    Compute a KDV from a CSV dataset (or a built-in synthetic city) and
+    write a heat-map image plus an optional ASCII preview.
+``datasets``
+    List the built-in synthetic datasets and their Table-5 scales.
+``methods``
+    List the registered KDV methods with complexity and exactness.
+``generate``
+    Generate a synthetic city dataset and save it as CSV.
+``hotspots``
+    Extract discrete hotspots (location, area, peak) from a dataset.
+``stkdv``
+    Render a spatio-temporal KDV frame sequence to numbered PPM files.
+``nkdv``
+    Network KDV over a synthetic street grid, rendered to PPM.
+
+Examples
+--------
+::
+
+    python -m repro datasets
+    python -m repro generate seattle --scale 0.01 -o seattle.csv
+    python -m repro compute seattle.csv -o hotspots.ppm --size 640x480
+    python -m repro compute --dataset new_york --scale 0.005 --kernel quartic \
+        --method slam_bucket_rao --preview
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import __version__
+from .core.api import METHODS, compute_kdv, method_names
+from .data.datasets import DATASETS, dataset_names, full_size, load_dataset
+from .data.io import load_csv, save_csv
+from .viz.image import ascii_preview
+
+__all__ = ["main", "build_parser"]
+
+_COMPLEXITY = {
+    "scan": "O(XYn)",
+    "rqs_kd": "O(XYn)",
+    "rqs_ball": "O(XYn)",
+    "rqs_rtree": "O(XYn)",
+    "zorder": "O(XYm), m = sample size",
+    "akde": "O(XYn) worst case",
+    "akde_dual": "O((XY + n) polylog) typical",
+    "binned_fft": "O(n + XY log XY), binning error",
+    "quad": "O(XYn) worst case",
+    "slam_sort": "O(Y(X + n log n))",
+    "slam_bucket": "O(Y(X + n))",
+    "slam_sort_rao": "O(min(X,Y)(max(X,Y) + n log n))",
+    "slam_bucket_rao": "O(min(X,Y)(max(X,Y) + n))",
+}
+
+
+def _parse_size(text: str) -> tuple[int, int]:
+    try:
+        w, h = text.lower().split("x")
+        size = (int(w), int(h))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"size must look like 1280x960, got {text!r}"
+        ) from None
+    if size[0] < 1 or size[1] < 1:
+        raise argparse.ArgumentTypeError("size must be at least 1x1")
+    return size
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLAM: efficient sweep line algorithms for KDV (SIGMOD 2022)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compute = sub.add_parser("compute", help="compute a KDV heat map")
+    p_compute.add_argument("csv", nargs="?", help="input CSV with x,y[,t][,category]")
+    p_compute.add_argument(
+        "--dataset", choices=dataset_names(), help="use a built-in synthetic dataset"
+    )
+    p_compute.add_argument("--scale", type=float, default=0.01,
+                           help="built-in dataset scale (default 0.01)")
+    p_compute.add_argument("-o", "--output", default="kdv.ppm",
+                           help="output PPM path (default kdv.ppm)")
+    p_compute.add_argument("--size", type=_parse_size, default=(640, 480),
+                           help="resolution XxY (default 640x480)")
+    p_compute.add_argument("--kernel", default="epanechnikov",
+                           choices=("uniform", "epanechnikov", "quartic"))
+    p_compute.add_argument("--bandwidth", default="scott",
+                           help="bandwidth in meters, or 'scott' (default)")
+    p_compute.add_argument("--method", default="slam_bucket_rao",
+                           choices=method_names())
+    p_compute.add_argument("--colormap", default="heat",
+                           choices=("heat", "viridis", "gray"))
+    p_compute.add_argument("--preview", action="store_true",
+                           help="print an ASCII preview to stdout")
+
+    sub.add_parser("datasets", help="list built-in synthetic datasets")
+    sub.add_parser("methods", help="list KDV methods")
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic dataset CSV")
+    p_gen.add_argument("dataset", choices=dataset_names())
+    p_gen.add_argument("--scale", type=float, default=0.01)
+    p_gen.add_argument("--seed", type=int, default=None)
+    p_gen.add_argument("-o", "--output", required=True, help="output CSV path")
+
+    p_hot = sub.add_parser("hotspots", help="extract discrete hotspots")
+    p_hot.add_argument("csv", nargs="?", help="input CSV with x,y columns")
+    p_hot.add_argument("--dataset", choices=dataset_names())
+    p_hot.add_argument("--scale", type=float, default=0.01)
+    p_hot.add_argument("--size", type=_parse_size, default=(320, 240))
+    p_hot.add_argument("--bandwidth", default="scott")
+    p_hot.add_argument("--quantile", type=float, default=0.99,
+                       help="density quantile defining hotspots (default 0.99)")
+    p_hot.add_argument("--top", type=int, default=10,
+                       help="print at most this many hotspots")
+
+    p_st = sub.add_parser("stkdv", help="spatio-temporal KDV frame sequence")
+    p_st.add_argument("csv", nargs="?", help="input CSV with x,y,t columns")
+    p_st.add_argument("--dataset", choices=dataset_names())
+    p_st.add_argument("--scale", type=float, default=0.01)
+    p_st.add_argument("--frames", type=int, default=12)
+    p_st.add_argument("--size", type=_parse_size, default=(320, 240))
+    p_st.add_argument("--temporal-kernel", default="epanechnikov",
+                      choices=("box", "triangular", "epanechnikov"))
+    p_st.add_argument("-o", "--output-prefix", default="stkdv",
+                      help="frames are written as <prefix>_0000.ppm ...")
+
+    p_net = sub.add_parser("nkdv", help="network KDV on a synthetic street grid")
+    p_net.add_argument("csv", nargs="?", help="input CSV with x,y columns")
+    p_net.add_argument("--dataset", choices=dataset_names())
+    p_net.add_argument("--scale", type=float, default=0.005)
+    p_net.add_argument("--grid", type=_parse_size, default=(20, 15),
+                       help="street grid intersections as CxR (default 20x15)")
+    p_net.add_argument("--lixel", type=float, default=30.0,
+                       help="lixel length in meters (default 30)")
+    p_net.add_argument("--bandwidth", type=float, default=400.0,
+                       help="network-distance bandwidth in meters")
+    p_net.add_argument("-o", "--output", default="nkdv.ppm")
+    return parser
+
+
+def _cmd_compute(args: argparse.Namespace) -> int:
+    if bool(args.csv) == bool(args.dataset):
+        print("error: provide either a CSV path or --dataset (not both)",
+              file=sys.stderr)
+        return 2
+    if args.dataset:
+        points = load_dataset(args.dataset, scale=args.scale)
+    else:
+        points = load_csv(args.csv)
+    if len(points) == 0:
+        print("error: dataset is empty", file=sys.stderr)
+        return 2
+    bandwidth: "float | str" = args.bandwidth
+    if bandwidth != "scott":
+        try:
+            bandwidth = float(bandwidth)
+        except ValueError:
+            print(f"error: bad bandwidth {args.bandwidth!r}", file=sys.stderr)
+            return 2
+
+    start = time.perf_counter()
+    result = compute_kdv(
+        points,
+        size=args.size,
+        kernel=args.kernel,
+        bandwidth=bandwidth,
+        method=args.method,
+    )
+    elapsed = time.perf_counter() - start
+    result.save_ppm(args.output, colormap=args.colormap)
+    print(
+        f"n={len(points):,}  {args.size[0]}x{args.size[1]}  "
+        f"kernel={result.kernel}  b={result.bandwidth:,.1f}  "
+        f"method={result.method}  {elapsed:.3f}s"
+    )
+    print(f"wrote {args.output}")
+    if args.preview:
+        print(ascii_preview(result.grid_image()))
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    print(f"{'name':15s} {'full size':>12s}  category")
+    for name in dataset_names():
+        model, _n, _seed = DATASETS[name]
+        kind = {"seattle": "crime events", "los_angeles": "crime events",
+                "new_york": "traffic accidents", "san_francisco": "311 calls"}[name]
+        print(f"{name:15s} {full_size(name):>12,}  {kind}")
+    return 0
+
+
+def _cmd_methods(_args: argparse.Namespace) -> int:
+    print(f"{'method':17s} {'exact':6s} complexity")
+    for name in method_names():
+        _fn, exact = METHODS[name]
+        print(f"{name:17s} {'yes' if exact else 'no':6s} {_COMPLEXITY[name]}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    points = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    save_csv(points, args.output)
+    print(f"wrote {len(points):,} events to {args.output}")
+    return 0
+
+
+def _load_points(args: argparse.Namespace):
+    """Shared CSV-or-builtin dataset resolution; returns points or None."""
+    if bool(args.csv) == bool(args.dataset):
+        print("error: provide either a CSV path or --dataset (not both)",
+              file=sys.stderr)
+        return None
+    points = (
+        load_dataset(args.dataset, scale=args.scale)
+        if args.dataset
+        else load_csv(args.csv)
+    )
+    if len(points) == 0:
+        print("error: dataset is empty", file=sys.stderr)
+        return None
+    return points
+
+
+def _cmd_hotspots(args: argparse.Namespace) -> int:
+    from .analysis import extract_hotspots
+
+    points = _load_points(args)
+    if points is None:
+        return 2
+    bandwidth: "float | str" = args.bandwidth
+    if bandwidth != "scott":
+        bandwidth = float(bandwidth)
+    result = compute_kdv(points, size=args.size, bandwidth=bandwidth)
+    spots = extract_hotspots(result, quantile=args.quantile)
+    print(f"n={len(points):,}  b={result.bandwidth:,.1f}  "
+          f"{len(spots)} hotspot(s) at quantile {args.quantile}")
+    print(f"{'rank':>4s} {'peak density':>14s} {'pixels':>7s} "
+          f"{'area (km^2)':>12s}  peak at (m)")
+    for rank, spot in enumerate(spots[: args.top], start=1):
+        px, py = spot.peak_xy
+        print(f"{rank:4d} {spot.peak_density:14.4e} {spot.pixel_area:7d} "
+              f"{spot.world_area / 1e6:12.4f}  ({px:,.0f}, {py:,.0f})")
+    return 0
+
+
+def _cmd_stkdv(args: argparse.Namespace) -> int:
+    from .extensions.temporal import compute_stkdv
+
+    points = _load_points(args)
+    if points is None:
+        return 2
+    if points.t is None:
+        print("error: dataset has no 't' column (timestamps required)",
+              file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    st = compute_stkdv(
+        points,
+        times=args.frames,
+        temporal_kernel=args.temporal_kernel,
+        size=args.size,
+    )
+    paths = st.save_ppm_sequence(args.output_prefix)
+    elapsed = time.perf_counter() - start
+    print(f"n={len(points):,}  {args.frames} frames  "
+          f"b_t={st.temporal_bandwidth:,.0f}s  {elapsed:.3f}s total")
+    print(f"wrote {paths[0]} .. {paths[-1]}")
+    print(f"peak activity in frame {st.peak_frame()}")
+    return 0
+
+
+def _cmd_nkdv(args: argparse.Namespace) -> int:
+    from .network import compute_nkdv, street_grid
+    from .viz.image import write_ppm
+
+    points = _load_points(args)
+    if points is None:
+        return 2
+    # fit a street grid over the data's extent
+    xmin, ymin, xmax, ymax = points.bounds()
+    cols, rows = args.grid
+    spacing = max((xmax - xmin) / max(cols - 1, 1), (ymax - ymin) / max(rows - 1, 1))
+    spacing = max(spacing, 1.0)
+    network = street_grid(cols, rows, spacing=spacing, origin=(xmin, ymin))
+    start = time.perf_counter()
+    result = compute_nkdv(
+        network, points, lixel_length=args.lixel, bandwidth=args.bandwidth
+    )
+    elapsed = time.perf_counter() - start
+    write_ppm(args.output, result.to_image((960, 720)))
+    print(f"n={len(points):,}  {network.num_edges} road segments  "
+          f"{len(result):,} lixels  b={args.bandwidth:,.0f} m  {elapsed:.3f}s")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "compute": _cmd_compute,
+        "datasets": _cmd_datasets,
+        "methods": _cmd_methods,
+        "generate": _cmd_generate,
+        "hotspots": _cmd_hotspots,
+        "stkdv": _cmd_stkdv,
+        "nkdv": _cmd_nkdv,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""The paper's primary contribution: SLAM sweep-line KDV algorithms."""
+
+from .api import compute_kdv, method_names
+from .kernels import get_kernel
+from .result import KDVResult
+
+__all__ = ["compute_kdv", "method_names", "get_kernel", "KDVResult"]

@@ -1,0 +1,226 @@
+"""Public KDV API.
+
+:func:`compute_kdv` is the single entry point a downstream user needs: pick a
+dataset, a region/resolution, a kernel, a bandwidth, and a method, get back a
+:class:`repro.core.result.KDVResult`.
+
+Method registry (the paper's Table 6):
+
+==================  =====  ==========================================
+name                exact  description
+==================  =====  ==========================================
+scan                yes    naive O(XYn) scan
+rqs_kd              yes    range queries on a kd-tree
+rqs_ball            yes    range queries on a ball tree
+rqs_rtree           yes    range queries on an STR R-tree (extension)
+zorder              no     Z-order curve sampling [Zheng et al. 2013]
+akde                no     bound-based tree pruning [Gray & Moore 2003]
+akde_dual           no     dual-tree aKDE (extension; Gray & Moore's
+                           full proposal)
+binned_fft          no     binning + FFT convolution (extension; the
+                           practice-standard approximation)
+quad                yes    quadratic-bound kd-tree [Chan et al. 2020]
+slam_sort           yes    Algorithm 1, O(Y(X + n log n))
+slam_bucket         yes    Algorithm 2, O(Y(X + n))
+slam_sort_rao       yes    Algorithm 1 + RAO, O(min(X,Y)(max(X,Y)+n log n))
+slam_bucket_rao     yes    Algorithm 2 + RAO, O(min(X,Y)(max(X,Y)+n)) —
+                           the paper's best method and our default
+==================  =====  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..baselines.akde import akde_grid
+from ..baselines.akde_dual import akde_dual_grid
+from ..baselines.binned_fft import binned_fft_grid
+from ..baselines.quad import quad_grid
+from ..baselines.rqs import rqs_ball_grid, rqs_kd_grid, rqs_rtree_grid
+from ..baselines.scan import scan_grid
+from ..baselines.zorder import zorder_grid
+from ..data.points import PointSet
+from ..viz.bandwidth import scott_bandwidth
+from ..viz.region import Raster, Region
+from .kernels import Kernel, get_kernel
+from .rao import with_rao
+from .result import KDVResult
+from .slam_bucket import slam_bucket_grid
+from .slam_sort import slam_sort_grid
+
+__all__ = [
+    "compute_kdv",
+    "METHODS",
+    "EXACT_METHODS",
+    "APPROXIMATE_METHODS",
+    "method_names",
+]
+
+GridFn = Callable[..., np.ndarray]
+
+
+def _slam_fn(table: dict[str, GridFn], rao: bool) -> Callable[..., np.ndarray]:
+    def fn(xy, raster, kernel, bandwidth, engine="numpy", **kwargs):
+        base = table[engine]
+        if rao:
+            return with_rao(base)(xy, raster, kernel, bandwidth, **kwargs)
+        return base(xy, raster, kernel, bandwidth, **kwargs)
+
+    return fn
+
+
+def _plain(fn: GridFn) -> Callable[..., np.ndarray]:
+    def wrapped(xy, raster, kernel, bandwidth, engine="numpy", **kwargs):
+        # SCAN / RQS / Z-order have a single implementation; "engine" is
+        # accepted for interface uniformity and ignored.
+        return fn(xy, raster, kernel, bandwidth, **kwargs)
+
+    return wrapped
+
+
+def _engined(fn: GridFn) -> Callable[..., np.ndarray]:
+    def wrapped(xy, raster, kernel, bandwidth, engine="numpy", **kwargs):
+        return fn(xy, raster, kernel, bandwidth, engine=engine, **kwargs)
+
+    return wrapped
+
+
+#: method name -> (grid function, exact?)
+METHODS: dict[str, tuple[Callable[..., np.ndarray], bool]] = {
+    "scan": (_plain(scan_grid), True),
+    "rqs_kd": (_plain(rqs_kd_grid), True),
+    "rqs_ball": (_plain(rqs_ball_grid), True),
+    "rqs_rtree": (_plain(rqs_rtree_grid), True),
+    "zorder": (_plain(zorder_grid), False),
+    "akde": (_engined(akde_grid), False),
+    "akde_dual": (_plain(akde_dual_grid), False),
+    "binned_fft": (_plain(binned_fft_grid), False),
+    "quad": (_engined(quad_grid), True),
+    "slam_sort": (_slam_fn(slam_sort_grid, rao=False), True),
+    "slam_bucket": (_slam_fn(slam_bucket_grid, rao=False), True),
+    "slam_sort_rao": (_slam_fn(slam_sort_grid, rao=True), True),
+    "slam_bucket_rao": (_slam_fn(slam_bucket_grid, rao=True), True),
+}
+
+EXACT_METHODS = tuple(name for name, (_, exact) in METHODS.items() if exact)
+APPROXIMATE_METHODS = tuple(name for name, (_, exact) in METHODS.items() if not exact)
+
+_NORMALIZATIONS = ("none", "count", "density")
+
+
+def method_names() -> tuple[str, ...]:
+    """All registered method names, in Table 6 order."""
+    return tuple(METHODS)
+
+
+def compute_kdv(
+    points: "PointSet | np.ndarray",
+    region: Region | None = None,
+    size: tuple[int, int] = (1280, 960),
+    kernel: "str | Kernel" = "epanechnikov",
+    bandwidth: "float | str" = "scott",
+    method: str = "slam_bucket_rao",
+    engine: str = "numpy",
+    normalization: str = "count",
+    weights: np.ndarray | None = None,
+    **method_kwargs,
+) -> KDVResult:
+    """Compute a kernel density visualization.
+
+    Parameters
+    ----------
+    points:
+        A :class:`~repro.data.points.PointSet` or an ``(n, 2)`` array.
+    region:
+        World-coordinate rectangle to render; defaults to the dataset MBR.
+    size:
+        ``(X, Y)`` resolution in pixels (paper default 1280 x 960).
+    kernel:
+        ``"uniform"``, ``"epanechnikov"`` (default, as in the paper),
+        ``"quartic"``, or a :class:`~repro.core.kernels.Kernel` instance.
+    bandwidth:
+        A positive float in world units, or ``"scott"`` for Scott's rule
+        (the paper's default).
+    method:
+        One of :func:`method_names`.
+    engine:
+        ``"numpy"`` (vectorized, default) or ``"python"`` (literal
+        transcription of the published pseudocode) where available.
+    normalization:
+        ``"none"`` (raw kernel sums, w = 1), ``"count"`` (w = 1/n, default;
+        1/total-weight for weighted datasets), or ``"density"`` (proper 2-D
+        density estimate).
+    weights:
+        Optional ``(n,)`` non-negative per-point weights (e.g. accident
+        severity).  Defaults to the :class:`PointSet`'s ``w`` field when one
+        is set.  All methods support weighting; the density becomes
+        ``sum_p w_p K(q, p)``.
+    method_kwargs:
+        Extra options forwarded to the method (e.g. ``tolerance`` for aKDE,
+        ``sample_size`` for Z-order, ``leaf_size`` for tree methods).
+
+    Returns
+    -------
+    :class:`~repro.core.result.KDVResult`
+    """
+    if isinstance(points, PointSet):
+        xy = points.xy
+        if weights is None and points.w is not None:
+            weights = points.w
+    else:
+        xy = np.asarray(points, dtype=np.float64)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) coordinates, got shape {xy.shape}")
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; available: {method_names()}")
+    if normalization not in _NORMALIZATIONS:
+        raise ValueError(
+            f"unknown normalization {normalization!r}; available: {_NORMALIZATIONS}"
+        )
+    kernel_obj = get_kernel(kernel)
+    if region is None:
+        if len(xy) == 0:
+            raise ValueError("region is required for an empty dataset")
+        region = Region.from_points(xy)
+    width, height = size
+    raster = Raster(region, int(width), int(height))
+
+    if bandwidth == "scott":
+        bandwidth_value = scott_bandwidth(xy)
+    else:
+        bandwidth_value = float(bandwidth)
+        if bandwidth_value <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_value}")
+
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(xy),):
+            raise ValueError(
+                f"weights must have shape ({len(xy)},), got {weights.shape}"
+            )
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be finite and non-negative")
+        method_kwargs = {**method_kwargs, "weights": weights}
+
+    grid_fn, exact = METHODS[method]
+    grid = grid_fn(xy, raster, kernel_obj, bandwidth_value, engine=engine, **method_kwargs)
+
+    n = len(xy)
+    total_mass = float(weights.sum()) if weights is not None else float(n)
+    if normalization == "count" and total_mass > 0:
+        grid = grid / total_mass
+    elif normalization == "density" and total_mass > 0:
+        grid = grid * (kernel_obj.normalizer(bandwidth_value) / total_mass)
+
+    return KDVResult(
+        grid=grid,
+        raster=raster,
+        kernel=kernel_obj.name,
+        bandwidth=bandwidth_value,
+        method=method,
+        normalization=normalization,
+        n_points=n,
+        exact=exact,
+    )

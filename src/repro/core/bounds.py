@@ -1,0 +1,55 @@
+"""Per-row lower/upper bound intervals (paper Section 3.3).
+
+For each envelope point ``p`` of a row at y-coordinate ``k``, the pixels of the
+row that ``p`` contributes to are exactly those with
+
+    LB_k(p) <= q.x <= UB_k(p)
+
+where (paper Equations 8-9)
+
+    LB_k(p) = p.x - sqrt(b^2 - (k - p.y)^2)
+    UB_k(p) = p.x + sqrt(b^2 - (k - p.y)^2)
+
+Every envelope point satisfies ``|k - p.y| <= b``, so the radicand is
+non-negative by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["row_bounds"]
+
+
+def row_bounds(
+    envelope_xy: np.ndarray, k: float, bandwidth: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute ``(LB_k, UB_k)`` arrays for the envelope points of one row.
+
+    Parameters
+    ----------
+    envelope_xy:
+        ``(m, 2)`` coordinates of the points in ``E(k)``.
+    k:
+        The row's y coordinate.
+    bandwidth:
+        The kernel bandwidth ``b``.
+
+    Returns
+    -------
+    Two ``(m,)`` float64 arrays, the lower and upper bound x values.
+
+    Raises
+    ------
+    ValueError
+        If some point is not actually inside the envelope (negative radicand),
+        which indicates a caller bug.
+    """
+    envelope_xy = np.asarray(envelope_xy, dtype=np.float64)
+    dy = k - envelope_xy[:, 1]
+    radicand = bandwidth * bandwidth - dy * dy
+    if len(radicand) and radicand.min() < 0.0:
+        raise ValueError("point outside envelope passed to row_bounds (|k - p.y| > b)")
+    half_width = np.sqrt(radicand)
+    px = envelope_xy[:, 0]
+    return px - half_width, px + half_width

@@ -1,0 +1,82 @@
+"""Envelope point sets (paper Definition 1).
+
+For a pixel row at y-coordinate ``k``, the envelope point set
+
+    E(k) = { p in P : |k - p.y| <= b }
+
+contains every point that can contribute to *any* pixel of that row, because a
+point farther than ``b`` from the row in y alone is farther than ``b`` from
+every pixel of the row.
+
+Two extraction strategies are provided:
+
+* :func:`envelope_scan` — the paper's Lemma 1 strategy: a full O(n) scan.
+  This is what the complexity analysis assumes.
+* :class:`YSortedIndex` — points pre-sorted by y once (O(n log n) overall);
+  each row's envelope is then a contiguous slice found by binary search in
+  O(log n + |E(k)|).  Strictly faster in practice, identical output up to
+  point order.  DESIGN.md lists this as an ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["envelope_scan", "YSortedIndex"]
+
+
+def envelope_scan(xy: np.ndarray, k: float, bandwidth: float) -> np.ndarray:
+    """Return E(k) row indices by a full scan of the dataset (Lemma 1).
+
+    Parameters
+    ----------
+    xy:
+        ``(n, 2)`` point coordinates.
+    k:
+        The row's y coordinate.
+    bandwidth:
+        The kernel bandwidth ``b``.
+
+    Returns
+    -------
+    Integer index array into ``xy`` selecting the envelope points, in
+    dataset order.
+    """
+    xy = np.asarray(xy, dtype=np.float64)
+    mask = np.abs(k - xy[:, 1]) <= bandwidth
+    return np.nonzero(mask)[0]
+
+
+class YSortedIndex:
+    """Points sorted by y coordinate for fast envelope slicing.
+
+    Build once per dataset (per KDV invocation); reuse across all ``Y`` rows.
+    """
+
+    def __init__(self, xy: np.ndarray):
+        xy = np.asarray(xy, dtype=np.float64)
+        order = np.argsort(xy[:, 1], kind="stable")
+        #: points re-ordered by ascending y, shape (n, 2)
+        self.sorted_xy = xy[order]
+        #: the ascending y view used for the binary searches
+        self.sorted_y = self.sorted_xy[:, 1]
+        #: original dataset index of each sorted position
+        self.order = order
+
+    def __len__(self) -> int:
+        return len(self.sorted_xy)
+
+    def envelope_slice(self, k: float, bandwidth: float) -> slice:
+        """The contiguous slice of :attr:`sorted_xy` that forms ``E(k)``."""
+        lo = int(np.searchsorted(self.sorted_y, k - bandwidth, side="left"))
+        hi = int(np.searchsorted(self.sorted_y, k + bandwidth, side="right"))
+        return slice(lo, hi)
+
+    def envelope_points(self, k: float, bandwidth: float) -> np.ndarray:
+        """``E(k)`` as an ``(m, 2)`` coordinate array (a view, not a copy)."""
+        return self.sorted_xy[self.envelope_slice(k, bandwidth)]
+
+    def envelope_indices(self, k: float, bandwidth: float) -> np.ndarray:
+        """``E(k)`` as original-dataset indices (for parity with
+        :func:`envelope_scan` in tests)."""
+        return self.order[self.envelope_slice(k, bandwidth)]

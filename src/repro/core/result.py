@@ -1,0 +1,84 @@
+"""KDV result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..viz.region import Raster
+
+__all__ = ["KDVResult"]
+
+
+@dataclass(frozen=True)
+class KDVResult:
+    """The outcome of one KDV computation.
+
+    Attributes
+    ----------
+    grid:
+        ``(Y, X)`` float64 density values; row 0 is the *southernmost* pixel
+        row (ascending y).  Use :meth:`grid_image` for the screen-oriented
+        (north-up) view.
+    raster:
+        The pixel raster the grid was evaluated on.
+    kernel:
+        Kernel name.
+    bandwidth:
+        The bandwidth ``b`` used, in world units.
+    method:
+        Method registry name (e.g. ``"slam_bucket_rao"``).
+    normalization:
+        The normalization mode applied to the raw kernel sums.
+    n_points:
+        Dataset size the grid was computed from.
+    exact:
+        Whether the method guarantees exact density values.
+    """
+
+    grid: np.ndarray
+    raster: Raster
+    kernel: str
+    bandwidth: float
+    method: str
+    normalization: str
+    n_points: int
+    exact: bool
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.grid.shape
+
+    def grid_image(self) -> np.ndarray:
+        """The grid flipped to screen orientation (row 0 = northernmost)."""
+        return self.grid[::-1]
+
+    def max_density(self) -> float:
+        return float(self.grid.max()) if self.grid.size else 0.0
+
+    def hotspot_pixels(self, quantile: float = 0.99) -> np.ndarray:
+        """Boolean mask of pixels at or above the given density quantile.
+
+        A simple hotspot-detection helper: the paper's Figure 1 colors the
+        top densities red; this returns that mask for downstream analysis.
+        """
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        positive = self.grid[self.grid > 0]
+        if positive.size == 0:
+            return np.zeros_like(self.grid, dtype=bool)
+        threshold = np.quantile(positive, quantile)
+        return self.grid >= threshold
+
+    def to_image(self, colormap: str = "heat"):
+        """Render through a colormap; see :mod:`repro.viz.colormap`."""
+        from ..viz.colormap import apply_colormap
+
+        return apply_colormap(self.grid_image(), colormap)
+
+    def save_ppm(self, path: str, colormap: str = "heat") -> None:
+        """Write the rendered heat map as a binary PPM file."""
+        from ..viz.image import write_ppm
+
+        write_ppm(path, self.to_image(colormap))

@@ -1,0 +1,168 @@
+"""Shared row-sweep driver for the SLAM algorithms.
+
+Both SLAM variants process the raster one pixel row at a time (paper
+Figure 4): extract the envelope point set ``E(k)`` for the row's y-coordinate
+``k``, turn each envelope point into an x-interval ``[LB_k(p), UB_k(p)]``
+(Section 3.3), and hand the intervals plus the row's pixel x-centers to a
+*row engine* that performs the actual sweep.  The engines differ only in how
+they order interval endpoints against pixels — sorting (Algorithm 1) versus
+bucketing (Algorithm 2) — so everything else lives here.
+
+Numerical conditioning
+----------------------
+The aggregate recombination (Equation 5 and the quartic expansion) subtracts
+large like-sized terms, so raw projected coordinates (|x| up to 1e6 m) would
+lose precision.  The driver therefore evaluates every row in a *scaled local
+frame*: coordinates are shifted so the row center is the origin and divided by
+the bandwidth.  Distances scale by ``1/b``, so the engines evaluate kernels
+with bandwidth 1; densities are invariant because the kernels of Table 2
+depend only on ``dist/b``.  This changes nothing algorithmically — it is a
+units change — and keeps every intermediate quantity O((W/b)^2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..viz.region import Raster
+from .envelope import YSortedIndex
+from .kernels import Kernel, channel_values
+
+__all__ = ["RowEngine", "sweep_kdv", "row_frame"]
+
+
+class RowEngine(Protocol):
+    """Signature of a per-row sweep implementation.
+
+    All inputs are in the scaled local frame (bandwidth 1, row at y = 0):
+
+    ``xs``     -- pixel-center x coordinates, strictly increasing, shape (X,)
+    ``lb/ub``  -- interval endpoints per envelope point, shape (m,)
+    ``chans``  -- aggregate channel values per envelope point, shape (m, nch)
+    ``kernel`` -- the kernel whose aggregates ``chans`` encodes
+
+    Returns the row's ``sum_{p in R(q)} K(q, p)`` values, shape (X,).
+    """
+
+    def __call__(
+        self,
+        xs: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        chans: np.ndarray,
+        kernel: Kernel,
+    ) -> np.ndarray: ...
+
+
+def row_frame(
+    envelope_xy: np.ndarray, k: float, cx: float, bandwidth: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Map a row's envelope points into the scaled local frame.
+
+    Returns ``(u, v, half)`` where ``(u, v)`` are the scaled coordinates
+    relative to ``(cx, k)`` and ``half`` is the scaled interval half-width
+    ``sqrt(1 - v^2)`` so that ``lb = u - half`` and ``ub = u + half``
+    (the scaled form of paper Equations 8-9).
+    """
+    u = (envelope_xy[:, 0] - cx) / bandwidth
+    v = (envelope_xy[:, 1] - k) / bandwidth
+    radicand = 1.0 - v * v
+    # Envelope membership guarantees |v| <= 1; clamp the tiny negative values
+    # float rounding can produce at the envelope boundary.
+    np.clip(radicand, 0.0, None, out=radicand)
+    return u, v, np.sqrt(radicand)
+
+
+def sweep_kdv(
+    xy: np.ndarray,
+    raster: Raster,
+    kernel: Kernel,
+    bandwidth: float,
+    row_engine: RowEngine,
+    ysorted: YSortedIndex | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute the raw KDV grid ``sum_p w_p K(q, p)`` with a row-sweep engine.
+
+    Parameters
+    ----------
+    xy:
+        ``(n, 2)`` point coordinates.
+    raster:
+        The pixel grid to evaluate.
+    kernel:
+        A finite-support kernel with an aggregate decomposition.
+    bandwidth:
+        The kernel bandwidth ``b`` in world units.
+    row_engine:
+        One of the SLAM row implementations.
+    ysorted:
+        Optional pre-built y-sorted index (reused across exploratory calls).
+    weights:
+        Optional ``(n,)`` per-point weights (w_p = 1 when omitted).  Weighting
+        scales each point's aggregate channels, so the sweep itself is
+        unchanged and the complexity guarantees still hold.
+
+    Returns
+    -------
+    ``(Y, X)`` float64 grid of un-normalized density values.
+    """
+    if kernel.num_channels is None:
+        raise ValueError(
+            f"kernel {kernel.name!r} has no aggregate decomposition; "
+            "SLAM supports uniform, epanechnikov, and quartic kernels"
+        )
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    xy = np.asarray(xy, dtype=np.float64)
+    if ysorted is None:
+        ysorted = YSortedIndex(xy)
+    sorted_weights = None
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(xy),):
+            raise ValueError(
+                f"weights must have shape ({len(xy)},), got {weights.shape}"
+            )
+        sorted_weights = weights[ysorted.order]
+
+    cx = (raster.region.xmin + raster.region.xmax) / 2.0
+    xs_scaled = (raster.x_centers() - cx) / bandwidth
+    grid = np.zeros(raster.shape, dtype=np.float64)
+    nch = kernel.num_channels
+
+    for j, k in enumerate(raster.y_centers()):
+        env_slice = ysorted.envelope_slice(k, bandwidth)
+        env = ysorted.sorted_xy[env_slice]
+        if len(env) == 0:
+            continue
+        u, v, half = row_frame(env, k, cx, bandwidth)
+        row_weights = None if sorted_weights is None else sorted_weights[env_slice]
+        chans = channel_values(np.column_stack((u, v)), nch, weights=row_weights)
+        grid[j] = row_engine(xs_scaled, u - half, u + half, chans, kernel)
+    # Undo the bandwidth scaling for kernels whose value depends on b
+    # directly (the uniform kernel's 1/b plateau); see Kernel.rescale_factor.
+    factor = kernel.rescale_factor(bandwidth)
+    if factor != 1.0:
+        grid *= factor
+    return grid
+
+
+def make_grid_function(row_engine: RowEngine) -> Callable[..., np.ndarray]:
+    """Bind a row engine into a grid-level compute function."""
+
+    def grid_fn(
+        xy: np.ndarray,
+        raster: Raster,
+        kernel: Kernel,
+        bandwidth: float,
+        ysorted: YSortedIndex | None = None,
+        weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return sweep_kdv(
+            xy, raster, kernel, bandwidth, row_engine, ysorted=ysorted, weights=weights
+        )
+
+    return grid_fn

@@ -1,0 +1,19 @@
+"""Datasets: containers, synthetic generators, sampling, and I/O."""
+
+from .datasets import dataset_names, load_dataset
+from .generators import CityModel, generate_city
+from .io import load_csv, save_csv
+from .points import PointSet
+from .sampling import sample_without_replacement, size_sweep
+
+__all__ = [
+    "PointSet",
+    "CityModel",
+    "generate_city",
+    "load_dataset",
+    "dataset_names",
+    "sample_without_replacement",
+    "size_sweep",
+    "load_csv",
+    "save_csv",
+]

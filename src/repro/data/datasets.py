@@ -1,0 +1,110 @@
+"""Synthetic stand-ins for the paper's four evaluation datasets (Table 5).
+
+=============  ==========  =================  =========================
+Paper dataset  size n      category           synthetic preset
+=============  ==========  =================  =========================
+Seattle        862,873     crime events       compact city, ~20x30 km
+Los Angeles    1,255,668   crime events       sprawling, ~80x70 km
+New York       1,499,928   traffic accidents  dense grid, ~40x45 km
+San Francisco  4,333,098   311 calls          small & very dense, 12x12 km
+=============  ==========  =================  =========================
+
+``load_dataset(name, scale=...)`` draws ``round(n_full * scale)`` events from
+the city's seeded generator.  ``scale=1.0`` reproduces the paper's full
+dataset sizes; the benchmarks default to a smaller scale so a full run
+finishes in minutes on a laptop and report the scale they used.  The
+substitution rationale is documented in DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from .generators import CityModel, generate_city
+from .points import PointSet
+
+__all__ = ["DATASETS", "dataset_names", "load_dataset", "full_size"]
+
+#: city presets: (model, full dataset size, deterministic seed)
+DATASETS: dict[str, tuple[CityModel, int, int]] = {
+    "seattle": (
+        CityModel(
+            name="seattle",
+            extent=(20_000.0, 30_000.0),
+            num_hotspots=3,
+            num_clusters=35,
+            hotspot_sigma=700.0,
+            cluster_sigma=250.0,
+            streets_per_axis=14,
+        ),
+        862_873,
+        101,
+    ),
+    "los_angeles": (
+        CityModel(
+            name="los_angeles",
+            extent=(80_000.0, 70_000.0),
+            num_hotspots=6,
+            num_clusters=80,
+            hotspot_sigma=1_800.0,
+            cluster_sigma=600.0,
+            streets_per_axis=20,
+        ),
+        1_255_668,
+        102,
+    ),
+    "new_york": (
+        CityModel(
+            name="new_york",
+            extent=(40_000.0, 45_000.0),
+            num_hotspots=5,
+            num_clusters=60,
+            hotspot_sigma=1_100.0,
+            cluster_sigma=400.0,
+            streets_per_axis=24,
+            mixture=(0.3, 0.3, 0.3, 0.1),
+        ),
+        1_499_928,
+        103,
+    ),
+    "san_francisco": (
+        CityModel(
+            name="san_francisco",
+            extent=(12_000.0, 12_000.0),
+            num_hotspots=4,
+            num_clusters=50,
+            hotspot_sigma=350.0,
+            cluster_sigma=150.0,
+            streets_per_axis=16,
+        ),
+        4_333_098,
+        104,
+    ),
+}
+
+
+def dataset_names() -> tuple[str, ...]:
+    """The four dataset names in Table 5 order."""
+    return tuple(DATASETS)
+
+
+def full_size(name: str) -> int:
+    """The paper's full dataset size for ``name``."""
+    _model, n_full, _seed = _lookup(name)
+    return n_full
+
+
+def _lookup(name: str) -> tuple[CityModel, int, int]:
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> PointSet:
+    """Generate the named synthetic dataset at ``scale`` of its full size."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    model, n_full, default_seed = _lookup(name)
+    n = max(1, int(round(n_full * scale)))
+    return generate_city(model, n, seed=default_seed if seed is None else seed)

@@ -1,0 +1,149 @@
+"""Synthetic city event generators.
+
+The paper evaluates on four open-government datasets (Seattle crimes, Los
+Angeles crimes, New York collisions, San Francisco 311 calls) that are not
+redistributable here, so we substitute seeded synthetic generators that
+reproduce the *properties the algorithms' costs depend on*:
+
+* dataset size ``n`` (presets match the papers' sizes, scalable);
+* a city-scale extent in projected meters;
+* strong multi-scale clustering: a few downtown-like dense hotspots, many
+  neighborhood clusters, plus a street-grid background (events snapped near
+  axis-aligned "streets") and uniform noise;
+* event timestamps spread over several years (for time-based filtering);
+* categorical attribute codes (for attribute-based filtering).
+
+The mixture weights and cluster spreads are per-city presets so the four
+synthetic datasets differ the way the real ones do (e.g. the SF stand-in is
+much larger and more tightly banded).  See :mod:`repro.data.datasets` for
+the presets; this module is the reusable generator machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .points import PointSet
+
+__all__ = ["CityModel", "generate_city"]
+
+_SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class CityModel:
+    """Parameters of a synthetic city's event process."""
+
+    name: str
+    #: city extent (width, height) in meters
+    extent: tuple[float, float]
+    #: number of dense downtown hotspots
+    num_hotspots: int = 4
+    #: number of smaller neighborhood clusters
+    num_clusters: int = 40
+    #: standard deviation of hotspot / cluster Gaussians, meters
+    hotspot_sigma: float = 800.0
+    cluster_sigma: float = 300.0
+    #: mixture weights: (hotspots, clusters, streets, uniform); normalized
+    mixture: tuple[float, float, float, float] = (0.35, 0.35, 0.2, 0.1)
+    #: number of street lines per axis for the street-grid component
+    streets_per_axis: int = 12
+    #: perpendicular jitter around a street line, meters
+    street_sigma: float = 60.0
+    #: number of attribute categories (e.g. crime types)
+    num_categories: int = 6
+    #: time range covered, in years ending at t = 0 .. span
+    time_span_years: float = 4.0
+    #: origin offset in projected meters, so coordinates are realistic
+    origin: tuple[float, float] = field(default=(500_000.0, 4_000_000.0))
+
+
+def _truncate_to_extent(
+    rng: np.random.Generator, xy: np.ndarray, extent: tuple[float, float]
+) -> np.ndarray:
+    """Resample out-of-extent points uniformly inside (keeps n fixed)."""
+    width, height = extent
+    out = (xy[:, 0] < 0) | (xy[:, 0] > width) | (xy[:, 1] < 0) | (xy[:, 1] > height)
+    m = int(out.sum())
+    if m:
+        xy[out, 0] = rng.uniform(0, width, m)
+        xy[out, 1] = rng.uniform(0, height, m)
+    return xy
+
+
+def generate_city(model: CityModel, n: int, seed: int = 0) -> PointSet:
+    """Draw ``n`` events from a city model.
+
+    Deterministic for a given ``(model, n, seed)``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    width, height = model.extent
+    if n == 0:
+        return PointSet(np.empty((0, 2)), t=np.empty(0), category=np.empty(0, int), name=model.name)
+
+    weights = np.asarray(model.mixture, dtype=np.float64)
+    weights = weights / weights.sum()
+    component = rng.choice(4, size=n, p=weights)
+    xy = np.empty((n, 2), dtype=np.float64)
+
+    # Component 0: downtown hotspots (heavier weight on the first hotspot,
+    # like a true downtown).
+    hotspot_centers = rng.uniform(
+        (0.15 * width, 0.15 * height),
+        (0.85 * width, 0.85 * height),
+        (model.num_hotspots, 2),
+    )
+    hotspot_weights = 1.0 / np.arange(1, model.num_hotspots + 1)
+    hotspot_weights /= hotspot_weights.sum()
+    mask = component == 0
+    m = int(mask.sum())
+    if m:
+        which = rng.choice(model.num_hotspots, size=m, p=hotspot_weights)
+        xy[mask] = hotspot_centers[which] + rng.normal(0, model.hotspot_sigma, (m, 2))
+
+    # Component 1: neighborhood clusters.
+    cluster_centers = rng.uniform((0.0, 0.0), (width, height), (model.num_clusters, 2))
+    mask = component == 1
+    m = int(mask.sum())
+    if m:
+        which = rng.integers(0, model.num_clusters, size=m)
+        xy[mask] = cluster_centers[which] + rng.normal(0, model.cluster_sigma, (m, 2))
+
+    # Component 2: street grid — pick an axis-aligned street line and jitter
+    # perpendicular to it; the along-street coordinate is uniform.
+    streets_x = rng.uniform(0, width, model.streets_per_axis)
+    streets_y = rng.uniform(0, height, model.streets_per_axis)
+    mask = component == 2
+    m = int(mask.sum())
+    if m:
+        vertical = rng.random(m) < 0.5
+        sx = streets_x[rng.integers(0, model.streets_per_axis, size=m)]
+        sy = streets_y[rng.integers(0, model.streets_per_axis, size=m)]
+        xy[mask, 0] = np.where(
+            vertical,
+            sx + rng.normal(0, model.street_sigma, m),
+            rng.uniform(0, width, m),
+        )
+        xy[mask, 1] = np.where(
+            vertical,
+            rng.uniform(0, height, m),
+            sy + rng.normal(0, model.street_sigma, m),
+        )
+
+    # Component 3: uniform background noise.
+    mask = component == 3
+    m = int(mask.sum())
+    if m:
+        xy[mask, 0] = rng.uniform(0, width, m)
+        xy[mask, 1] = rng.uniform(0, height, m)
+
+    xy = _truncate_to_extent(rng, xy, model.extent)
+    xy += np.asarray(model.origin)
+
+    t = rng.uniform(0.0, model.time_span_years * _SECONDS_PER_YEAR, n)
+    category = rng.integers(0, model.num_categories, n)
+    return PointSet(xy, t=t, category=category, name=model.name)

@@ -1,0 +1,82 @@
+"""CSV import/export for point datasets.
+
+The open-data sources the paper uses publish CSVs with coordinate, timestamp,
+and attribute columns; these helpers round-trip our :class:`PointSet` through
+the same shape of file so users can bring their own data.
+
+Format: a header line then one row per event —
+``x,y[,t][,category]`` — with ``t`` as seconds (float) and ``category`` as an
+integer code.  Column presence is inferred from the header.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .points import PointSet
+
+__all__ = ["save_csv", "load_csv"]
+
+
+def save_csv(points: PointSet, path: "str | Path") -> None:
+    """Write a :class:`PointSet` to ``path`` as CSV."""
+    columns = ["x", "y"]
+    if points.t is not None:
+        columns.append("t")
+    if points.category is not None:
+        columns.append("category")
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(columns)
+        for i in range(len(points)):
+            row: list[object] = [repr(float(points.xy[i, 0])), repr(float(points.xy[i, 1]))]
+            if points.t is not None:
+                row.append(repr(float(points.t[i])))
+            if points.category is not None:
+                row.append(int(points.category[i]))
+            writer.writerow(row)
+
+
+def load_csv(path: "str | Path", name: str | None = None) -> PointSet:
+    """Read a :class:`PointSet` from a CSV written by :func:`save_csv`
+    (or any CSV with ``x``/``y`` and optional ``t``/``category`` columns)."""
+    path = Path(path)
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty file") from None
+        header = [h.strip().lower() for h in header]
+        if "x" not in header or "y" not in header:
+            raise ValueError(f"{path}: header must contain 'x' and 'y' columns")
+        ix, iy = header.index("x"), header.index("y")
+        it = header.index("t") if "t" in header else None
+        ic = header.index("category") if "category" in header else None
+
+        xs: list[float] = []
+        ys: list[float] = []
+        ts: list[float] = []
+        cats: list[int] = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                xs.append(float(row[ix]))
+                ys.append(float(row[iy]))
+                if it is not None:
+                    ts.append(float(row[it]))
+                if ic is not None:
+                    cats.append(int(row[ic]))
+            except (ValueError, IndexError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed row {row!r}") from exc
+
+    return PointSet(
+        np.column_stack((xs, ys)) if xs else np.empty((0, 2)),
+        t=np.asarray(ts) if it is not None else None,
+        category=np.asarray(cats, dtype=np.int64) if ic is not None else None,
+        name=name or path.stem,
+    )

@@ -1,0 +1,39 @@
+"""Dataset sampling utilities.
+
+The paper's dataset-size sweeps (Figures 14, 17, 19) sample 25/50/75/100 % of
+each dataset *without replacement*; this module provides that primitive and
+the sweep helper the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .points import PointSet
+
+__all__ = ["sample_without_replacement", "size_sweep"]
+
+
+def sample_without_replacement(
+    points: PointSet, fraction: float, seed: int | None = None
+) -> PointSet:
+    """Uniform random sample of ``fraction`` of the points, no replacement."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    n = len(points)
+    m = max(1, int(round(n * fraction))) if n else 0
+    if m >= n:
+        return points
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(n, size=m, replace=False)
+    idx.sort()  # keep original order for reproducibility of downstream use
+    return points.select(idx)
+
+
+def size_sweep(
+    points: PointSet,
+    fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0),
+    seed: int = 0,
+) -> list[tuple[float, PointSet]]:
+    """The paper's 25/50/75/100 % ladder as ``(fraction, sample)`` pairs."""
+    return [(f, sample_without_replacement(points, f, seed=seed)) for f in fractions]

@@ -1,0 +1,53 @@
+"""Extensions beyond the paper's core contribution.
+
+The SLAM paper's conclusion lists several future-work directions; this
+subpackage implements the ones that build directly on the SLAM machinery:
+
+* :mod:`repro.extensions.temporal` — spatio-temporal KDV (STKDV): a time
+  axis added via temporal kernels, rendered as exact per-frame SLAM sweeps
+  over time-weighted points.
+* :mod:`repro.extensions.kfunction` — Ripley's K and L functions, the other
+  classic spatial hotspot statistic the paper plans to support.
+* :mod:`repro.extensions.progressive` — progressive (coarse-to-fine) KDV
+  rendering for interactive latency budgets.
+* :mod:`repro.extensions.multiband` — multi-bandwidth KDV batches that share
+  per-dataset preprocessing across bandwidths (bandwidth-exploration support
+  in the spirit of the SAFE framework the paper cites).
+* :mod:`repro.extensions.streaming` — the "real-time KDV system": exact
+  incremental grid maintenance under inserts/deletes/sliding windows.
+* :mod:`repro.extensions.adaptive` — adaptive (variable-bandwidth) KDV: the
+  aggregate decomposition generalized to per-point bandwidths, still exact.
+
+(The network-KDV future-work item lives in its own subpackage,
+:mod:`repro.network`, since it carries a full road-network substrate.)
+"""
+
+from .adaptive import adaptive_kdv_grid, compute_adaptive_kdv, knn_bandwidths
+from .kfunction import (
+    cross_k_function,
+    csr_envelope,
+    k_function,
+    l_function,
+    pair_correlation,
+)
+from .multiband import compute_multiband
+from .progressive import progressive_kdv
+from .streaming import StreamingKDV
+from .temporal import STKDVResult, compute_stkdv, temporal_kernels
+
+__all__ = [
+    "compute_stkdv",
+    "STKDVResult",
+    "temporal_kernels",
+    "k_function",
+    "l_function",
+    "csr_envelope",
+    "pair_correlation",
+    "cross_k_function",
+    "progressive_kdv",
+    "compute_multiband",
+    "StreamingKDV",
+    "compute_adaptive_kdv",
+    "adaptive_kdv_grid",
+    "knn_bandwidths",
+]

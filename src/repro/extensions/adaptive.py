@@ -1,0 +1,320 @@
+"""Adaptive (variable-bandwidth) KDV with an exact sweep — novel extension.
+
+Fixed-bandwidth KDE over-smooths dense downtowns and under-smooths sparse
+suburbs; adaptive ("balloon"/sample-point) KDE gives every data point its
+own bandwidth ``b_i``, classically the distance to its k-th nearest
+neighbor.  The paper's Section 3.7 trick — decompose the kernel sum into
+aggregates maintained by the sweep — extends to per-point bandwidths:
+
+    sum_i (1 - d_i^2 / b_i^2)                                  (Epanechnikov)
+  = |R(q)| - sum_i (||q||^2 - 2 q.p_i + ||p_i||^2) / b_i^2
+  = |R(q)| - ||q||^2 * S[1/b^2] + 2 q . S[p/b^2] - S[||p||^2/b^2]
+
+Every aggregate is still a per-point channel value, just scaled by the
+point's own ``1/b_i^2`` (and ``1/b_i^4`` for the quartic terms), so the
+sweep machinery is unchanged:
+
+* the per-row candidate set uses the *maximum* bandwidth envelope
+  ``|k - p.y| <= b_max`` and then filters to each point's own envelope;
+* interval endpoints use each point's own half-width
+  ``sqrt(b_i^2 - (k - p.y)^2)``;
+* pixels evaluate in O(1) from prefix-summed adaptive channels.
+
+Exactness is preserved (tests compare against direct evaluation).  The
+complexity becomes ``O(Y (X + m_B log m_B))`` with ``m_B`` the b_max
+envelope size — a single far-reaching point degrades rows it touches, which
+is the honest price of the balloon estimator.
+
+Numerical note: the quartic channels carry ``(b_max / b_i)^4`` factors, so
+extreme bandwidth ratios amplify float cancellation; with ratios up to ~40
+the relative error stays near 1e-7 (tested), and the Epanechnikov/uniform
+paths stay at ~1e-12.  Clamp pathological pilot bandwidths (e.g. via
+``min_bandwidth`` in :func:`knn_bandwidths`) if tighter quartic precision
+matters.
+
+Channel layout (``_adaptive_channels``):
+
+    0                  1                          (count)
+    1..4               (1, x, y, s) / b^2         (Epanechnikov terms)
+    5..14              (1, x, y, s, sx, sy, s^2, x^2, xy, y^2) / b^4
+                                                  (quartic terms)
+
+Uniform needs ``1/b`` instead: channel 1 doubles as ``1/b`` storage in the
+uniform path (see ``_NUM_CHANNELS``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import Kernel, get_kernel
+from ..index.kdtree import KDTree
+from ..viz.region import Raster, Region
+
+__all__ = ["knn_bandwidths", "adaptive_kdv_grid", "adaptive_scan_grid", "compute_adaptive_kdv"]
+
+_NUM_CHANNELS = {"uniform": 2, "epanechnikov": 5, "quartic": 15}
+
+
+def knn_bandwidths(
+    xy: np.ndarray,
+    k: int = 32,
+    scale: float = 1.0,
+    min_bandwidth: float = 1e-9,
+) -> np.ndarray:
+    """Per-point bandwidths = ``scale`` × distance to the k-th nearest
+    neighbor (the classic adaptive-KDE pilot).
+
+    Implemented with the library's kd-tree via expanding radius queries.
+    """
+    xy = np.asarray(xy, dtype=np.float64)
+    n = len(xy)
+    if n < 2:
+        raise ValueError("kNN bandwidths need at least 2 points")
+    if not 1 <= k < n:
+        raise ValueError(f"k must be in [1, n-1], got {k}")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    tree = KDTree(xy, leaf_size=32)
+    span = float(np.linalg.norm(xy.max(axis=0) - xy.min(axis=0))) or 1.0
+    out = np.empty(n)
+    for i in range(n):
+        radius = span * np.sqrt((k + 1) / n)  # density-based initial guess
+        while True:
+            neighbors = tree.query_radius(float(xy[i, 0]), float(xy[i, 1]), radius)
+            neighbors = neighbors[neighbors != i]
+            if len(neighbors) >= k or radius > 2 * span:
+                break
+            radius *= 2.0
+        d = np.sqrt(((xy[neighbors] - xy[i]) ** 2).sum(axis=1))
+        out[i] = np.partition(d, k - 1)[k - 1] if len(d) >= k else (d.max() if len(d) else span)
+    return np.maximum(out * scale, min_bandwidth)
+
+
+def _adaptive_channels(u, v, beta, kernel_name: str) -> np.ndarray:
+    """Adaptive channel matrix in the b_max-scaled row frame.
+
+    ``(u, v)`` are frame coordinates, ``beta = b_i / b_max``.
+    """
+    m = len(u)
+    nch = _NUM_CHANNELS[kernel_name]
+    out = np.empty((m, nch))
+    out[:, 0] = 1.0
+    if kernel_name == "uniform":
+        out[:, 1] = 1.0 / beta
+        return out
+    inv2 = 1.0 / (beta * beta)
+    s = u * u + v * v
+    out[:, 1] = inv2
+    out[:, 2] = u * inv2
+    out[:, 3] = v * inv2
+    out[:, 4] = s * inv2
+    if kernel_name == "quartic":
+        inv4 = inv2 * inv2
+        out[:, 5] = inv4
+        out[:, 6] = u * inv4
+        out[:, 7] = v * inv4
+        out[:, 8] = s * inv4
+        out[:, 9] = s * u * inv4
+        out[:, 10] = s * v * inv4
+        out[:, 11] = s * s * inv4
+        out[:, 12] = u * u * inv4
+        out[:, 13] = u * v * inv4
+        out[:, 14] = v * v * inv4
+    return out
+
+
+def _adaptive_combine(qx, agg, kernel_name: str) -> np.ndarray:
+    """Recombine adaptive aggregates at pixels ``(qx, 0)`` (frame units)."""
+    cnt = agg[..., 0]
+    if kernel_name == "uniform":
+        return agg[..., 1]  # sum of 1/beta; caller divides by b_max
+    q2 = qx * qx
+    # sum d^2 / b^2 with d^2 = q2 - 2 qx u + s   (qy = 0 in the row frame)
+    sum_d2 = q2 * agg[..., 1] - 2.0 * qx * agg[..., 2] + agg[..., 4]
+    if kernel_name == "epanechnikov":
+        return cnt - sum_d2
+    # quartic: cnt - 2 sum d^2/b^2 + sum d^4/b^4, with
+    # d^4 = q2^2 + 4 (qx u)^2 + s^2 + 2 q2 s - 4 q2 (qx u) - 4 (qx u) s
+    sum_d4 = (
+        q2 * q2 * agg[..., 5]
+        + 4.0 * qx * qx * agg[..., 12]
+        + agg[..., 11]
+        + 2.0 * q2 * agg[..., 8]
+        - 4.0 * q2 * qx * agg[..., 6]
+        - 4.0 * qx * agg[..., 9]
+    )
+    return cnt - 2.0 * sum_d2 + sum_d4
+
+
+def adaptive_kdv_grid(
+    xy: np.ndarray,
+    raster: Raster,
+    kernel: "str | Kernel",
+    bandwidths: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exact adaptive KDV by a per-row sweep (sorting variant).
+
+    Returns the raw grid ``sum_i w_i K(dist(q, p_i); b_i)``.
+    """
+    kernel_obj = get_kernel(kernel)
+    if kernel_obj.name not in _NUM_CHANNELS:
+        raise ValueError(
+            f"kernel {kernel_obj.name!r} is not supported for adaptive KDV "
+            "(finite-support kernels of Table 2 only)"
+        )
+    kernel_name = kernel_obj.name
+    xy = np.asarray(xy, dtype=np.float64)
+    bandwidths = np.asarray(bandwidths, dtype=np.float64)
+    if bandwidths.shape != (len(xy),):
+        raise ValueError(
+            f"bandwidths must have shape ({len(xy)},), got {bandwidths.shape}"
+        )
+    if len(xy) and bandwidths.min() <= 0:
+        raise ValueError("bandwidths must be positive")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(xy),):
+            raise ValueError(f"weights must have shape ({len(xy)},)")
+
+    grid = np.zeros(raster.shape, dtype=np.float64)
+    if len(xy) == 0:
+        return grid
+    b_max = float(bandwidths.max())
+
+    # y-sorted order for b_max envelopes
+    order = np.argsort(xy[:, 1], kind="stable")
+    ys_sorted = xy[order, 1]
+    xy_sorted = xy[order]
+    b_sorted = bandwidths[order]
+    w_sorted = None if weights is None else weights[order]
+
+    cx = (raster.region.xmin + raster.region.xmax) / 2.0
+    xs = (raster.x_centers() - cx) / b_max
+    nch = _NUM_CHANNELS[kernel_name]
+    zero_row = np.zeros((1, nch))
+
+    for j, k in enumerate(raster.y_centers()):
+        lo = int(np.searchsorted(ys_sorted, k - b_max, side="left"))
+        hi = int(np.searchsorted(ys_sorted, k + b_max, side="right"))
+        if hi <= lo:
+            continue
+        u = (xy_sorted[lo:hi, 0] - cx) / b_max
+        v = (xy_sorted[lo:hi, 1] - k) / b_max
+        beta = b_sorted[lo:hi] / b_max
+        # each point's own envelope: |k - y_i| <= b_i
+        inside = np.abs(v) <= beta
+        if not inside.any():
+            continue
+        u, v, beta = u[inside], v[inside], beta[inside]
+        chans = _adaptive_channels(u, v, beta, kernel_name)
+        if w_sorted is not None:
+            chans = chans * w_sorted[lo:hi][inside][:, None]
+        half = np.sqrt(np.maximum(beta * beta - v * v, 0.0))
+        lb, ub = u - half, u + half
+
+        order_l = np.argsort(lb, kind="stable")
+        prefix_l = np.concatenate([zero_row, np.cumsum(chans[order_l], axis=0)])
+        order_u = np.argsort(ub, kind="stable")
+        prefix_u = np.concatenate([zero_row, np.cumsum(chans[order_u], axis=0)])
+        idx_l = np.searchsorted(lb[order_l], xs, side="right")
+        idx_u = np.searchsorted(ub[order_u], xs, side="left")
+        agg = prefix_l[idx_l] - prefix_u[idx_u]
+        grid[j] = _adaptive_combine(xs, agg, kernel_name)
+
+    if kernel_name == "uniform":
+        grid /= b_max  # channel stored 1/beta = b_max/b
+    return grid
+
+
+def adaptive_scan_grid(
+    xy: np.ndarray,
+    raster: Raster,
+    kernel: "str | Kernel",
+    bandwidths: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Direct O(XYn) adaptive evaluation — the correctness reference."""
+    kernel_obj = get_kernel(kernel)
+    xy = np.asarray(xy, dtype=np.float64)
+    bandwidths = np.asarray(bandwidths, dtype=np.float64)
+    if bandwidths.shape != (len(xy),):
+        raise ValueError(
+            f"bandwidths must have shape ({len(xy)},), got {bandwidths.shape}"
+        )
+    xs = raster.x_centers()
+    ys = raster.y_centers()
+    grid = np.zeros(raster.shape, dtype=np.float64)
+    if len(xy) == 0:
+        return grid
+    w = np.ones(len(xy)) if weights is None else np.asarray(weights, float)
+    for i in range(len(xy)):
+        d_sq = (xs[None, :] - xy[i, 0]) ** 2 + (ys[:, None] - xy[i, 1]) ** 2
+        grid += w[i] * kernel_obj.evaluate(d_sq, float(bandwidths[i]))
+    return grid
+
+
+def compute_adaptive_kdv(
+    points,
+    region: Region | None = None,
+    size: tuple[int, int] = (640, 480),
+    kernel: str = "epanechnikov",
+    k_neighbors: int = 32,
+    bandwidth_scale: float = 1.0,
+    bandwidths: np.ndarray | None = None,
+    weights: np.ndarray | None = None,
+    normalization: str = "count",
+):
+    """End-to-end adaptive KDV returning a :class:`~repro.core.result.KDVResult`.
+
+    Bandwidths default to the k-nearest-neighbor pilot
+    (:func:`knn_bandwidths`); pass ``bandwidths`` to control them directly.
+    The result's ``bandwidth`` field records the *median* per-point value.
+
+    ``normalization="density"`` folds each point's kernel-area normalizer
+    (which depends on its own ``b_i``) into its weight, yielding the proper
+    sample-point adaptive density estimate ``(1/n) sum_i norm(b_i) K_i`` —
+    the form in which adaptive KDE's sharper peaks over dense clusters are
+    visible.  ``"count"`` (default) and ``"none"`` keep raw kernel sums.
+    """
+    from ..core.result import KDVResult
+    from ..data.points import PointSet
+
+    if normalization not in ("none", "count", "density"):
+        raise ValueError(f"unknown normalization {normalization!r}")
+    if isinstance(points, PointSet):
+        if weights is None and points.w is not None:
+            weights = points.w
+        xy = points.xy
+    else:
+        xy = np.asarray(points, dtype=np.float64)
+    if region is None:
+        region = Region.from_points(xy)
+    raster = Raster(region, *size)
+    if bandwidths is None:
+        bandwidths = knn_bandwidths(xy, k=k_neighbors, scale=bandwidth_scale)
+    bandwidths = np.asarray(bandwidths, dtype=np.float64)
+
+    kernel_obj = get_kernel(kernel)
+    effective_weights = weights
+    if normalization == "density" and len(xy):
+        normalizers = np.array([kernel_obj.normalizer(float(b)) for b in bandwidths])
+        effective_weights = (
+            normalizers if weights is None else np.asarray(weights, float) * normalizers
+        )
+
+    grid = adaptive_kdv_grid(xy, raster, kernel, bandwidths, weights=effective_weights)
+    total = float(np.sum(weights)) if weights is not None else float(len(xy))
+    if normalization in ("count", "density") and total > 0:
+        grid = grid / total
+    return KDVResult(
+        grid=grid,
+        raster=raster,
+        kernel=kernel_obj.name,
+        bandwidth=float(np.median(bandwidths)) if len(xy) else 0.0,
+        method="adaptive_slam_sort",
+        normalization=normalization,
+        n_points=len(xy),
+        exact=True,
+    )

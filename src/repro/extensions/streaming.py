@@ -1,0 +1,180 @@
+"""Incremental (real-time) KDV maintenance.
+
+The paper's conclusion plans "the real-time KDV system, based on SLAM, to
+support ... large-scale location datasets".  The enabling observation is that
+kernel density is *additive over the dataset*:
+
+    F_{P ∪ D}(q) = F_P(q) + F_D(q)        F_{P \\ D}(q) = F_P(q) - F_D(q)
+
+so a live engine never recomputes the full grid: inserting (deleting) a batch
+``D`` adds (subtracts) the KDV *of the batch alone*, computed exactly by SLAM
+in O(min(X,Y) (max(X,Y) + |D|)) — for a 100-event tick against a million-point
+history, that is ~10,000x less work than recomputation.
+
+:class:`StreamingKDV` maintains the raw-sum grid under inserts and deletes,
+with optional sliding-window expiry for time-stamped feeds.  Floating-point
+cancellation from long delete histories is bounded by periodic *rebuilds*
+(full recomputation) every ``rebuild_every`` delete operations; tests verify
+the drift stays at float-epsilon scale regardless.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..core.api import METHODS
+from ..core.kernels import get_kernel
+from ..viz.region import Raster, Region
+
+__all__ = ["StreamingKDV"]
+
+
+class StreamingKDV:
+    """Exact KDV maintained under point insertions and deletions.
+
+    Parameters
+    ----------
+    region, size:
+        The fixed viewport of the live display.
+    kernel, bandwidth:
+        Spatial smoothing parameters (fixed; changing them requires a new
+        engine, as in real dashboards where the view is pre-configured).
+    method:
+        Any *exact* registered method; SLAM_BUCKET^(RAO) by default.
+    rebuild_every:
+        Full recomputation after this many delete batches, bounding float
+        cancellation drift (set ``None`` to disable).
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        size: tuple[int, int] = (640, 480),
+        kernel: str = "epanechnikov",
+        bandwidth: float = 500.0,
+        method: str = "slam_bucket_rao",
+        rebuild_every: "int | None" = 1000,
+    ):
+        from ..core.api import EXACT_METHODS
+
+        if method not in EXACT_METHODS:
+            raise ValueError(
+                f"streaming maintenance requires an exact method, got {method!r}"
+            )
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if rebuild_every is not None and rebuild_every < 1:
+            raise ValueError("rebuild_every must be >= 1 or None")
+        self.raster = Raster(region, *size)
+        self.kernel = get_kernel(kernel)
+        self.bandwidth = float(bandwidth)
+        self.method = method
+        self.rebuild_every = rebuild_every
+        self._grid_fn = METHODS[method][0]
+        self._grid = np.zeros(self.raster.shape, dtype=np.float64)
+        # live points kept as a deque of (xy array, t array | None) batches
+        self._batches: deque[tuple[np.ndarray, np.ndarray | None]] = deque()
+        self._n = 0
+        self._deletes_since_rebuild = 0
+
+    # -- state ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def grid(self) -> np.ndarray:
+        """The current raw-sum density grid (do not mutate)."""
+        return self._grid
+
+    def density(self, normalization: str = "count") -> np.ndarray:
+        """The grid under the requested normalization."""
+        if normalization == "none" or self._n == 0:
+            return self._grid.copy()
+        if normalization == "count":
+            return self._grid / self._n
+        raise ValueError(f"unknown normalization {normalization!r}")
+
+    def points(self) -> np.ndarray:
+        """All live points, shape (n, 2)."""
+        if not self._batches:
+            return np.empty((0, 2))
+        return np.concatenate([b[0] for b in self._batches])
+
+    # -- updates ----------------------------------------------------------------
+
+    def _delta(self, xy: np.ndarray) -> np.ndarray:
+        return self._grid_fn(xy, self.raster, self.kernel, self.bandwidth)
+
+    def insert(self, xy: np.ndarray, t: np.ndarray | None = None) -> None:
+        """Add a batch of events; O(sweep of the batch), not of the history."""
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) coordinates, got {xy.shape}")
+        if len(xy) == 0:
+            return
+        if t is not None:
+            t = np.asarray(t, dtype=np.float64)
+            if t.shape != (len(xy),):
+                raise ValueError("t must match the batch length")
+        self._grid += self._delta(xy)
+        self._batches.append((xy, t))
+        self._n += len(xy)
+
+    def expire_before(self, cutoff: float) -> int:
+        """Delete whole batches older than ``cutoff`` (sliding window).
+
+        Batches are expired when *all* their events are older than the
+        cutoff, so feed events in roughly time order for tight windows.
+        Returns the number of points removed.
+        """
+        removed = 0
+        while self._batches:
+            xy, t = self._batches[0]
+            if t is None or t.max() >= cutoff:
+                break
+            self._grid -= self._delta(xy)
+            self._batches.popleft()
+            removed += len(xy)
+            self._n -= len(xy)
+            self._deletes_since_rebuild += 1
+        self._maybe_rebuild()
+        return removed
+
+    def delete_oldest(self, batches: int = 1) -> int:
+        """Delete the oldest ``batches`` insert batches; returns points removed."""
+        removed = 0
+        for _ in range(min(batches, len(self._batches))):
+            xy, _t = self._batches.popleft()
+            self._grid -= self._delta(xy)
+            removed += len(xy)
+            self._n -= len(xy)
+            self._deletes_since_rebuild += 1
+        self._maybe_rebuild()
+        return removed
+
+    def _maybe_rebuild(self) -> None:
+        if (
+            self.rebuild_every is not None
+            and self._deletes_since_rebuild >= self.rebuild_every
+        ):
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute the grid from the live points (drift reset)."""
+        pts = self.points()
+        self._grid = (
+            self._delta(pts) if len(pts) else np.zeros(self.raster.shape, dtype=np.float64)
+        )
+        self._deletes_since_rebuild = 0
+
+    def drift(self) -> float:
+        """Max absolute difference between the maintained grid and a fresh
+        recomputation — the float-cancellation error currently carried."""
+        pts = self.points()
+        fresh = (
+            self._delta(pts) if len(pts) else np.zeros(self.raster.shape, dtype=np.float64)
+        )
+        return float(np.abs(self._grid - fresh).max())

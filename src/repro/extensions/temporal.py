@@ -1,0 +1,232 @@
+"""Spatio-temporal KDV (STKDV) — the paper's future-work direction.
+
+The paper's conclusion plans to extend SLAM to "other types of KDV (e.g.
+STKDV [18])".  Spatio-temporal KDV renders a *sequence* of density frames:
+for each output timestamp ``T_j``, the density at pixel ``q`` is
+
+    F(q, T_j) = sum_p  K_t(T_j, p.t) * K_s(q, p.xy)
+
+with a 1-D temporal kernel ``K_t`` (bandwidth ``b_t``) and a 2-D spatial
+kernel ``K_s`` (bandwidth ``b_s``).  The separable product means each frame
+is exactly a *weighted* spatial KDV with weights ``w_p = K_t(T_j, p.t)`` —
+so every frame runs through the exact SLAM machinery at SLAM's complexity,
+and the temporal dimension adds only:
+
+* a one-time sort of the events by time (the temporal analog of the
+  envelope's y-sorted index);
+* per frame, a binary-searched slice of the events inside the temporal
+  support ``|T_j - p.t| <= b_t`` (for the finite-support temporal kernels),
+  so far-away events never enter the spatial sweep.
+
+Temporal kernels provided: ``box`` (uniform window), ``triangular``, and
+``epanechnikov`` (all finite support), plus ``gaussian`` (infinite support;
+every event enters every frame — supported but slower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.api import compute_kdv
+from ..core.result import KDVResult
+from ..data.points import PointSet
+from ..viz.region import Region
+
+__all__ = ["temporal_kernels", "compute_stkdv", "STKDVResult"]
+
+
+def _box(dt: np.ndarray, bt: float) -> np.ndarray:
+    return np.where(np.abs(dt) <= bt, 1.0, 0.0)
+
+
+def _triangular(dt: np.ndarray, bt: float) -> np.ndarray:
+    return np.maximum(0.0, 1.0 - np.abs(dt) / bt)
+
+
+def _epanechnikov(dt: np.ndarray, bt: float) -> np.ndarray:
+    u = dt / bt
+    return np.where(np.abs(u) <= 1.0, 1.0 - u * u, 0.0)
+
+
+def _gaussian(dt: np.ndarray, bt: float) -> np.ndarray:
+    return np.exp(-(dt * dt) / (2.0 * bt * bt))
+
+
+#: name -> (kernel function of (dt, bt), finite support?)
+temporal_kernels: dict[str, tuple[Callable[[np.ndarray, float], np.ndarray], bool]] = {
+    "box": (_box, True),
+    "triangular": (_triangular, True),
+    "epanechnikov": (_epanechnikov, True),
+    "gaussian": (_gaussian, False),
+}
+
+
+@dataclass(frozen=True)
+class STKDVResult:
+    """A spatio-temporal KDV: one exact spatial frame per output time."""
+
+    #: frame timestamps, shape (T,)
+    times: np.ndarray
+    #: per-frame results (each frame is an ordinary :class:`KDVResult`)
+    frames: list[KDVResult]
+    temporal_kernel: str
+    temporal_bandwidth: float
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def grids(self) -> np.ndarray:
+        """All frames stacked into a ``(T, Y, X)`` array."""
+        return np.stack([f.grid for f in self.frames])
+
+    def peak_frame(self) -> int:
+        """Index of the frame with the highest peak density — when the
+        hotspot activity peaks."""
+        return int(np.argmax([f.max_density() for f in self.frames]))
+
+    def save_ppm_sequence(self, prefix: str, colormap: str = "heat") -> list[str]:
+        """Write every frame as ``{prefix}_{index:04d}.ppm``; returns paths.
+
+        A shared color scale (the global max) keeps frames comparable.
+        """
+        from ..viz.colormap import COLORMAPS, apply_colormap
+        from ..viz.image import write_ppm
+
+        if colormap not in COLORMAPS:
+            raise ValueError(f"unknown colormap {colormap!r}")
+        global_max = max((f.max_density() for f in self.frames), default=0.0)
+        paths = []
+        for i, frame in enumerate(self.frames):
+            scaled = (
+                frame.grid_image() / global_max if global_max > 0 else frame.grid_image()
+            )
+            path = f"{prefix}_{i:04d}.ppm"
+            write_ppm(path, apply_colormap(scaled, colormap))
+            paths.append(path)
+        return paths
+
+
+def compute_stkdv(
+    points: PointSet,
+    times: "np.ndarray | int" = 12,
+    temporal_kernel: str = "epanechnikov",
+    temporal_bandwidth: float | None = None,
+    region: Region | None = None,
+    size: tuple[int, int] = (320, 240),
+    kernel: str = "epanechnikov",
+    bandwidth: "float | str" = "scott",
+    method: str = "slam_bucket_rao",
+    normalization: str = "none",
+) -> STKDVResult:
+    """Compute a spatio-temporal KDV frame sequence.
+
+    Parameters
+    ----------
+    points:
+        Dataset with timestamps (``points.t`` must be set).  Pre-existing
+        point weights multiply the temporal weights.
+    times:
+        Either explicit frame timestamps or a frame count (evenly spaced
+        over the dataset's time range).
+    temporal_kernel:
+        One of :data:`temporal_kernels`.
+    temporal_bandwidth:
+        Temporal smoothing scale ``b_t`` in the same units as ``points.t``;
+        defaults to (time range) / 8.
+    region, size, kernel, bandwidth, method, normalization:
+        Forwarded to :func:`repro.core.api.compute_kdv` per frame.  The
+        default ``normalization="none"`` keeps frames on a common absolute
+        scale so they are comparable over time.
+
+    Returns
+    -------
+    :class:`STKDVResult`
+    """
+    if points.t is None:
+        raise ValueError("compute_stkdv requires timestamps (points.t)")
+    if len(points) == 0:
+        raise ValueError("compute_stkdv requires a non-empty dataset")
+    try:
+        kt_fn, finite = temporal_kernels[temporal_kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown temporal kernel {temporal_kernel!r}; "
+            f"available: {sorted(temporal_kernels)}"
+        ) from None
+
+    t = points.t
+    t_min, t_max = float(t.min()), float(t.max())
+    if isinstance(times, (int, np.integer)):
+        if times < 1:
+            raise ValueError("frame count must be >= 1")
+        frame_times = np.linspace(t_min, t_max, int(times))
+    else:
+        frame_times = np.asarray(times, dtype=np.float64)
+        if frame_times.ndim != 1 or len(frame_times) == 0:
+            raise ValueError("times must be a non-empty 1-D array or an int")
+
+    if temporal_bandwidth is None:
+        span = t_max - t_min
+        temporal_bandwidth = span / 8.0 if span > 0 else 1.0
+    if temporal_bandwidth <= 0:
+        raise ValueError("temporal_bandwidth must be positive")
+
+    # Fix the region and spatial bandwidth across frames so the sequence is
+    # spatially consistent.
+    if region is None:
+        region = Region.from_points(points.xy)
+    if bandwidth == "scott":
+        from ..viz.bandwidth import scott_bandwidth
+
+        bandwidth = scott_bandwidth(points.xy)
+
+    # temporal analog of the y-sorted envelope index
+    order = np.argsort(t, kind="stable")
+    t_sorted = t[order]
+
+    frames: list[KDVResult] = []
+    for T in frame_times:
+        if finite:
+            lo = int(np.searchsorted(t_sorted, T - temporal_bandwidth, side="left"))
+            hi = int(np.searchsorted(t_sorted, T + temporal_bandwidth, side="right"))
+            active_idx = order[lo:hi]
+        else:
+            active_idx = order
+        if len(active_idx) == 0:
+            # no events in the temporal window: an explicitly zero frame
+            zero = compute_kdv(
+                np.empty((0, 2)),
+                region=region,
+                size=size,
+                kernel=kernel,
+                bandwidth=float(bandwidth),
+                method=method,
+                normalization="none",
+            )
+            frames.append(zero)
+            continue
+        active = points.select(active_idx)
+        temporal_weights = kt_fn(active.t - T, temporal_bandwidth)
+        if active.w is not None:
+            temporal_weights = temporal_weights * active.w
+        frames.append(
+            compute_kdv(
+                active.xy,
+                region=region,
+                size=size,
+                kernel=kernel,
+                bandwidth=float(bandwidth),
+                method=method,
+                weights=temporal_weights,
+                normalization=normalization,
+            )
+        )
+    return STKDVResult(
+        times=frame_times,
+        frames=frames,
+        temporal_kernel=temporal_kernel,
+        temporal_bandwidth=float(temporal_bandwidth),
+    )

@@ -1,0 +1,8 @@
+"""Spatial index substrates built from scratch for the baselines."""
+
+from .balltree import BallTree
+from .kdtree import KDTree
+from .rtree import RTree
+from .zorder_curve import morton_codes, zorder_argsort
+
+__all__ = ["KDTree", "BallTree", "RTree", "morton_codes", "zorder_argsort"]

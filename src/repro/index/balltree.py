@@ -1,0 +1,162 @@
+"""A from-scratch 2-D ball tree [Moore 2000, "anchors hierarchy"].
+
+The second range-query index of the paper's RQS baseline (Section 2.2,
+RQS_ball).  Each node is a bounding ball (centroid + radius over its subtree);
+construction splits on the wider coordinate of the node's extent, like the
+kd-tree, but pruning uses ball geometry:
+
+    min_dist(q, node) = max(0, |q - center| - radius)
+    max_dist(q, node) = |q - center| + radius
+
+The flat-array layout mirrors :class:`repro.index.kdtree.KDTree` so the two
+indexes are drop-in interchangeable for the baselines.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.kernels import channel_values
+
+__all__ = ["BallTree"]
+
+_NO_CHILD = -1
+
+
+class BallTree:
+    """Balanced 2-D ball tree over an ``(n, 2)`` coordinate array."""
+
+    def __init__(
+        self,
+        xy: np.ndarray,
+        leaf_size: int = 32,
+        num_channels: int = 0,
+        weights: np.ndarray | None = None,
+    ):
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) coordinates, got shape {xy.shape}")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.leaf_size = leaf_size
+        self.num_channels = num_channels
+        n = len(xy)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (n,):
+                raise ValueError(f"weights must have shape ({n},), got {weights.shape}")
+        self.perm = np.arange(n, dtype=np.int64)
+
+        starts: list[int] = []
+        ends: list[int] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        centers: list[tuple[float, float]] = []
+        radii: list[float] = []
+
+        def build(start: int, end: int) -> int:
+            node_id = len(starts)
+            starts.append(start)
+            ends.append(end)
+            lefts.append(_NO_CHILD)
+            rights.append(_NO_CHILD)
+            pts = xy[self.perm[start:end]]
+            if end > start:
+                center = pts.mean(axis=0)
+                radius = float(np.sqrt(((pts - center) ** 2).sum(axis=1).max()))
+            else:
+                center = np.zeros(2)
+                radius = 0.0
+            centers.append((float(center[0]), float(center[1])))
+            radii.append(radius)
+            if end - start > leaf_size:
+                spread = pts.max(axis=0) - pts.min(axis=0)
+                dim = 0 if spread[0] >= spread[1] else 1
+                mid = (start + end) // 2
+                seg = self.perm[start:end]
+                part = np.argpartition(xy[seg, dim], mid - start)
+                self.perm[start:end] = seg[part]
+                left_id = build(start, mid)
+                right_id = build(mid, end)
+                lefts[node_id] = left_id
+                rights[node_id] = right_id
+            return node_id
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10000))
+        try:
+            build(0, n)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        self.node_start = np.array(starts, dtype=np.int64)
+        self.node_end = np.array(ends, dtype=np.int64)
+        self.node_left = np.array(lefts, dtype=np.int64)
+        self.node_right = np.array(rights, dtype=np.int64)
+        self.node_center = np.array(centers, dtype=np.float64)
+        self.node_radius = np.array(radii, dtype=np.float64)
+        self.points = xy[self.perm]
+        self.weights = None if weights is None else weights[self.perm]
+
+        if num_channels > 0:
+            chans = channel_values(self.points, num_channels, weights=self.weights)
+            prefix = np.concatenate(
+                [np.zeros((1, num_channels)), np.cumsum(chans, axis=0)]
+            )
+            self.node_agg = prefix[self.node_end] - prefix[self.node_start]
+        else:
+            self.node_agg = None
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_start)
+
+    def is_leaf(self, node: int) -> bool:
+        return self.node_left[node] == _NO_CHILD
+
+    def node_size(self, node: int) -> int:
+        return int(self.node_end[node] - self.node_start[node])
+
+    def min_dist_sq(self, node: int, qx: float, qy: float) -> float:
+        cx, cy = self.node_center[node]
+        d = math.hypot(qx - cx, qy - cy) - self.node_radius[node]
+        d = max(d, 0.0)
+        return d * d
+
+    def max_dist_sq(self, node: int, qx: float, qy: float) -> float:
+        cx, cy = self.node_center[node]
+        d = math.hypot(qx - cx, qy - cy) + self.node_radius[node]
+        return d * d
+
+    def query_radius(self, qx: float, qy: float, radius: float) -> np.ndarray:
+        """Indices (into the original array) of points within ``radius``."""
+        r_sq = radius * radius
+        hits: list[np.ndarray] = []
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            if self.node_size(node) == 0:
+                continue
+            if self.min_dist_sq(node, qx, qy) > r_sq:
+                continue
+            if self.max_dist_sq(node, qx, qy) <= r_sq:
+                hits.append(self.perm[self.node_start[node] : self.node_end[node]])
+                continue
+            if self.is_leaf(node):
+                start, end = self.node_start[node], self.node_end[node]
+                pts = self.points[start:end]
+                d_sq = (pts[:, 0] - qx) ** 2 + (pts[:, 1] - qy) ** 2
+                hits.append(self.perm[start:end][d_sq <= r_sq])
+            else:
+                stack.append(int(self.node_left[node]))
+                stack.append(int(self.node_right[node]))
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(hits)
+
+    def count_radius(self, qx: float, qy: float, radius: float) -> int:
+        return len(self.query_radius(qx, qy, radius))

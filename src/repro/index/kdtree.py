@@ -1,0 +1,184 @@
+"""A from-scratch 2-D kd-tree [Bentley 1975].
+
+Used by the range-query baseline (RQS_kd, paper Section 2.2), the QUAD
+baseline (node-aggregate shortcutting), and the aKDE baseline (kernel bound
+pruning).  The tree is stored in flat NumPy arrays so traversals can use an
+explicit stack and leaves can be processed vectorized:
+
+* points are permuted into leaf-contiguous order (``perm``);
+* each node records its child ids, its point range ``[start, end)`` in the
+  permuted array, and its axis-aligned bounding box;
+* each node optionally carries aggregate channel sums of its subtree
+  (count, sum of coordinates, sum of squared norms, ... — the channels of
+  :mod:`repro.core.kernels`), enabling O(1) exact contributions for nodes
+  entirely inside a kernel's support disc.
+
+Splits are median splits on the wider bounding-box dimension, giving
+O(n log n) construction and balanced depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import channel_values
+
+__all__ = ["KDTree"]
+
+_NO_CHILD = -1
+
+
+class KDTree:
+    """Balanced 2-D kd-tree over an ``(n, 2)`` coordinate array.
+
+    Parameters
+    ----------
+    xy:
+        Point coordinates.
+    leaf_size:
+        Maximum number of points per leaf.
+    num_channels:
+        How many aggregate channels to precompute per node (0 disables
+        aggregates; RQS needs none, QUAD needs the kernel's channel count).
+    """
+
+    def __init__(
+        self,
+        xy: np.ndarray,
+        leaf_size: int = 32,
+        num_channels: int = 0,
+        weights: np.ndarray | None = None,
+    ):
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) coordinates, got shape {xy.shape}")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.leaf_size = leaf_size
+        self.num_channels = num_channels
+        n = len(xy)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (n,):
+                raise ValueError(f"weights must have shape ({n},), got {weights.shape}")
+        self.perm = np.arange(n, dtype=np.int64)
+        self._xy_original = xy
+
+        # Flat node storage, grown in Python lists during the build.
+        starts: list[int] = []
+        ends: list[int] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        bboxes: list[tuple[float, float, float, float]] = []
+
+        def build(start: int, end: int) -> int:
+            node_id = len(starts)
+            starts.append(start)
+            ends.append(end)
+            lefts.append(_NO_CHILD)
+            rights.append(_NO_CHILD)
+            pts = xy[self.perm[start:end]]
+            if end > start:
+                xmin, ymin = pts.min(axis=0)
+                xmax, ymax = pts.max(axis=0)
+            else:  # empty tree root
+                xmin = ymin = xmax = ymax = 0.0
+            bboxes.append((float(xmin), float(ymin), float(xmax), float(ymax)))
+            if end - start > leaf_size:
+                dim = 0 if (xmax - xmin) >= (ymax - ymin) else 1
+                mid = (start + end) // 2
+                seg = self.perm[start:end]
+                part = np.argpartition(xy[seg, dim], mid - start)
+                self.perm[start:end] = seg[part]
+                left_id = build(start, mid)
+                right_id = build(mid, end)
+                lefts[node_id] = left_id
+                rights[node_id] = right_id
+            return node_id
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10000))
+        try:
+            build(0, n)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        self.node_start = np.array(starts, dtype=np.int64)
+        self.node_end = np.array(ends, dtype=np.int64)
+        self.node_left = np.array(lefts, dtype=np.int64)
+        self.node_right = np.array(rights, dtype=np.int64)
+        self.node_bbox = np.array(bboxes, dtype=np.float64)  # (nodes, 4)
+        #: points in permuted (leaf-contiguous) order
+        self.points = xy[self.perm]
+        #: per-point weights in permuted order (None when unweighted)
+        self.weights = None if weights is None else weights[self.perm]
+
+        if num_channels > 0:
+            chans = channel_values(self.points, num_channels, weights=self.weights)
+            prefix = np.concatenate(
+                [np.zeros((1, num_channels)), np.cumsum(chans, axis=0)]
+            )
+            #: per-node aggregate channel sums, shape (nodes, num_channels)
+            self.node_agg = prefix[self.node_end] - prefix[self.node_start]
+        else:
+            self.node_agg = None
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_start)
+
+    def is_leaf(self, node: int) -> bool:
+        return self.node_left[node] == _NO_CHILD
+
+    def node_size(self, node: int) -> int:
+        return int(self.node_end[node] - self.node_start[node])
+
+    def min_dist_sq(self, node: int, qx: float, qy: float) -> float:
+        """Squared distance from ``q`` to the node's bounding box (0 inside)."""
+        xmin, ymin, xmax, ymax = self.node_bbox[node]
+        dx = max(xmin - qx, 0.0, qx - xmax)
+        dy = max(ymin - qy, 0.0, qy - ymax)
+        return dx * dx + dy * dy
+
+    def max_dist_sq(self, node: int, qx: float, qy: float) -> float:
+        """Squared distance from ``q`` to the farthest bounding-box corner."""
+        xmin, ymin, xmax, ymax = self.node_bbox[node]
+        dx = max(qx - xmin, xmax - qx)
+        dy = max(qy - ymin, ymax - qy)
+        return dx * dx + dy * dy
+
+    def query_radius(self, qx: float, qy: float, radius: float) -> np.ndarray:
+        """Indices (into the *original* array) of points within ``radius``.
+
+        The classic range query the RQS baseline issues once per pixel.
+        """
+        r_sq = radius * radius
+        hits: list[np.ndarray] = []
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            if self.node_size(node) == 0:
+                continue
+            if self.min_dist_sq(node, qx, qy) > r_sq:
+                continue
+            if self.max_dist_sq(node, qx, qy) <= r_sq:
+                # whole subtree inside the disc
+                hits.append(self.perm[self.node_start[node] : self.node_end[node]])
+                continue
+            if self.is_leaf(node):
+                start, end = self.node_start[node], self.node_end[node]
+                pts = self.points[start:end]
+                d_sq = (pts[:, 0] - qx) ** 2 + (pts[:, 1] - qy) ** 2
+                hits.append(self.perm[start:end][d_sq <= r_sq])
+            else:
+                stack.append(int(self.node_left[node]))
+                stack.append(int(self.node_right[node]))
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(hits)
+
+    def count_radius(self, qx: float, qy: float, radius: float) -> int:
+        """Number of points within ``radius`` (used in tests)."""
+        return len(self.query_radius(qx, qy, radius))

@@ -1,0 +1,205 @@
+"""A from-scratch STR-packed R-tree [Leutenegger et al. 1997 packing].
+
+A third range-query index for the RQS baseline family, demonstrating that
+RQS's O(XYn) worst case is index-independent (paper Section 2.2 makes the
+argument for kd-trees and ball trees; the R-tree is the index GIS systems
+such as PostGIS actually use).
+
+Construction is Sort-Tile-Recursive bulk loading: points are sorted by x,
+cut into vertical slabs of ~sqrt(n/leaf_size) leaves each, each slab sorted
+by y and cut into leaves.  Internal levels pack the same way over child MBR
+centers, giving a fully balanced tree in O(n log n).  The flat-array node
+layout matches :class:`repro.index.kdtree.KDTree` (children are contiguous
+ranges of the level below instead of binary pairs), and the same
+``query_radius`` / ``min_dist_sq`` / ``max_dist_sq`` interface is exposed so
+the RQS driver can use any of the three indexes interchangeably.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.kernels import channel_values
+
+__all__ = ["RTree"]
+
+
+class RTree:
+    """STR bulk-loaded R-tree over an ``(n, 2)`` coordinate array.
+
+    Parameters
+    ----------
+    xy:
+        Point coordinates.
+    leaf_size:
+        Target number of points per leaf.
+    fanout:
+        Maximum children per internal node.
+    num_channels / weights:
+        As in :class:`~repro.index.kdtree.KDTree`: optional per-node
+        aggregate channel sums for O(1) inside-support contributions.
+    """
+
+    def __init__(
+        self,
+        xy: np.ndarray,
+        leaf_size: int = 32,
+        fanout: int = 8,
+        num_channels: int = 0,
+        weights: np.ndarray | None = None,
+    ):
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) coordinates, got shape {xy.shape}")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        n = len(xy)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (n,):
+                raise ValueError(f"weights must have shape ({n},), got {weights.shape}")
+        self.leaf_size = leaf_size
+        self.fanout = fanout
+        self.num_channels = num_channels
+
+        #: permutation into STR (leaf-contiguous) order
+        self.perm = self._str_pack_points(xy, leaf_size)
+        self.points = xy[self.perm]
+        self.weights = None if weights is None else weights[self.perm]
+
+        # Build leaf level: contiguous chunks of the permuted points.
+        leaf_bounds = []
+        leaf_ranges = []
+        for start in range(0, max(n, 1), leaf_size):
+            end = min(start + leaf_size, n)
+            if end <= start:
+                break
+            pts = self.points[start:end]
+            leaf_bounds.append(
+                (pts[:, 0].min(), pts[:, 1].min(), pts[:, 0].max(), pts[:, 1].max())
+            )
+            leaf_ranges.append((start, end))
+        if not leaf_ranges:  # empty dataset: one empty leaf as the root
+            leaf_bounds = [(0.0, 0.0, 0.0, 0.0)]
+            leaf_ranges = [(0, 0)]
+
+        # Pack levels bottom-up until a single root remains.  The leaves are
+        # already in STR (spatially coherent) order, so each internal node
+        # simply takes the next ``fanout`` consecutive nodes of the level
+        # below — the standard packed-R-tree construction.  Consecutive
+        # grouping keeps both the child ids and the underlying point ranges
+        # contiguous, which the flat layout and node aggregates rely on.
+        bboxes: list[tuple[float, float, float, float]] = list(leaf_bounds)
+        starts = [r[0] for r in leaf_ranges]
+        ends = [r[1] for r in leaf_ranges]
+        child_start = [-1] * len(leaf_ranges)
+        child_end = [-1] * len(leaf_ranges)
+
+        level_ids = list(range(len(leaf_ranges)))
+        while len(level_ids) > 1:
+            next_ids = []
+            for group_start in range(0, len(level_ids), fanout):
+                group = level_ids[group_start : group_start + fanout]
+                node_id = len(bboxes)
+                gb = np.array([bboxes[g] for g in group])
+                bboxes.append(
+                    (gb[:, 0].min(), gb[:, 1].min(), gb[:, 2].max(), gb[:, 3].max())
+                )
+                starts.append(min(starts[g] for g in group))
+                ends.append(max(ends[g] for g in group))
+                child_start.append(group[0])
+                child_end.append(group[-1] + 1)
+                next_ids.append(node_id)
+            level_ids = next_ids
+
+        self.root = level_ids[0]
+        self.node_bbox = np.array(bboxes, dtype=np.float64)
+        self.node_start = np.array(starts, dtype=np.int64)
+        self.node_end = np.array(ends, dtype=np.int64)
+        self.child_start = np.array(child_start, dtype=np.int64)
+        self.child_end = np.array(child_end, dtype=np.int64)
+
+        if num_channels > 0:
+            chans = channel_values(self.points, num_channels, weights=self.weights)
+            prefix = np.concatenate(
+                [np.zeros((1, num_channels)), np.cumsum(chans, axis=0)]
+            )
+            self.node_agg = prefix[self.node_end] - prefix[self.node_start]
+        else:
+            self.node_agg = None
+
+    @staticmethod
+    def _str_pack_points(xy: np.ndarray, group_size: int) -> np.ndarray:
+        """Sort-Tile-Recursive ordering: x-slabs, then y within each slab."""
+        n = len(xy)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        num_groups = math.ceil(n / group_size)
+        num_slabs = max(1, math.ceil(math.sqrt(num_groups)))
+        slab_points = num_slabs * group_size  # points per vertical slab
+        by_x = np.argsort(xy[:, 0], kind="stable")
+        order = np.empty(n, dtype=np.int64)
+        for slab_start in range(0, n, slab_points):
+            slab = by_x[slab_start : slab_start + slab_points]
+            slab_by_y = slab[np.argsort(xy[slab, 1], kind="stable")]
+            order[slab_start : slab_start + len(slab)] = slab_by_y
+        return order
+
+    # -- interface shared with KDTree/BallTree --------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_bbox)
+
+    def is_leaf(self, node: int) -> bool:
+        return self.child_start[node] < 0
+
+    def node_size(self, node: int) -> int:
+        return int(self.node_end[node] - self.node_start[node])
+
+    def children(self, node: int) -> range:
+        return range(int(self.child_start[node]), int(self.child_end[node]))
+
+    def min_dist_sq(self, node: int, qx: float, qy: float) -> float:
+        xmin, ymin, xmax, ymax = self.node_bbox[node]
+        dx = max(xmin - qx, 0.0, qx - xmax)
+        dy = max(ymin - qy, 0.0, qy - ymax)
+        return dx * dx + dy * dy
+
+    def max_dist_sq(self, node: int, qx: float, qy: float) -> float:
+        xmin, ymin, xmax, ymax = self.node_bbox[node]
+        dx = max(qx - xmin, xmax - qx)
+        dy = max(qy - ymin, ymax - qy)
+        return dx * dx + dy * dy
+
+    def query_radius(self, qx: float, qy: float, radius: float) -> np.ndarray:
+        """Indices (into the original array) of points within ``radius``."""
+        r_sq = radius * radius
+        hits: list[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if self.node_size(node) == 0:
+                continue
+            if self.min_dist_sq(node, qx, qy) > r_sq:
+                continue
+            if self.max_dist_sq(node, qx, qy) <= r_sq:
+                hits.append(self.perm[self.node_start[node] : self.node_end[node]])
+                continue
+            if self.is_leaf(node):
+                start, end = self.node_start[node], self.node_end[node]
+                pts = self.points[start:end]
+                d_sq = (pts[:, 0] - qx) ** 2 + (pts[:, 1] - qy) ** 2
+                hits.append(self.perm[start:end][d_sq <= r_sq])
+            else:
+                stack.extend(self.children(node))
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(hits)
+
+    def count_radius(self, qx: float, qy: float, radius: float) -> int:
+        return len(self.query_radius(qx, qy, radius))

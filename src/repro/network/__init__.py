@@ -1,0 +1,18 @@
+"""Network KDV substrate and evaluators (the paper's NKDV future work)."""
+
+from .graph import SpatialNetwork, street_grid
+from .lixel import Lixelization
+from .nkdv import NKDVResult, compute_nkdv, nkdv_event_centric, nkdv_lixel_centric
+from .shortest_path import bounded_dijkstra, node_distances_from_edge_point
+
+__all__ = [
+    "SpatialNetwork",
+    "street_grid",
+    "Lixelization",
+    "bounded_dijkstra",
+    "node_distances_from_edge_point",
+    "compute_nkdv",
+    "nkdv_event_centric",
+    "nkdv_lixel_centric",
+    "NKDVResult",
+]

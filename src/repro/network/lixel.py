@@ -1,0 +1,85 @@
+"""Lixels — the network analog of pixels.
+
+NKDV discretizes every edge into *lixels* (linear pixels) of a target
+length; the density is evaluated at each lixel's center point and visualized
+by coloring the lixel's segment.  :class:`Lixelization` stores the flat
+per-lixel arrays (owning edge, start/center offsets, world-coordinate
+segments) the NKDV evaluator and renderer consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import SpatialNetwork
+
+__all__ = ["Lixelization"]
+
+
+class Lixelization:
+    """Subdivision of every network edge into lixels of ~``lixel_length``.
+
+    Each edge of length ``L`` is cut into ``ceil(L / lixel_length)`` equal
+    pieces (so lixels never exceed the target length and tile the edge
+    exactly).
+
+    Attributes
+    ----------
+    edge_id:
+        ``(M,)`` owning edge of each lixel.
+    start, center:
+        ``(M,)`` offsets along the owning edge of the lixel's start/center.
+    length:
+        ``(M,)`` lixel lengths.
+    edge_first_lixel:
+        ``(E + 1,)`` CSR offsets: edge ``e``'s lixels are the id range
+        ``[edge_first_lixel[e], edge_first_lixel[e + 1])``.
+    """
+
+    def __init__(self, network: SpatialNetwork, lixel_length: float):
+        if lixel_length <= 0:
+            raise ValueError("lixel_length must be positive")
+        self.network = network
+        self.lixel_length = float(lixel_length)
+
+        counts = np.maximum(
+            1, np.ceil(network.edge_length / lixel_length).astype(np.int64)
+        )
+        self.edge_first_lixel = np.concatenate([[0], np.cumsum(counts)]).astype(
+            np.int64
+        )
+        total = int(self.edge_first_lixel[-1])
+        self.edge_id = np.repeat(np.arange(network.num_edges, dtype=np.int64), counts)
+        # index of each lixel within its edge
+        within = np.arange(total, dtype=np.int64) - self.edge_first_lixel[self.edge_id]
+        piece = network.edge_length[self.edge_id] / counts[self.edge_id]
+        self.length = piece
+        self.start = within * piece
+        self.center = self.start + piece / 2.0
+
+    def __len__(self) -> int:
+        return len(self.edge_id)
+
+    def center_points(self) -> np.ndarray:
+        """World coordinates of every lixel center, shape ``(M, 2)``."""
+        net = self.network
+        a = net.node_xy[net.edges[self.edge_id, 0]]
+        b = net.node_xy[net.edges[self.edge_id, 1]]
+        t = (self.center / net.edge_length[self.edge_id])[:, None]
+        return (1.0 - t) * a + t * b
+
+    def segments(self) -> np.ndarray:
+        """World-coordinate segments ``(M, 2, 2)``: [start point, end point]."""
+        net = self.network
+        a = net.node_xy[net.edges[self.edge_id, 0]]
+        b = net.node_xy[net.edges[self.edge_id, 1]]
+        direction = b - a
+        t0 = (self.start / net.edge_length[self.edge_id])[:, None]
+        t1 = ((self.start + self.length) / net.edge_length[self.edge_id])[:, None]
+        return np.stack([a + t0 * direction, a + t1 * direction], axis=1)
+
+    def lixels_of_edge(self, edge: int) -> slice:
+        """The lixel-id slice belonging to one edge."""
+        return slice(
+            int(self.edge_first_lixel[edge]), int(self.edge_first_lixel[edge + 1])
+        )

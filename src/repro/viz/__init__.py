@@ -1,0 +1,21 @@
+"""Visualization substrates: regions, bandwidths, colormaps, exploration."""
+
+from .bandwidth import scaled_bandwidth, scott_bandwidth
+from .colormap import apply_colormap, normalize_grid
+from .explore import ExplorationSession, random_pan_regions
+from .image import ascii_preview, write_pgm, write_ppm
+from .region import Raster, Region
+
+__all__ = [
+    "Region",
+    "Raster",
+    "scott_bandwidth",
+    "scaled_bandwidth",
+    "apply_colormap",
+    "normalize_grid",
+    "write_ppm",
+    "write_pgm",
+    "ascii_preview",
+    "ExplorationSession",
+    "random_pan_regions",
+]

@@ -1,0 +1,188 @@
+"""Bandwidth selection.
+
+The paper (Section 4.1) follows earlier KDV studies and uses **Scott's rule**
+[Scott 1992] to pick the default bandwidth per dataset.  For a 2-D dataset of
+``n`` points, Scott's factor is ``n^(-1/(d+4)) = n^(-1/6)``; we collapse the
+per-dimension bandwidths into the single radial bandwidth the kernels of
+Table 2 expect by using the root-mean-square of the coordinate standard
+deviations:
+
+    b = n^(-1/6) * sqrt((var_x + var_y) / 2)
+
+Any positive float can also be passed directly wherever a bandwidth is
+accepted; the multiplicative sweep of Figure 15 (0.25x .. 4x) is expressed via
+:func:`scaled_bandwidth`.
+
+Beyond the paper's default, two further selectors support the bandwidth
+exploration workflow (Figure 2's "bandwidth selection" operation):
+
+* :func:`silverman_bandwidth` — Silverman's robust rule of thumb: same
+  ``n^(-1/6)`` factor (the dimension-2 Silverman constant equals 1) but the
+  spread estimate is ``min(std, IQR / 1.349)`` per axis, so heavy-tailed
+  data (exactly what clustered crime data is) does not inflate the
+  bandwidth;
+* :func:`lcv_bandwidth` — leave-one-out likelihood cross-validation: picks
+  the ``b`` maximizing ``sum_i log f_{-i}(x_i)`` by golden-section search,
+  with the leave-one-out densities evaluated through the library's own
+  kd-tree range queries (no grid needed).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "scott_bandwidth",
+    "scaled_bandwidth",
+    "silverman_bandwidth",
+    "lcv_bandwidth",
+]
+
+
+def scott_bandwidth(xy: np.ndarray) -> float:
+    """Scott's-rule radial bandwidth for a 2-D point array."""
+    xy = np.asarray(xy, dtype=np.float64)
+    n = len(xy)
+    if n < 2:
+        raise ValueError("Scott's rule needs at least 2 points")
+    var_x = float(np.var(xy[:, 0]))
+    var_y = float(np.var(xy[:, 1]))
+    spread = np.sqrt((var_x + var_y) / 2.0)
+    if spread == 0.0:
+        raise ValueError("Scott's rule is undefined for coincident points")
+    return float(n ** (-1.0 / 6.0) * spread)
+
+
+def scaled_bandwidth(xy: np.ndarray, ratio: float) -> float:
+    """Scott's bandwidth multiplied by ``ratio`` (the Figure 15 sweep)."""
+    if ratio <= 0:
+        raise ValueError("bandwidth ratio must be positive")
+    return scott_bandwidth(xy) * ratio
+
+
+def silverman_bandwidth(xy: np.ndarray) -> float:
+    """Silverman's robust rule of thumb (IQR-guarded spread).
+
+    Never larger than :func:`scott_bandwidth`; substantially smaller when
+    the data is clustered with outliers, which is the regime KDV cares
+    about.
+    """
+    xy = np.asarray(xy, dtype=np.float64)
+    n = len(xy)
+    if n < 2:
+        raise ValueError("Silverman's rule needs at least 2 points")
+
+    def robust_spread(values: np.ndarray) -> float:
+        std = float(np.std(values))
+        q75, q25 = np.percentile(values, [75, 25])
+        iqr_sigma = float(q75 - q25) / 1.349
+        if iqr_sigma > 0:
+            return min(std, iqr_sigma)
+        return std  # degenerate IQR (heavy duplication): fall back to std
+
+    sx = robust_spread(xy[:, 0])
+    sy = robust_spread(xy[:, 1])
+    spread = math.sqrt((sx * sx + sy * sy) / 2.0)
+    if spread == 0.0:
+        raise ValueError("Silverman's rule is undefined for coincident points")
+    return float(n ** (-1.0 / 6.0) * spread)
+
+
+def _loo_log_likelihood(
+    xy: np.ndarray, bandwidth: float, kernel, tree, floor: float
+) -> float:
+    """Leave-one-out log likelihood of the data under the KDE."""
+    n = len(xy)
+    radius = kernel.support_radius(bandwidth)
+    norm = kernel.normalizer(bandwidth) / (n - 1)
+    self_value = float(kernel.evaluate(np.float64(0.0), bandwidth))
+    total = 0.0
+    for i in range(n):
+        neighbors = tree.query_radius(float(xy[i, 0]), float(xy[i, 1]), radius)
+        pts = xy[neighbors]
+        d_sq = (pts[:, 0] - xy[i, 0]) ** 2 + (pts[:, 1] - xy[i, 1]) ** 2
+        density = (float(kernel.evaluate(d_sq, bandwidth).sum()) - self_value) * norm
+        total += math.log(max(density, floor))
+    return total
+
+
+def lcv_bandwidth(
+    xy: np.ndarray,
+    kernel: str = "quartic",
+    b_min: float | None = None,
+    b_max: float | None = None,
+    iterations: int = 20,
+    max_points: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Likelihood cross-validation bandwidth by golden-section search.
+
+    Parameters
+    ----------
+    kernel:
+        A finite-support kernel name; the quartic default is smooth at its
+        boundary, which keeps the likelihood surface well behaved.
+    b_min, b_max:
+        Search bracket; defaults to ``[0.05, 4] * scott_bandwidth``.
+    iterations:
+        Golden-section iterations (20 narrows the bracket ~10,000-fold).
+    max_points:
+        Datasets larger than this are subsampled for the search (the
+        selected bandwidth is then rescaled by ``(m/n)^(-1/6)`` to undo the
+        sample-size dependence of the optimum).
+    """
+    from ..core.kernels import get_kernel
+    from ..index.kdtree import KDTree
+
+    xy = np.asarray(xy, dtype=np.float64)
+    n = len(xy)
+    if n < 3:
+        raise ValueError("cross-validation needs at least 3 points")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    kernel_obj = get_kernel(kernel)
+    if not np.isfinite(kernel_obj.support_radius(1.0)):
+        raise ValueError("LCV requires a finite-support kernel")
+
+    sample_scale = 1.0
+    if n > max_points:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(n, size=max_points, replace=False)
+        xy = xy[idx]
+        # Scott-rate correction from the sample's optimum back to full n
+        sample_scale = (n / max_points) ** (-1.0 / 6.0)
+        n = max_points
+
+    scott = scott_bandwidth(xy)
+    lo = scott * 0.05 if b_min is None else float(b_min)
+    hi = scott * 4.0 if b_max is None else float(b_max)
+    if not 0 < lo < hi:
+        raise ValueError("need 0 < b_min < b_max")
+
+    tree = KDTree(xy, leaf_size=64)
+    # a likelihood floor far below any plausible density avoids -inf while
+    # still penalizing undersmoothing hard
+    area = max(np.ptp(xy[:, 0]) * np.ptp(xy[:, 1]), 1e-12)
+    floor = 1e-12 / area
+
+    def objective(b: float) -> float:
+        return _loo_log_likelihood(xy, b, kernel_obj, tree, floor)
+
+    invphi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - (b - a) * invphi
+    d = a + (b - a) * invphi
+    fc, fd = objective(c), objective(d)
+    for _ in range(iterations):
+        if fc > fd:  # maximize
+            b, d, fd = d, c, fc
+            c = b - (b - a) * invphi
+            fc = objective(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + (b - a) * invphi
+            fd = objective(d)
+    best = (a + b) / 2.0
+    return float(best * sample_scale)

@@ -1,0 +1,66 @@
+"""Density-to-color mapping.
+
+KDV tools color each pixel by its density value (paper Figure 1: red = high
+density = hotspot).  We provide small piecewise-linear colormaps sufficient
+for heat-map rendering without external plotting dependencies, applied after
+robust normalization (clipping at the 99.5th percentile so a single extreme
+pixel does not wash the map out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["COLORMAPS", "apply_colormap", "normalize_grid"]
+
+# Control points as (position in [0, 1], (r, g, b)) with 0..255 channels.
+_HEAT = [
+    (0.00, (255, 255, 255)),
+    (0.25, (254, 224, 144)),
+    (0.50, (253, 141, 60)),
+    (0.75, (227, 26, 28)),
+    (1.00, (128, 0, 38)),
+]
+_VIRIDIS_LIKE = [
+    (0.00, (68, 1, 84)),
+    (0.25, (59, 82, 139)),
+    (0.50, (33, 145, 140)),
+    (0.75, (94, 201, 98)),
+    (1.00, (253, 231, 37)),
+]
+_GRAY = [(0.0, (0, 0, 0)), (1.0, (255, 255, 255))]
+
+COLORMAPS: dict[str, list[tuple[float, tuple[int, int, int]]]] = {
+    "heat": _HEAT,
+    "viridis": _VIRIDIS_LIKE,
+    "gray": _GRAY,
+}
+
+
+def normalize_grid(grid: np.ndarray, clip_quantile: float = 0.995) -> np.ndarray:
+    """Normalize density values to [0, 1] with high-quantile clipping."""
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.size == 0:
+        return grid.copy()
+    positive = grid[grid > 0]
+    top = float(np.quantile(positive, clip_quantile)) if positive.size else 0.0
+    if top <= 0.0:
+        return np.zeros_like(grid)
+    return np.clip(grid / top, 0.0, 1.0)
+
+
+def apply_colormap(grid: np.ndarray, colormap: str = "heat") -> np.ndarray:
+    """Map a density grid to an ``(H, W, 3)`` uint8 RGB image."""
+    try:
+        stops = COLORMAPS[colormap]
+    except KeyError:
+        raise ValueError(
+            f"unknown colormap {colormap!r}; available: {sorted(COLORMAPS)}"
+        ) from None
+    norm = normalize_grid(grid)
+    positions = np.array([s[0] for s in stops])
+    colors = np.array([s[1] for s in stops], dtype=np.float64)
+    rgb = np.empty(norm.shape + (3,), dtype=np.float64)
+    for c in range(3):
+        rgb[..., c] = np.interp(norm, positions, colors[:, c])
+    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)

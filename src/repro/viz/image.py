@@ -1,0 +1,70 @@
+"""Minimal image output: binary PPM/PGM writers and an ASCII preview.
+
+No imaging dependency is available offline, so heat maps are written as
+Netpbm files (viewable by virtually every image tool) and terminal previews
+use a density character ramp.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_ppm", "write_pgm", "ascii_preview"]
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def write_ppm(path: "str | Path", rgb: np.ndarray) -> None:
+    """Write an ``(H, W, 3)`` uint8 array as a binary PPM (P6) file."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3 or rgb.dtype != np.uint8:
+        raise ValueError(f"expected (H, W, 3) uint8 image, got {rgb.shape} {rgb.dtype}")
+    height, width = rgb.shape[:2]
+    with open(path, "wb") as f:
+        f.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        f.write(rgb.tobytes())
+
+
+def write_pgm(path: "str | Path", gray: np.ndarray) -> None:
+    """Write an ``(H, W)`` uint8 array as a binary PGM (P5) file."""
+    gray = np.asarray(gray)
+    if gray.ndim != 2 or gray.dtype != np.uint8:
+        raise ValueError(f"expected (H, W) uint8 image, got {gray.shape} {gray.dtype}")
+    height, width = gray.shape
+    with open(path, "wb") as f:
+        f.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        f.write(gray.tobytes())
+
+
+def ascii_preview(grid: np.ndarray, width: int = 72, height: int = 24) -> str:
+    """Render a density grid as an ASCII heat map for terminal inspection.
+
+    The grid is box-downsampled to at most ``width x height`` characters;
+    denser pixels map to denser ramp characters.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2:
+        raise ValueError("expected a 2-D grid")
+    if grid.size == 0:
+        return ""
+    rows, cols = grid.shape
+    out_h = min(height, rows)
+    out_w = min(width, cols)
+    # box-average downsample via bin assignment
+    row_bins = (np.arange(rows) * out_h // rows).clip(0, out_h - 1)
+    col_bins = (np.arange(cols) * out_w // cols).clip(0, out_w - 1)
+    sums = np.zeros((out_h, out_w))
+    counts = np.zeros((out_h, out_w))
+    np.add.at(sums, (row_bins[:, None], col_bins[None, :]), grid)
+    np.add.at(counts, (row_bins[:, None], col_bins[None, :]), 1.0)
+    small = sums / counts
+    top = small.max()
+    if top <= 0:
+        levels = np.zeros_like(small, dtype=int)
+    else:
+        levels = np.minimum(
+            (small / top * (len(_ASCII_RAMP) - 1)).astype(int), len(_ASCII_RAMP) - 1
+        )
+    return "\n".join("".join(_ASCII_RAMP[v] for v in row) for row in levels)

@@ -1,0 +1,143 @@
+"""Geographic regions and pixel rasters.
+
+The paper evaluates KDV over a rectangular geographic region rendered at a
+screen resolution of ``X x Y`` pixels (Problem 1).  :class:`Region` is the
+world-coordinate rectangle; :class:`Raster` pairs a region with a resolution
+and exposes the pixel-center coordinate grids the sweep algorithms consume.
+
+Pixel convention: pixel ``(i, j)`` (column i, row j) has its center at
+
+    x_i = xmin + (i + 0.5) * gx        gx = width  / X
+    y_j = ymin + (j + 0.5) * gy        gy = height / Y
+
+Row ``j = 0`` is the southernmost row; result grids are indexed ``[j, i]``
+(row-major, ``Y x X``).  Pixel centers along a row are strictly increasing and
+evenly spaced — the property SLAM_BUCKET's O(1) bucket assignment
+(Equations 19-20 of the paper) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Region", "Raster"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangle in projected world coordinates (meters)."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if not (self.xmax > self.xmin and self.ymax > self.ymin):
+            raise ValueError(
+                f"degenerate region: ({self.xmin}, {self.ymin}) .. ({self.xmax}, {self.ymax})"
+            )
+
+    @classmethod
+    def from_points(cls, xy: np.ndarray, pad_fraction: float = 0.0) -> "Region":
+        """Minimum bounding rectangle of a coordinate array, optionally padded."""
+        arr = np.asarray(xy, dtype=np.float64)
+        xmin, ymin = arr.min(axis=0)
+        xmax, ymax = arr.max(axis=0)
+        if xmax == xmin:
+            xmax = xmin + 1.0
+        if ymax == ymin:
+            ymax = ymin + 1.0
+        pad_x = (xmax - xmin) * pad_fraction
+        pad_y = (ymax - ymin) * pad_fraction
+        return cls(xmin - pad_x, ymin - pad_y, xmax + pad_x, ymax + pad_y)
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0
+
+    def scaled(self, ratio: float, ratio_y: float | None = None) -> "Region":
+        """A region with the same center whose width/height are multiplied by
+        ``ratio`` (and ``ratio_y`` for the height, if given).
+
+        ``ratio < 1`` zooms in — this is the paper's zooming operation
+        (Figure 16a/b), which shrinks the city MBR around its center.
+        """
+        if ratio <= 0 or (ratio_y is not None and ratio_y <= 0):
+            raise ValueError("scale ratios must be positive")
+        ry = ratio if ratio_y is None else ratio_y
+        cx, cy = self.center
+        half_w = self.width * ratio / 2.0
+        half_h = self.height * ry / 2.0
+        return Region(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+    def translated(self, dx: float, dy: float) -> "Region":
+        """The region shifted by ``(dx, dy)`` — the panning primitive."""
+        return Region(self.xmin + dx, self.ymin + dy, self.xmax + dx, self.ymax + dy)
+
+    def contains(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorized point-in-region test (closed rectangle)."""
+        return (
+            (np.asarray(x) >= self.xmin)
+            & (np.asarray(x) <= self.xmax)
+            & (np.asarray(y) >= self.ymin)
+            & (np.asarray(y) <= self.ymax)
+        )
+
+    def transposed(self) -> "Region":
+        """The region with x and y axes swapped (used by RAO)."""
+        return Region(self.ymin, self.xmin, self.ymax, self.xmax)
+
+
+@dataclass(frozen=True)
+class Raster:
+    """A :class:`Region` discretized into an ``X x Y`` pixel grid."""
+
+    region: Region
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("raster resolution must be at least 1x1")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape ``(Y, X)`` — the shape of result arrays."""
+        return self.height, self.width
+
+    @property
+    def gx(self) -> float:
+        """World-units gap between consecutive pixel centers along x."""
+        return self.region.width / self.width
+
+    @property
+    def gy(self) -> float:
+        """World-units gap between consecutive pixel centers along y."""
+        return self.region.height / self.height
+
+    def x_centers(self) -> np.ndarray:
+        """Pixel-center x coordinates, shape ``(X,)``, strictly increasing."""
+        return self.region.xmin + (np.arange(self.width) + 0.5) * self.gx
+
+    def y_centers(self) -> np.ndarray:
+        """Pixel-center y coordinates, shape ``(Y,)``, strictly increasing."""
+        return self.region.ymin + (np.arange(self.height) + 0.5) * self.gy
+
+    def transposed(self) -> "Raster":
+        """The raster with axes swapped (RAO support)."""
+        return Raster(self.region.transposed(), self.height, self.width)
+
+    @property
+    def pixel_count(self) -> int:
+        return self.width * self.height

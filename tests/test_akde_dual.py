@@ -1,0 +1,120 @@
+"""Tests for the dual-tree aKDE extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Raster, Region, compute_kdv
+from repro.baselines.akde import akde_error_bound
+from repro.baselines.akde_dual import akde_dual_grid
+from repro.core.kernels import get_kernel
+
+from .conftest import reference_grid
+
+
+class TestDualTreeAKDE:
+    @pytest.mark.parametrize("kernel_name", ["uniform", "epanechnikov", "quartic"])
+    def test_zero_tolerance_exact(self, kernel_name, small_xy, raster):
+        expected = reference_grid(small_xy, raster, kernel_name, 9.0)
+        got = akde_dual_grid(
+            small_xy, raster, get_kernel(kernel_name), 9.0, tolerance=0.0
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-10)
+
+    @pytest.mark.parametrize("tol", [1e-2, 1e-3, 1e-4])
+    def test_error_within_bound(self, tol, small_xy, raster):
+        expected = reference_grid(small_xy, raster, "epanechnikov", 9.0)
+        got = akde_dual_grid(
+            small_xy, raster, get_kernel("epanechnikov"), 9.0, tolerance=tol
+        )
+        bound = akde_error_bound(len(small_xy), tol)
+        assert np.abs(got - expected).max() <= bound + 1e-9
+
+    def test_gaussian_supported(self, small_xy, raster):
+        expected = reference_grid(small_xy, raster, "gaussian", 9.0)
+        got = akde_dual_grid(
+            small_xy, raster, get_kernel("gaussian"), 9.0, tolerance=1e-4
+        )
+        bound = akde_error_bound(len(small_xy), 1e-4)
+        assert np.abs(got - expected).max() <= bound + 1e-9
+
+    def test_weighted_bound(self, small_xy, raster, rng):
+        w = rng.uniform(0, 3, len(small_xy))
+        from repro.baselines.scan import scan_grid
+
+        expected = scan_grid(
+            small_xy, raster, get_kernel("epanechnikov"), 9.0, weights=w
+        )
+        got = akde_dual_grid(
+            small_xy, raster, get_kernel("epanechnikov"), 9.0,
+            tolerance=1e-3, weights=w,
+        )
+        assert np.abs(got - expected).max() <= w.sum() * 1e-3 / 2 + 1e-9
+
+    @pytest.mark.parametrize("tile_size", [1, 4, 32])
+    def test_tile_size_does_not_change_exact_result(self, tile_size, small_xy, raster):
+        expected = reference_grid(small_xy, raster, "epanechnikov", 9.0)
+        got = akde_dual_grid(
+            small_xy, raster, get_kernel("epanechnikov"), 9.0,
+            tolerance=0.0, tile_size=tile_size,
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-10)
+
+    def test_agrees_with_single_tree_within_tolerances(self, small_xy, raster):
+        from repro.baselines.akde import akde_grid
+
+        tol = 1e-3
+        single = akde_grid(small_xy, raster, get_kernel("epanechnikov"), 9.0, tolerance=tol)
+        dual = akde_dual_grid(small_xy, raster, get_kernel("epanechnikov"), 9.0, tolerance=tol)
+        # both are within tau*n/2 of the truth, so within tau*n of each other
+        assert np.abs(single - dual).max() <= len(small_xy) * tol + 1e-9
+
+    def test_via_api(self, small_xy):
+        res = compute_kdv(
+            small_xy, size=(12, 9), bandwidth=12.0, method="akde_dual", tolerance=0.0
+        )
+        assert not res.exact  # registered as approximate despite tol=0 here
+        ref = compute_kdv(small_xy, size=(12, 9), bandwidth=12.0, method="scan")
+        np.testing.assert_allclose(res.grid, ref.grid, rtol=1e-9, atol=1e-11)
+
+    def test_empty(self, raster):
+        got = akde_dual_grid(
+            np.empty((0, 2)), raster, get_kernel("epanechnikov"), 5.0
+        )
+        assert np.all(got == 0)
+
+    def test_validation(self, small_xy, raster):
+        kernel = get_kernel("epanechnikov")
+        with pytest.raises(ValueError, match="bandwidth"):
+            akde_dual_grid(small_xy, raster, kernel, 0.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            akde_dual_grid(small_xy, raster, kernel, 9.0, tolerance=-1.0)
+        with pytest.raises(ValueError, match="tile_size"):
+            akde_dual_grid(small_xy, raster, kernel, 9.0, tile_size=0)
+        with pytest.raises(ValueError, match="weights"):
+            akde_dual_grid(small_xy, raster, kernel, 9.0, weights=np.ones(2))
+
+    def test_single_pixel_raster(self, small_xy, region):
+        raster = Raster(region, 1, 1)
+        expected = reference_grid(small_xy, raster, "epanechnikov", 25.0)
+        got = akde_dual_grid(
+            small_xy, raster, get_kernel("epanechnikov"), 25.0, tolerance=0.0
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        b=st.floats(0.5, 25.0),
+        tol=st.floats(0.0, 0.05),
+    )
+    def test_bound_property(self, seed, b, tol):
+        gen = np.random.default_rng(seed)
+        xy = gen.uniform((0, 0), (20, 15), (80, 2))
+        raster = Raster(Region(0, 0, 20, 15), 11, 6)
+        expected = reference_grid(xy, raster, "quartic", b)
+        got = akde_dual_grid(xy, raster, get_kernel("quartic"), b, tolerance=tol)
+        assert np.abs(got - expected).max() <= akde_error_bound(80, tol) + 1e-8

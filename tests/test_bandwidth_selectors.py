@@ -1,0 +1,95 @@
+"""Tests for the additional bandwidth selectors (Silverman, LCV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz.bandwidth import (
+    lcv_bandwidth,
+    scott_bandwidth,
+    silverman_bandwidth,
+)
+
+
+class TestSilverman:
+    def test_gaussian_data_matches_scott(self, rng):
+        """For Gaussian data std ~ IQR/1.349, so the rules coincide."""
+        xy = rng.normal(0, 5, (3000, 2))
+        assert silverman_bandwidth(xy) == pytest.approx(
+            scott_bandwidth(xy), rel=0.05
+        )
+
+    def test_never_exceeds_scott(self, rng):
+        for _ in range(5):
+            xy = rng.uniform(0, 100, (500, 2)) * rng.uniform(0.1, 10)
+            assert silverman_bandwidth(xy) <= scott_bandwidth(xy) + 1e-12
+
+    def test_outliers_shrink_silverman(self, rng):
+        """Heavy outliers inflate std but not IQR: Silverman stays small."""
+        core = rng.normal(0, 1, (1000, 2))
+        outliers = rng.normal(0, 100, (20, 2))
+        xy = np.vstack([core, outliers])
+        assert silverman_bandwidth(xy) < 0.5 * scott_bandwidth(xy)
+
+    def test_degenerate_iqr_falls_back_to_std(self):
+        """Massive duplication makes IQR zero; the rule must not return 0."""
+        xy = np.vstack([np.zeros((90, 2)), np.random.default_rng(0).normal(0, 1, (10, 2))])
+        assert silverman_bandwidth(xy) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            silverman_bandwidth(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            silverman_bandwidth(np.zeros((10, 2)))
+
+
+class TestLCV:
+    def test_returns_within_bracket(self, rng):
+        xy = rng.normal(0, 3, (300, 2))
+        b = lcv_bandwidth(xy, b_min=0.5, b_max=5.0, iterations=10)
+        assert 0.5 <= b <= 5.0
+
+    def test_reasonable_for_gaussian_data(self, rng):
+        """The LCV optimum for a Gaussian cloud lands within a small factor
+        of Scott's rule (both are near-optimal there)."""
+        xy = rng.normal(0, 3, (800, 2))
+        b = lcv_bandwidth(xy, iterations=15)
+        scott = scott_bandwidth(xy)
+        assert scott / 4 <= b <= scott * 4
+
+    def test_bimodal_prefers_smaller_than_scott(self, rng):
+        """Scott over-smooths multi-modal data; LCV should pick smaller."""
+        xy = np.vstack(
+            [rng.normal((0, 0), 1.0, (400, 2)), rng.normal((25, 25), 1.0, (400, 2))]
+        )
+        b = lcv_bandwidth(xy, iterations=15)
+        assert b < scott_bandwidth(xy)
+
+    def test_deterministic(self, rng):
+        xy = rng.normal(0, 3, (200, 2))
+        assert lcv_bandwidth(xy, iterations=8) == lcv_bandwidth(xy, iterations=8)
+
+    def test_subsampling_path(self, rng):
+        xy = rng.normal(0, 3, (3000, 2))
+        b = lcv_bandwidth(xy, iterations=6, max_points=500)
+        assert b > 0
+
+    def test_validation(self, rng):
+        xy = rng.normal(0, 1, (50, 2))
+        with pytest.raises(ValueError):
+            lcv_bandwidth(xy[:2])
+        with pytest.raises(ValueError):
+            lcv_bandwidth(xy, iterations=0)
+        with pytest.raises(ValueError):
+            lcv_bandwidth(xy, b_min=5.0, b_max=1.0)
+        with pytest.raises(ValueError, match="finite-support"):
+            lcv_bandwidth(xy, kernel="gaussian")
+
+    def test_usable_in_compute_kdv(self, rng):
+        from repro import compute_kdv
+
+        xy = rng.normal((50, 40), 5.0, (300, 2))
+        b = lcv_bandwidth(xy, iterations=8)
+        res = compute_kdv(xy, size=(16, 12), bandwidth=b)
+        assert res.max_density() > 0

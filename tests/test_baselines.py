@@ -1,0 +1,223 @@
+"""Tests for the competitor methods of Table 6 (SCAN, RQS, Z-order, aKDE, QUAD)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Raster, Region
+from repro.baselines.akde import akde_error_bound, akde_grid
+from repro.baselines.quad import quad_grid
+from repro.baselines.rqs import rqs_ball_grid, rqs_grid, rqs_kd_grid
+from repro.baselines.scan import scan_grid
+from repro.baselines.zorder import default_sample_size, zorder_grid, zorder_sample
+from repro.core.kernels import get_kernel
+
+from .conftest import reference_grid
+
+KERNEL_NAMES = ("uniform", "epanechnikov", "quartic")
+
+
+class TestScan:
+    @pytest.mark.parametrize("kernel_name", KERNEL_NAMES + ("gaussian",))
+    def test_matches_reference(self, kernel_name, small_xy, raster):
+        expected = reference_grid(small_xy, raster, kernel_name, 9.0)
+        got = scan_grid(small_xy, raster, get_kernel(kernel_name), 9.0)
+        np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-12)
+
+    def test_chunking_boundary(self, raster, rng, monkeypatch):
+        """Result must be independent of the chunk size."""
+        import repro.baselines.scan as scan_mod
+
+        xy = rng.uniform((0, 0), (100, 80), (500, 2))
+        full = scan_grid(xy, raster, get_kernel("epanechnikov"), 9.0)
+        monkeypatch.setattr(scan_mod, "_CHUNK_BUDGET", 100)
+        chunked = scan_grid(xy, raster, get_kernel("epanechnikov"), 9.0)
+        np.testing.assert_allclose(chunked, full, rtol=1e-12)
+
+    def test_empty(self, raster):
+        grid = scan_grid(np.empty((0, 2)), raster, get_kernel("epanechnikov"), 5.0)
+        assert np.all(grid == 0)
+
+    def test_invalid_bandwidth(self, small_xy, raster):
+        with pytest.raises(ValueError, match="bandwidth"):
+            scan_grid(small_xy, raster, get_kernel("epanechnikov"), -1.0)
+
+
+class TestRQS:
+    @pytest.mark.parametrize("kernel_name", KERNEL_NAMES)
+    @pytest.mark.parametrize("index", ["kd", "ball"])
+    def test_matches_reference(self, kernel_name, index, small_xy, raster):
+        expected = reference_grid(small_xy, raster, kernel_name, 9.0)
+        got = rqs_grid(small_xy, raster, get_kernel(kernel_name), 9.0, index=index)
+        np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-12)
+
+    def test_named_wrappers(self, small_xy, raster):
+        kernel = get_kernel("epanechnikov")
+        a = rqs_kd_grid(small_xy, raster, kernel, 9.0)
+        b = rqs_ball_grid(small_xy, raster, kernel, 9.0)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_gaussian_rejected(self, small_xy, raster):
+        with pytest.raises(ValueError, match="infinite support"):
+            rqs_grid(small_xy, raster, get_kernel("gaussian"), 9.0)
+
+    def test_unknown_index(self, small_xy, raster):
+        with pytest.raises(ValueError, match="unknown index"):
+            rqs_grid(small_xy, raster, get_kernel("epanechnikov"), 9.0, index="grid")
+
+    def test_empty(self, raster):
+        grid = rqs_kd_grid(np.empty((0, 2)), raster, get_kernel("epanechnikov"), 5.0)
+        assert np.all(grid == 0)
+
+
+class TestQuad:
+    @pytest.mark.parametrize("kernel_name", KERNEL_NAMES)
+    @pytest.mark.parametrize("engine", ["numpy", "python"])
+    def test_exact(self, kernel_name, engine, small_xy, raster):
+        expected = reference_grid(small_xy, raster, kernel_name, 9.0)
+        got = quad_grid(small_xy, raster, get_kernel(kernel_name), 9.0, engine=engine)
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-10)
+
+    def test_engines_agree(self, small_xy, raster):
+        kernel = get_kernel("quartic")
+        a = quad_grid(small_xy, raster, kernel, 11.0, engine="numpy")
+        b = quad_grid(small_xy, raster, kernel, 11.0, engine="python")
+        np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-11)
+
+    def test_leaf_size_independence(self, small_xy, raster):
+        kernel = get_kernel("epanechnikov")
+        a = quad_grid(small_xy, raster, kernel, 9.0, leaf_size=2)
+        b = quad_grid(small_xy, raster, kernel, 9.0, leaf_size=128)
+        np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-11)
+
+    def test_gaussian_rejected(self, small_xy, raster):
+        with pytest.raises(ValueError, match="aggregate decomposition"):
+            quad_grid(small_xy, raster, get_kernel("gaussian"), 9.0)
+
+    def test_unknown_engine(self, small_xy, raster):
+        with pytest.raises(ValueError, match="unknown engine"):
+            quad_grid(small_xy, raster, get_kernel("epanechnikov"), 9.0, engine="c")
+
+    def test_empty(self, raster):
+        grid = quad_grid(np.empty((0, 2)), raster, get_kernel("epanechnikov"), 5.0)
+        assert np.all(grid == 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), b=st.floats(0.5, 30.0))
+    def test_exactness_property(self, seed, b):
+        gen = np.random.default_rng(seed)
+        xy = gen.uniform((0, 0), (20, 15), (60, 2))
+        raster = Raster(Region(0, 0, 20, 15), 9, 7)
+        expected = reference_grid(xy, raster, "epanechnikov", b)
+        got = quad_grid(xy, raster, get_kernel("epanechnikov"), b)
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
+
+
+class TestAKDE:
+    @pytest.mark.parametrize("engine", ["numpy", "python"])
+    def test_error_within_bound(self, engine, small_xy, raster):
+        tol = 1e-3
+        expected = reference_grid(small_xy, raster, "epanechnikov", 9.0)
+        got = akde_grid(
+            small_xy, raster, get_kernel("epanechnikov"), 9.0,
+            tolerance=tol, engine=engine,
+        )
+        bound = akde_error_bound(len(small_xy), tol)
+        assert np.abs(got - expected).max() <= bound + 1e-9
+
+    def test_zero_tolerance_is_exact(self, small_xy, raster):
+        expected = reference_grid(small_xy, raster, "epanechnikov", 9.0)
+        got = akde_grid(
+            small_xy, raster, get_kernel("epanechnikov"), 9.0, tolerance=0.0
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-10)
+
+    def test_engines_agree(self, small_xy, raster):
+        kernel = get_kernel("quartic")
+        a = akde_grid(small_xy, raster, kernel, 9.0, tolerance=1e-3, engine="numpy")
+        b = akde_grid(small_xy, raster, kernel, 9.0, tolerance=1e-3, engine="python")
+        np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-11)
+
+    def test_supports_gaussian(self, small_xy, raster):
+        expected = reference_grid(small_xy, raster, "gaussian", 9.0)
+        got = akde_grid(
+            small_xy, raster, get_kernel("gaussian"), 9.0, tolerance=1e-4
+        )
+        bound = akde_error_bound(len(small_xy), 1e-4)
+        assert np.abs(got - expected).max() <= bound + 1e-9
+
+    def test_looser_tolerance_not_slower_quality(self, small_xy, raster):
+        """Tighter tolerance must reduce (or keep) the max error."""
+        expected = reference_grid(small_xy, raster, "epanechnikov", 9.0)
+        errs = []
+        for tol in (1e-1, 1e-3, 0.0):
+            got = akde_grid(
+                small_xy, raster, get_kernel("epanechnikov"), 9.0, tolerance=tol
+            )
+            errs.append(np.abs(got - expected).max())
+        assert errs[0] >= errs[1] >= errs[2] - 1e-12
+
+    def test_invalid_args(self, small_xy, raster):
+        with pytest.raises(ValueError):
+            akde_grid(small_xy, raster, get_kernel("epanechnikov"), 9.0, tolerance=-1)
+        with pytest.raises(ValueError):
+            akde_grid(small_xy, raster, get_kernel("epanechnikov"), 0.0)
+        with pytest.raises(ValueError, match="unknown engine"):
+            akde_grid(small_xy, raster, get_kernel("epanechnikov"), 9.0, engine="c")
+
+    def test_empty(self, raster):
+        grid = akde_grid(np.empty((0, 2)), raster, get_kernel("epanechnikov"), 5.0)
+        assert np.all(grid == 0)
+
+
+class TestZOrderBaseline:
+    def test_sample_size_and_uniqueness(self, small_xy):
+        idx = zorder_sample(small_xy, 50)
+        assert len(idx) == 50
+        assert len(set(idx.tolist())) == 50
+
+    def test_sample_all_when_m_ge_n(self, small_xy):
+        idx = zorder_sample(small_xy, len(small_xy) + 10)
+        assert len(idx) == len(small_xy)
+
+    def test_sample_invalid(self, small_xy):
+        with pytest.raises(ValueError):
+            zorder_sample(small_xy, 0)
+
+    def test_default_sample_size(self):
+        assert default_sample_size(10**6, epsilon=0.05) == 400
+        assert default_sample_size(100, epsilon=0.05) == 100
+        with pytest.raises(ValueError):
+            default_sample_size(100, epsilon=0.0)
+
+    def test_full_sample_equals_scan(self, small_xy, raster):
+        kernel = get_kernel("epanechnikov")
+        got = zorder_grid(small_xy, raster, kernel, 9.0, sample_size=len(small_xy))
+        expected = scan_grid(small_xy, raster, kernel, 9.0)
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_approximation_improves_with_sample_size(self, rng, raster):
+        xy = rng.uniform((0, 0), (100, 80), (3000, 2))
+        kernel = get_kernel("epanechnikov")
+        expected = scan_grid(xy, raster, kernel, 15.0)
+        err_small = np.abs(
+            zorder_grid(xy, raster, kernel, 15.0, sample_size=30) - expected
+        ).max()
+        err_large = np.abs(
+            zorder_grid(xy, raster, kernel, 15.0, sample_size=1500) - expected
+        ).max()
+        assert err_large < err_small
+
+    def test_scaling_preserves_total_mass(self, small_xy, raster):
+        """Weighted sample keeps the grid on the exact method's scale."""
+        kernel = get_kernel("epanechnikov")
+        exact = scan_grid(small_xy, raster, kernel, 25.0)
+        approx = zorder_grid(small_xy, raster, kernel, 25.0, sample_size=100)
+        assert approx.sum() == pytest.approx(exact.sum(), rel=0.2)
+
+    def test_empty(self, raster):
+        grid = zorder_grid(np.empty((0, 2)), raster, get_kernel("epanechnikov"), 5.0)
+        assert np.all(grid == 0)

@@ -1,0 +1,149 @@
+"""Tests for the benchmark harness and workload configuration."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    TIMEOUT,
+    MethodTimer,
+    format_series,
+    format_table,
+    measure_peak_memory,
+    time_call,
+)
+from repro.bench.workloads import (
+    BANDWIDTH_RATIOS,
+    SIZE_FRACTIONS,
+    ZOOM_RATIOS,
+    base_resolution,
+    bench_dataset,
+    bench_raster,
+    bench_scale,
+    default_bandwidth,
+    grid_callable,
+    resolution_ladder,
+)
+
+
+class TestTimeCall:
+    def test_returns_time_and_result(self):
+        seconds, result = time_call(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_measures_sleep(self):
+        seconds, _ = time_call(lambda: time.sleep(0.05))
+        assert seconds >= 0.045
+
+
+class TestMethodTimer:
+    def test_records_times(self):
+        timer = MethodTimer("fast", soft_budget_s=10.0)
+        timer.run(lambda: None)
+        timer.run(lambda: None)
+        assert len(timer.times) == 2
+        assert all(t != TIMEOUT for t in timer.times)
+
+    def test_budget_exhaustion_skips_later_cells(self):
+        timer = MethodTimer("slow", soft_budget_s=0.01)
+        timer.run(lambda: time.sleep(0.05))
+        ran = []
+        out = timer.run(lambda: ran.append(1))
+        assert out == TIMEOUT
+        assert ran == []  # the second cell never executed
+        assert timer.times[1] == TIMEOUT
+
+    def test_under_budget_keeps_running(self):
+        timer = MethodTimer("ok", soft_budget_s=5.0)
+        timer.run(lambda: None)
+        assert timer.run(lambda: 1) != TIMEOUT
+
+
+class TestMemoryMeasurement:
+    def test_detects_allocation(self):
+        def allocate():
+            return np.zeros(2_000_000)
+
+        peak, result = measure_peak_memory(allocate)
+        assert peak >= 16_000_000
+        assert result.shape == (2_000_000,)
+
+    def test_small_function_small_peak(self):
+        peak, _ = measure_peak_memory(lambda: 1 + 1)
+        assert peak < 1_000_000
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(
+            ["method", "seattle"], [["scan", 1.25], ["slam", 0.031]], title="T"
+        )
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "method" in lines[1] and "seattle" in lines[1]
+        assert "1.250" in text and "0.031" in text
+
+    def test_table_timeout_cell(self):
+        text = format_table(["m", "t"], [["scan", TIMEOUT]])
+        assert "timeout" in text
+
+    def test_series(self):
+        text = format_series("X", [320, 640], {"slam": [0.1, 0.2]})
+        assert "320" in text and "640" in text and "slam" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestWorkloads:
+    def test_sweep_constants_match_paper(self):
+        assert SIZE_FRACTIONS == (0.25, 0.5, 0.75, 1.0)
+        assert BANDWIDTH_RATIOS == (0.25, 0.5, 1.0, 2.0, 4.0)
+        assert ZOOM_RATIOS == (0.25, 0.5, 0.75, 1.0)
+
+    def test_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+
+    def test_base_resolution_aspect(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RESOLUTION", "1280")
+        assert base_resolution() == (1280, 960)
+
+    def test_resolution_ladder_quadruples_pixels(self):
+        ladder = resolution_ladder()
+        assert len(ladder) == 4
+        pixel_counts = [x * y for x, y in ladder]
+        for small, big in zip(pixel_counts, pixel_counts[1:]):
+            assert big == pytest.approx(4 * small, rel=0.1)
+
+    def test_bench_dataset_scaled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        ps = bench_dataset("seattle")
+        assert len(ps) == round(862_873 * 0.001)
+
+    def test_bench_raster(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        ps = bench_dataset("seattle")
+        raster = bench_raster(ps, (40, 30))
+        assert raster.shape == (30, 40)
+
+    def test_default_bandwidth_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        ps = bench_dataset("seattle")
+        assert default_bandwidth(ps) > 0
+
+    def test_grid_callable_runs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0005")
+        ps = bench_dataset("seattle")
+        raster = bench_raster(ps, (16, 12))
+        call = grid_callable(
+            "slam_bucket_rao", ps, raster, "epanechnikov", default_bandwidth(ps)
+        )
+        grid = call()
+        assert grid.shape == (12, 16)
+        assert grid.max() > 0

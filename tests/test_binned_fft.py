@@ -1,0 +1,149 @@
+"""Tests for the binned FFT-convolution baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Raster, Region, compute_kdv
+from repro.baselines.binned_fft import binned_fft_grid
+from repro.bench.metrics import relative_linf
+from repro.core.kernels import get_kernel
+
+from .conftest import reference_grid
+
+
+class TestExactCases:
+    """Configurations where binning introduces no error at all."""
+
+    @pytest.mark.parametrize("kernel_name", ["uniform", "epanechnikov", "quartic"])
+    def test_points_on_pixel_centers(self, kernel_name):
+        """Points exactly on pixel centers bin losslessly: the FFT result
+        must equal direct evaluation to float precision."""
+        raster = Raster(Region(0, 0, 16, 12), 16, 12)
+        rng = np.random.default_rng(4)
+        ix = rng.integers(0, 16, 50)
+        iy = rng.integers(0, 12, 50)
+        xy = np.column_stack([ix + 0.5, iy + 0.5]).astype(float)
+        kernel = get_kernel(kernel_name)
+        fft = binned_fft_grid(xy, raster, kernel, 3.0)
+        exact = reference_grid(xy, raster, kernel_name, 3.0)
+        np.testing.assert_allclose(fft, exact, rtol=1e-9, atol=1e-9)
+
+    def test_single_point(self):
+        raster = Raster(Region(0, 0, 10, 10), 10, 10)
+        xy = np.array([[4.5, 6.5]])
+        fft = binned_fft_grid(xy, raster, get_kernel("epanechnikov"), 2.5)
+        exact = reference_grid(xy, raster, "epanechnikov", 2.5)
+        np.testing.assert_allclose(fft, exact, atol=1e-12)
+
+
+class TestApproximationQuality:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(5)
+        xy = rng.uniform((0, 0), (1000, 800), (10_000, 2))
+        region = Region(0, 0, 1000, 800)
+        return xy, region
+
+    def test_small_relative_error(self, setup):
+        xy, region = setup
+        raster = Raster(region, 160, 120)
+        kernel = get_kernel("epanechnikov")
+        fft = binned_fft_grid(xy, raster, kernel, 40.0)
+        exact = reference_grid(xy, raster, "epanechnikov", 40.0)
+        assert relative_linf(fft, exact) < 0.03
+
+    def test_linear_binning_beats_nearest(self, setup):
+        xy, region = setup
+        raster = Raster(region, 80, 60)
+        kernel = get_kernel("epanechnikov")
+        exact = reference_grid(xy, raster, "epanechnikov", 40.0)
+        err_linear = relative_linf(
+            binned_fft_grid(xy, raster, kernel, 40.0, linear_binning=True), exact
+        )
+        err_nearest = relative_linf(
+            binned_fft_grid(xy, raster, kernel, 40.0, linear_binning=False), exact
+        )
+        assert err_linear < err_nearest
+
+    def test_error_shrinks_with_resolution(self, setup):
+        xy, region = setup
+        kernel = get_kernel("epanechnikov")
+        errs = []
+        for res in (40, 80, 160):
+            raster = Raster(region, res, res * 3 // 4)
+            fft = binned_fft_grid(xy, raster, kernel, 40.0)
+            exact = reference_grid(xy, raster, "epanechnikov", 40.0)
+            errs.append(relative_linf(fft, exact))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_gaussian_supported(self, setup):
+        xy, region = setup
+        raster = Raster(region, 80, 60)
+        kernel = get_kernel("gaussian")
+        fft = binned_fft_grid(xy, raster, kernel, 40.0)
+        exact = reference_grid(xy, raster, "gaussian", 40.0)
+        assert relative_linf(fft, exact) < 0.03
+
+    def test_weighted(self, setup, rng):
+        xy, region = setup
+        raster = Raster(region, 80, 60)
+        kernel = get_kernel("epanechnikov")
+        w = rng.uniform(0, 3, len(xy))
+        fft = binned_fft_grid(xy, raster, kernel, 40.0, weights=w)
+        from repro.baselines.scan import scan_grid
+
+        exact = scan_grid(xy, raster, kernel, 40.0, weights=w)
+        # weighted mass concentrates more per pixel; allow a little more
+        assert relative_linf(fft, exact) < 0.05
+
+    def test_outside_points_dropped_not_piled(self, setup):
+        """Points outside the raster are dropped (documented limitation) —
+        the edge rows must NOT accumulate their mass."""
+        region = Region(0, 0, 100, 100)
+        raster = Raster(region, 20, 20)
+        inside = np.full((50, 2), 50.0)
+        outside = np.column_stack([np.full(500, 50.0), np.full(500, 300.0)])
+        kernel = get_kernel("epanechnikov")
+        fft = binned_fft_grid(np.vstack([inside, outside]), raster, kernel, 10.0)
+        only_inside = binned_fft_grid(inside, raster, kernel, 10.0)
+        np.testing.assert_allclose(fft, only_inside, rtol=1e-12)
+
+    def test_nonnegative(self, setup):
+        xy, region = setup
+        raster = Raster(region, 64, 48)
+        fft = binned_fft_grid(xy, raster, get_kernel("quartic"), 25.0)
+        assert fft.min() >= 0.0
+
+
+class TestAPI:
+    def test_registered_as_approximate(self):
+        from repro import APPROXIMATE_METHODS, method_names
+
+        assert "binned_fft" in method_names()
+        assert "binned_fft" in APPROXIMATE_METHODS
+
+    def test_via_compute_kdv(self, rng):
+        xy = rng.uniform((0, 0), (100, 80), (500, 2))
+        res = compute_kdv(
+            xy, size=(32, 24), bandwidth=10.0, method="binned_fft"
+        )
+        assert not res.exact
+        exact = compute_kdv(xy, size=(32, 24), bandwidth=10.0)
+        assert relative_linf(res.grid, exact.grid) < 0.1
+
+    def test_validation(self, rng):
+        raster = Raster(Region(0, 0, 10, 10), 8, 8)
+        kernel = get_kernel("epanechnikov")
+        with pytest.raises(ValueError):
+            binned_fft_grid(np.zeros((2, 3)), raster, kernel, 1.0)
+        with pytest.raises(ValueError):
+            binned_fft_grid(np.zeros((2, 2)), raster, kernel, 0.0)
+        with pytest.raises(ValueError):
+            binned_fft_grid(np.zeros((2, 2)), raster, kernel, 1.0, weights=np.ones(3))
+
+    def test_empty(self):
+        raster = Raster(Region(0, 0, 10, 10), 8, 8)
+        grid = binned_fft_grid(np.empty((0, 2)), raster, get_kernel("epanechnikov"), 1.0)
+        assert np.all(grid == 0)

@@ -1,0 +1,189 @@
+"""Tests for synthetic dataset generation, sampling, and CSV I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CityModel, PointSet, generate_city, load_dataset
+from repro.data.datasets import DATASETS, dataset_names, full_size
+from repro.data.io import load_csv, save_csv
+from repro.data.sampling import sample_without_replacement, size_sweep
+
+
+class TestGenerateCity:
+    @pytest.fixture
+    def model(self) -> CityModel:
+        return CityModel(name="toyville", extent=(10_000.0, 8_000.0))
+
+    def test_size_and_fields(self, model):
+        ps = generate_city(model, 500, seed=3)
+        assert len(ps) == 500
+        assert ps.t is not None and ps.category is not None
+        assert ps.name == "toyville"
+
+    def test_deterministic(self, model):
+        a = generate_city(model, 300, seed=9)
+        b = generate_city(model, 300, seed=9)
+        np.testing.assert_array_equal(a.xy, b.xy)
+        np.testing.assert_array_equal(a.t, b.t)
+        np.testing.assert_array_equal(a.category, b.category)
+
+    def test_seed_changes_data(self, model):
+        a = generate_city(model, 300, seed=1)
+        b = generate_city(model, 300, seed=2)
+        assert not np.array_equal(a.xy, b.xy)
+
+    def test_within_extent(self, model):
+        ps = generate_city(model, 2000, seed=5)
+        ox, oy = model.origin
+        assert ps.x.min() >= ox and ps.x.max() <= ox + model.extent[0]
+        assert ps.y.min() >= oy and ps.y.max() <= oy + model.extent[1]
+
+    def test_clustered_not_uniform(self, model):
+        """The generator must produce hotspots: the densest small cell should
+        hold far more than the uniform expectation."""
+        ps = generate_city(model, 5000, seed=7)
+        hist, _, _ = np.histogram2d(ps.x, ps.y, bins=20)
+        assert hist.max() > 5 * hist.mean()
+
+    def test_categories_in_range(self, model):
+        ps = generate_city(model, 1000, seed=11)
+        assert ps.category.min() >= 0
+        assert ps.category.max() < model.num_categories
+
+    def test_times_in_span(self, model):
+        ps = generate_city(model, 1000, seed=11)
+        assert ps.t.min() >= 0.0
+        assert ps.t.max() <= model.time_span_years * 365.25 * 24 * 3600
+
+    def test_zero_points(self, model):
+        assert len(generate_city(model, 0)) == 0
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ValueError):
+            generate_city(model, -1)
+
+
+class TestDatasets:
+    def test_four_cities(self):
+        assert dataset_names() == (
+            "seattle",
+            "los_angeles",
+            "new_york",
+            "san_francisco",
+        )
+
+    def test_full_sizes_match_table5(self):
+        assert full_size("seattle") == 862_873
+        assert full_size("los_angeles") == 1_255_668
+        assert full_size("new_york") == 1_499_928
+        assert full_size("san_francisco") == 4_333_098
+
+    def test_scale(self):
+        ps = load_dataset("seattle", scale=0.001)
+        assert len(ps) == round(862_873 * 0.001)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("gotham")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("seattle", scale=0.0)
+        with pytest.raises(ValueError):
+            load_dataset("seattle", scale=1.5)
+
+    def test_deterministic_default_seed(self):
+        a = load_dataset("new_york", scale=0.0005)
+        b = load_dataset("new_york", scale=0.0005)
+        np.testing.assert_array_equal(a.xy, b.xy)
+
+    def test_extents_differ_between_cities(self):
+        sf = load_dataset("san_francisco", scale=0.0005)
+        la = load_dataset("los_angeles", scale=0.0005)
+        sf_w = sf.x.max() - sf.x.min()
+        la_w = la.x.max() - la.x.min()
+        assert la_w > 3 * sf_w  # LA sprawls, SF is compact (Table 5 stand-ins)
+
+
+class TestSampling:
+    def test_fraction_size(self, small_points):
+        sub = sample_without_replacement(small_points, 0.5, seed=1)
+        assert len(sub) == 200
+
+    def test_without_replacement(self, small_points):
+        sub = sample_without_replacement(small_points, 0.5, seed=1)
+        # no duplicated rows beyond what the source contains
+        rows = {tuple(r) for r in sub.xy}
+        assert len(rows) == len(sub)
+
+    def test_full_fraction_returns_same(self, small_points):
+        assert sample_without_replacement(small_points, 1.0) is small_points
+
+    def test_deterministic(self, small_points):
+        a = sample_without_replacement(small_points, 0.3, seed=5)
+        b = sample_without_replacement(small_points, 0.3, seed=5)
+        np.testing.assert_array_equal(a.xy, b.xy)
+
+    def test_invalid_fraction(self, small_points):
+        for bad in (0.0, -0.1, 1.01):
+            with pytest.raises(ValueError):
+                sample_without_replacement(small_points, bad)
+
+    def test_size_sweep_ladder(self, small_points):
+        sweep = size_sweep(small_points)
+        assert [f for f, _ in sweep] == [0.25, 0.5, 0.75, 1.0]
+        assert [len(p) for _, p in sweep] == [100, 200, 300, 400]
+
+    def test_carries_metadata(self, small_points):
+        sub = sample_without_replacement(small_points, 0.25, seed=2)
+        assert sub.t is not None and len(sub.t) == len(sub)
+        assert sub.category is not None and len(sub.category) == len(sub)
+
+
+class TestCSVRoundTrip:
+    def test_full_roundtrip(self, small_points, tmp_path):
+        path = tmp_path / "pts.csv"
+        save_csv(small_points, path)
+        back = load_csv(path)
+        np.testing.assert_array_equal(back.xy, small_points.xy)
+        np.testing.assert_array_equal(back.t, small_points.t)
+        np.testing.assert_array_equal(back.category, small_points.category)
+
+    def test_coordinates_only(self, tmp_path):
+        ps = PointSet(np.array([[1.5, 2.5], [3.0, 4.0]]))
+        path = tmp_path / "xy.csv"
+        save_csv(ps, path)
+        back = load_csv(path)
+        assert back.t is None and back.category is None
+        np.testing.assert_array_equal(back.xy, ps.xy)
+
+    def test_name_from_stem(self, tmp_path):
+        ps = PointSet(np.array([[0.0, 0.0]]))
+        path = tmp_path / "mycity.csv"
+        save_csv(ps, path)
+        assert load_csv(path).name == "mycity"
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="header must contain"):
+            load_csv(path)
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1,2\n3,oops\n")
+        with pytest.raises(ValueError, match="bad.csv:3"):
+            load_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty file"):
+            load_csv(path)
+
+    def test_empty_dataset(self, tmp_path):
+        path = tmp_path / "none.csv"
+        save_csv(PointSet(np.empty((0, 2))), path)
+        assert len(load_csv(path)) == 0

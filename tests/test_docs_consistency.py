@@ -1,0 +1,108 @@
+"""Meta-tests keeping the documentation and the code in sync.
+
+These fail when someone registers a method, adds an example, or adds a
+benchmark without documenting it (or vice versa) — cheap guards against the
+docs drifting from the code, which matters for a reproduction repository.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import method_names
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def readme() -> str:
+    return (REPO / "README.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def design() -> str:
+    return (REPO / "DESIGN.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def experiments() -> str:
+    return (REPO / "EXPERIMENTS.md").read_text()
+
+
+class TestMethodsDocumented:
+    def test_all_methods_in_cli_complexity_table(self):
+        from repro.cli import _COMPLEXITY
+
+        assert set(_COMPLEXITY) == set(method_names())
+
+    def test_api_docstring_lists_all_methods(self):
+        import repro.core.api as api
+
+        for method in method_names():
+            assert method in api.__doc__, f"{method} missing from api module doc"
+
+
+class TestExamplesListed:
+    def test_every_example_in_readme(self, readme):
+        examples = sorted(
+            p.name for p in (REPO / "examples").glob("*.py") if p.name != "__init__.py"
+        )
+        assert examples, "no examples found"
+        for name in examples:
+            assert f"examples/{name}" in readme, f"{name} not listed in README"
+
+    def test_examples_have_docstrings_and_main(self):
+        for path in (REPO / "examples").glob("*.py"):
+            text = path.read_text()
+            assert text.startswith('"""'), f"{path.name} lacks a docstring"
+            assert 'if __name__ == "__main__":' in text, path.name
+
+
+class TestBenchmarksListed:
+    def test_every_bench_module_in_readme(self, readme):
+        benches = sorted(p.name for p in (REPO / "benchmarks").glob("bench_*.py"))
+        assert benches, "no bench modules found"
+        for name in benches:
+            assert name in readme, f"{name} not listed in README"
+
+    def test_every_paper_artifact_has_a_bench(self):
+        benches = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
+        for artifact in (
+            "table7_default",
+            "fig13_resolution",
+            "fig14_datasize",
+            "fig15_bandwidth",
+            "fig16_explore",
+            "fig17_space",
+            "fig18_kernels_resolution",
+            "fig19_kernels_datasize",
+            "table1_complexity",
+        ):
+            assert f"bench_{artifact}.py" in benches, artifact
+
+    def test_experiments_covers_every_bench(self, experiments):
+        for path in (REPO / "benchmarks").glob("bench_*.py"):
+            assert path.name in experiments, f"{path.name} not in EXPERIMENTS.md"
+
+
+class TestDesignInventory:
+    def test_design_mentions_every_source_module(self, design):
+        """Every implementation module appears in DESIGN.md's inventory (by
+        name or through its package directory)."""
+        for path in (REPO / "src" / "repro").rglob("*.py"):
+            if path.name in ("__init__.py", "__main__.py"):
+                continue
+            rel = path.relative_to(REPO / "src")
+            mentioned = (
+                path.name in design
+                or str(rel.parent).replace("\\", "/") + "/" in design
+            )
+            assert mentioned, f"{rel} missing from DESIGN.md inventory"
+
+    def test_docs_exist(self):
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                    "docs/algorithm.md", "docs/api_guide.md",
+                    "docs/reproducing.md"):
+            assert (REPO / doc).is_file(), doc

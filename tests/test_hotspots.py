@@ -1,0 +1,230 @@
+"""Tests for hotspot extraction and tracking (analysis.hotspots)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PointSet, Region, compute_kdv
+from repro.analysis import extract_hotspots, label_regions, track_hotspots
+
+
+class TestLabelRegions:
+    def test_empty_mask(self):
+        labels, count = label_regions(np.zeros((4, 5), bool))
+        assert count == 0
+        assert np.all(labels == 0)
+
+    def test_full_mask_single_region(self):
+        labels, count = label_regions(np.ones((4, 5), bool))
+        assert count == 1
+        assert np.all(labels == 1)
+
+    def test_two_separate_regions(self):
+        mask = np.zeros((5, 5), bool)
+        mask[0, 0:2] = True
+        mask[4, 3:5] = True
+        labels, count = label_regions(mask)
+        assert count == 2
+        assert labels[0, 0] == labels[0, 1] != labels[4, 3]
+
+    def test_diagonal_4_vs_8_connectivity(self):
+        mask = np.zeros((2, 2), bool)
+        mask[0, 0] = mask[1, 1] = True
+        _labels4, count4 = label_regions(mask, connectivity=4)
+        _labels8, count8 = label_regions(mask, connectivity=8)
+        assert count4 == 2
+        assert count8 == 1
+
+    def test_u_shape_merges(self):
+        """A U shape forces a label equivalence the second pass must merge."""
+        mask = np.array(
+            [
+                [1, 0, 1],
+                [1, 0, 1],
+                [1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        labels, count = label_regions(mask)
+        assert count == 1
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_spiral_merges(self):
+        mask = np.array(
+            [
+                [1, 1, 1, 1, 1],
+                [0, 0, 0, 0, 1],
+                [1, 1, 1, 0, 1],
+                [1, 0, 0, 0, 1],
+                [1, 1, 1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        labels, count = label_regions(mask)
+        assert count == 1
+
+    def test_labels_consecutive(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random((20, 20)) < 0.3
+        labels, count = label_regions(mask)
+        assert set(np.unique(labels)) == set(range(count + 1))
+
+    def test_matches_bfs_reference(self):
+        """Cross-check against a simple BFS flood fill."""
+        rng = np.random.default_rng(9)
+        mask = rng.random((15, 18)) < 0.4
+        labels, count = label_regions(mask, connectivity=4)
+
+        # reference BFS labeling
+        ref = np.zeros_like(labels)
+        next_label = 0
+        for j in range(mask.shape[0]):
+            for i in range(mask.shape[1]):
+                if mask[j, i] and ref[j, i] == 0:
+                    next_label += 1
+                    stack = [(j, i)]
+                    ref[j, i] = next_label
+                    while stack:
+                        cj, ci = stack.pop()
+                        for dj, di in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                            nj, ni = cj + dj, ci + di
+                            if (
+                                0 <= nj < mask.shape[0]
+                                and 0 <= ni < mask.shape[1]
+                                and mask[nj, ni]
+                                and ref[nj, ni] == 0
+                            ):
+                                ref[nj, ni] = next_label
+                                stack.append((nj, ni))
+        assert count == next_label
+        # same partition (label values may differ): compare co-membership
+        for lbl in range(1, count + 1):
+            cells = labels == lbl
+            ref_values = np.unique(ref[cells])
+            assert len(ref_values) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            label_regions(np.zeros(5, bool))
+        with pytest.raises(ValueError):
+            label_regions(np.zeros((2, 2), bool), connectivity=6)
+
+
+class TestExtractHotspots:
+    @pytest.fixture
+    def two_cluster_result(self, rng):
+        xy = np.vstack(
+            [
+                rng.normal((20.0, 20.0), 2.0, (300, 2)),
+                rng.normal((80.0, 60.0), 2.0, (150, 2)),
+            ]
+        )
+        return compute_kdv(
+            xy, region=Region(0, 0, 100, 80), size=(50, 40), bandwidth=6.0
+        )
+
+    def test_finds_both_clusters(self, two_cluster_result):
+        spots = extract_hotspots(two_cluster_result, quantile=0.85)
+        assert len(spots) >= 2
+        centroids = np.array([s.centroid_xy for s in spots[:2]])
+        targets = np.array([[20.0, 20.0], [80.0, 60.0]])
+        for target in targets:
+            assert np.min(np.hypot(*(centroids - target).T)) < 8.0
+
+    def test_sorted_by_peak(self, two_cluster_result):
+        spots = extract_hotspots(two_cluster_result, quantile=0.85)
+        peaks = [s.peak_density for s in spots]
+        assert peaks == sorted(peaks, reverse=True)
+        # the 300-point cluster is denser than the 150-point one
+        assert np.hypot(*(np.array(spots[0].centroid_xy) - (20.0, 20.0))) < 8.0
+
+    def test_stats_consistency(self, two_cluster_result):
+        for spot in extract_hotspots(two_cluster_result, quantile=0.9):
+            assert spot.pixel_area == int(spot.mask.sum())
+            raster = two_cluster_result.raster
+            assert spot.world_area == pytest.approx(
+                spot.pixel_area * raster.gx * raster.gy
+            )
+            assert spot.peak_density <= two_cluster_result.max_density()
+            assert spot.mass > 0
+
+    def test_min_pixels_filter(self, two_cluster_result):
+        all_spots = extract_hotspots(two_cluster_result, quantile=0.85, min_pixels=1)
+        big_spots = extract_hotspots(two_cluster_result, quantile=0.85, min_pixels=10)
+        assert len(big_spots) <= len(all_spots)
+        assert all(s.pixel_area >= 10 for s in big_spots)
+
+    def test_empty_grid(self):
+        res = compute_kdv(
+            np.empty((0, 2)), region=Region(0, 0, 1, 1), size=(8, 8),
+            bandwidth=0.1, method="scan",
+        )
+        assert extract_hotspots(res) == []
+
+    def test_validation(self, two_cluster_result):
+        with pytest.raises(ValueError):
+            extract_hotspots(two_cluster_result, min_pixels=0)
+
+
+class TestTrackHotspots:
+    def _frame(self, center, rng, n=200):
+        xy = rng.normal(center, 2.0, (n, 2))
+        res = compute_kdv(
+            xy, region=Region(0, 0, 100, 80), size=(50, 40), bandwidth=6.0
+        )
+        return extract_hotspots(res, quantile=0.5, min_pixels=2)
+
+    def test_moving_hotspot_single_track(self, rng):
+        """A slowly drifting cluster yields one multi-frame track."""
+        frames = [self._frame((20.0 + 3 * k, 20.0), rng) for k in range(4)]
+        tracks = track_hotspots(frames)
+        longest = max(tracks, key=len)
+        assert len(longest) == 4
+        xs = [h.centroid_xy[0] for _f, h in longest]
+        assert xs == sorted(xs)  # drifting east
+
+    def test_jump_creates_new_track(self, rng):
+        """A hotspot teleporting across the map cannot be the same track."""
+        frames = [self._frame((20.0, 20.0), rng), self._frame((80.0, 60.0), rng)]
+        tracks = track_hotspots(frames)
+        assert all(len(t) == 1 for t in tracks)
+        assert len(tracks) >= 2
+
+    def test_birth_and_death(self, rng):
+        frames = [
+            self._frame((20.0, 20.0), rng),
+            self._frame((20.0, 20.0), rng),
+            [],  # hotspot disappears
+            self._frame((20.0, 20.0), rng),  # reappears -> new track
+        ]
+        tracks = track_hotspots(frames)
+        lengths = sorted(len(t) for t in tracks)
+        assert 2 in lengths and 1 in lengths
+
+    def test_empty_frames(self):
+        assert track_hotspots([[], [], []]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            track_hotspots([], min_overlap=0.0)
+
+    def test_stkdv_integration(self, rng):
+        """End to end: outbreak STKDV -> hotspot tracks."""
+        from repro.extensions import compute_stkdv
+
+        n = 400
+        xy = np.vstack(
+            [rng.uniform((0, 0), (100, 80), (n // 2, 2)),
+             rng.normal((30.0, 30.0), 3.0, (n // 2, 2))]
+        )
+        t = np.concatenate(
+            [rng.uniform(0, 100, n // 2), rng.uniform(40, 60, n // 2)]
+        )
+        st = compute_stkdv(
+            PointSet(xy, t=t), times=5, temporal_bandwidth=15.0,
+            size=(50, 40), bandwidth=6.0,
+        )
+        frames = [extract_hotspots(f, quantile=0.9, min_pixels=2) for f in st.frames]
+        tracks = track_hotspots(frames)
+        assert len(tracks) >= 1

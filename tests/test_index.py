@@ -1,0 +1,191 @@
+"""Tests for the spatial index substrates (kd-tree, ball tree, Z-order)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import channel_values
+from repro.index.balltree import BallTree
+from repro.index.kdtree import KDTree
+from repro.index.zorder_curve import interleave_bits, morton_codes, zorder_argsort
+
+TREES = (KDTree, BallTree)
+
+
+def brute_radius(xy: np.ndarray, qx: float, qy: float, r: float) -> set[int]:
+    d_sq = (xy[:, 0] - qx) ** 2 + (xy[:, 1] - qy) ** 2
+    return set(np.nonzero(d_sq <= r * r)[0])
+
+
+@pytest.mark.parametrize("tree_cls", TREES)
+class TestTreeStructure:
+    def test_perm_is_permutation(self, tree_cls, small_xy):
+        tree = tree_cls(small_xy, leaf_size=8)
+        assert sorted(tree.perm) == list(range(len(small_xy)))
+
+    def test_points_reordered(self, tree_cls, small_xy):
+        tree = tree_cls(small_xy, leaf_size=8)
+        np.testing.assert_array_equal(tree.points, small_xy[tree.perm])
+
+    def test_leaf_sizes_respected(self, tree_cls, small_xy):
+        tree = tree_cls(small_xy, leaf_size=8)
+        for node in range(tree.num_nodes):
+            if tree.is_leaf(node):
+                assert tree.node_size(node) <= 8
+
+    def test_children_partition_parent(self, tree_cls, small_xy):
+        tree = tree_cls(small_xy, leaf_size=8)
+        for node in range(tree.num_nodes):
+            if not tree.is_leaf(node):
+                left, right = int(tree.node_left[node]), int(tree.node_right[node])
+                assert tree.node_start[node] == tree.node_start[left]
+                assert tree.node_end[left] == tree.node_start[right]
+                assert tree.node_end[right] == tree.node_end[node]
+
+    def test_invalid_inputs(self, tree_cls):
+        with pytest.raises(ValueError):
+            tree_cls(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            tree_cls(np.zeros((3, 2)), leaf_size=0)
+
+    def test_empty_tree(self, tree_cls):
+        tree = tree_cls(np.empty((0, 2)))
+        assert tree.query_radius(0.0, 0.0, 10.0).size == 0
+
+    def test_single_point(self, tree_cls):
+        tree = tree_cls(np.array([[3.0, 4.0]]))
+        assert set(tree.query_radius(0.0, 0.0, 5.0)) == {0}
+        assert set(tree.query_radius(0.0, 0.0, 4.9)) == set()
+
+
+@pytest.mark.parametrize("tree_cls", TREES)
+class TestRangeQueries:
+    def test_matches_brute_force(self, tree_cls, small_xy, rng):
+        tree = tree_cls(small_xy, leaf_size=8)
+        for _ in range(20):
+            qx, qy = rng.uniform(0, 100), rng.uniform(0, 80)
+            r = rng.uniform(1, 40)
+            assert set(tree.query_radius(qx, qy, r)) == brute_radius(
+                small_xy, qx, qy, r
+            )
+
+    def test_boundary_inclusive(self, tree_cls):
+        tree = tree_cls(np.array([[3.0, 0.0]]))
+        assert set(tree.query_radius(0.0, 0.0, 3.0)) == {0}
+
+    def test_radius_covers_everything(self, tree_cls, small_xy):
+        tree = tree_cls(small_xy, leaf_size=4)
+        assert len(tree.query_radius(50.0, 40.0, 1e6)) == len(small_xy)
+
+    def test_count_radius(self, tree_cls, small_xy):
+        tree = tree_cls(small_xy, leaf_size=16)
+        assert tree.count_radius(50.0, 40.0, 25.0) == len(
+            brute_radius(small_xy, 50.0, 40.0, 25.0)
+        )
+
+    def test_duplicates(self, tree_cls):
+        xy = np.tile([[5.0, 5.0]], (20, 1))
+        tree = tree_cls(xy, leaf_size=4)
+        assert len(tree.query_radius(5.0, 5.0, 0.1)) == 20
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(0, 120),
+        leaf_size=st.integers(1, 32),
+        r=st.floats(0.01, 30.0),
+    )
+    def test_query_property(self, tree_cls, seed, n, leaf_size, r):
+        gen = np.random.default_rng(seed)
+        xy = gen.integers(-8, 8, (n, 2)).astype(float)  # heavy duplicates/ties
+        tree = tree_cls(xy, leaf_size=leaf_size)
+        qx, qy = gen.uniform(-10, 10, 2)
+        assert set(tree.query_radius(qx, qy, r)) == brute_radius(xy, qx, qy, r)
+
+
+@pytest.mark.parametrize("tree_cls", TREES)
+class TestDistanceBounds:
+    def test_min_max_bracket_true_distances(self, tree_cls, small_xy, rng):
+        tree = tree_cls(small_xy, leaf_size=8)
+        for _ in range(10):
+            qx, qy = rng.uniform(-20, 120), rng.uniform(-20, 100)
+            for node in range(0, tree.num_nodes, 7):
+                start, end = tree.node_start[node], tree.node_end[node]
+                if end == start:
+                    continue
+                pts = tree.points[start:end]
+                d_sq = (pts[:, 0] - qx) ** 2 + (pts[:, 1] - qy) ** 2
+                assert tree.min_dist_sq(node, qx, qy) <= d_sq.min() + 1e-9
+                assert tree.max_dist_sq(node, qx, qy) >= d_sq.max() - 1e-9
+
+
+class TestNodeAggregates:
+    @pytest.mark.parametrize("tree_cls", TREES)
+    @pytest.mark.parametrize("nch", [1, 4, 10])
+    def test_aggregates_equal_subtree_sums(self, tree_cls, nch, small_xy):
+        tree = tree_cls(small_xy, leaf_size=8, num_channels=nch)
+        chans = channel_values(small_xy, nch)
+        for node in range(0, tree.num_nodes, 5):
+            idx = tree.perm[tree.node_start[node] : tree.node_end[node]]
+            np.testing.assert_allclose(
+                tree.node_agg[node], chans[idx].sum(axis=0), rtol=1e-12, atol=1e-9
+            )
+
+    @pytest.mark.parametrize("tree_cls", TREES)
+    def test_no_aggregates_by_default(self, tree_cls, small_xy):
+        assert tree_cls(small_xy).node_agg is None
+
+
+class TestZOrderCurve:
+    def test_interleave_known_values(self):
+        # 0b11 -> 0b0101, 0b10 -> 0b0100
+        np.testing.assert_array_equal(
+            interleave_bits(np.array([0b11, 0b10])), [0b0101, 0b0100]
+        )
+
+    def test_interleave_range(self):
+        v = np.arange(1024)
+        out = interleave_bits(v)
+        # dilated bits only occupy even positions
+        assert np.all(out & np.uint64(0xAAAAAAAAAAAAAAAA) == 0)
+
+    def test_interleave_injective(self):
+        out = interleave_bits(np.arange(4096))
+        assert len(np.unique(out)) == 4096
+
+    def test_interleave_bits_validation(self):
+        with pytest.raises(ValueError):
+            interleave_bits(np.array([1]), bits=0)
+        with pytest.raises(ValueError):
+            interleave_bits(np.array([1]), bits=33)
+
+    def test_morton_known_grid(self):
+        # unit square corners: z-order is (0,0) < (1,0) < (0,1) < (1,1)
+        xy = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        codes = morton_codes(xy, bits=1)
+        np.testing.assert_array_equal(codes, [0, 1, 2, 3])
+
+    def test_morton_shape_validation(self):
+        with pytest.raises(ValueError):
+            morton_codes(np.zeros((2, 3)))
+
+    def test_morton_empty(self):
+        assert morton_codes(np.empty((0, 2))).size == 0
+
+    def test_argsort_is_permutation(self, small_xy):
+        order = zorder_argsort(small_xy)
+        assert sorted(order) == list(range(len(small_xy)))
+
+    def test_zorder_locality(self, rng):
+        """Consecutive points along the curve are near each other on average —
+        the property that makes Z-order sampling spatially stratified."""
+        xy = rng.uniform(0, 1, (2000, 2))
+        order = zorder_argsort(xy)
+        sorted_pts = xy[order]
+        consecutive = np.linalg.norm(np.diff(sorted_pts, axis=0), axis=1).mean()
+        shuffled = xy[rng.permutation(2000)]
+        random_pairs = np.linalg.norm(np.diff(shuffled, axis=0), axis=1).mean()
+        assert consecutive < random_pairs / 3

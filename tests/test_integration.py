@@ -1,0 +1,124 @@
+"""End-to-end integration tests across modules.
+
+These run the same pipelines the examples and benchmarks use, at a small
+scale: generate a city, compute KDV with several methods, compare methods,
+explore, and render output artifacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExplorationSession,
+    Region,
+    compute_kdv,
+    load_dataset,
+    random_pan_regions,
+    scott_bandwidth,
+)
+from repro.viz.image import ascii_preview
+
+
+@pytest.fixture(scope="module")
+def city():
+    return load_dataset("seattle", scale=0.002)  # ~1.7k points
+
+
+class TestEndToEnd:
+    def test_dataset_to_heatmap_file(self, city, tmp_path):
+        res = compute_kdv(city, size=(64, 48))
+        assert res.grid.shape == (48, 64)
+        assert res.max_density() > 0
+        out = tmp_path / "seattle.ppm"
+        res.save_ppm(str(out))
+        assert out.stat().st_size > 64 * 48 * 3
+
+    def test_exact_methods_agree_on_real_shaped_data(self, city):
+        b = scott_bandwidth(city.xy)
+        grids = {
+            m: compute_kdv(city, size=(32, 24), bandwidth=b, method=m).grid
+            for m in ("scan", "quad", "slam_sort", "slam_bucket_rao")
+        }
+        ref = grids["scan"]
+        for name, grid in grids.items():
+            np.testing.assert_allclose(
+                grid, ref, rtol=1e-8, atol=1e-10 * max(ref.max(), 1), err_msg=name
+            )
+
+    def test_hotspots_land_on_data_concentations(self, city):
+        """The identified hotspot pixels must contain more points than
+        average pixels — KDV's whole purpose (paper Figure 1)."""
+        res = compute_kdv(city, size=(40, 30))
+        mask = res.hotspot_pixels(quantile=0.95)
+        raster = res.raster
+        # count points per pixel
+        ix = np.clip(
+            ((city.x - raster.region.xmin) / raster.gx).astype(int), 0, raster.width - 1
+        )
+        iy = np.clip(
+            ((city.y - raster.region.ymin) / raster.gy).astype(int),
+            0,
+            raster.height - 1,
+        )
+        counts = np.zeros(raster.shape)
+        np.add.at(counts, (iy, ix), 1.0)
+        assert counts[mask].mean() > counts.mean()
+
+    def test_exploratory_session_full_loop(self, city):
+        session = ExplorationSession(city, size=(32, 24))
+        session.render()
+        session.zoom(0.5)
+        session.pan(0.1, 0.1)
+        session.filter_category(0)
+        session.clear_filters()
+        year = 365.25 * 24 * 3600
+        session.filter_time(0.0, year)
+        session.set_bandwidth(session.bandwidth * 2)
+        session.reset_view()
+        assert session.latency_summary()["frames"] == 8
+        assert session.total_seconds() > 0
+
+    def test_pan_workload_matches_paper_shape(self, city):
+        base = Region.from_points(city.xy)
+        session = ExplorationSession(city, size=(32, 24))
+        for region in random_pan_regions(base, count=5, size_ratio=0.5, seed=2):
+            res = session.pan_to(region)
+            assert res.grid.shape == (24, 32)
+        assert len(session.frames) == 5
+
+    def test_zoom_increases_peak_density(self, city):
+        """Zooming into the densest area concentrates density per pixel
+        (the paper's explanation for zoom frames being slower)."""
+        full = compute_kdv(city, size=(32, 24), normalization="none")
+        hot_region = Region.from_points(city.xy).scaled(0.25)
+        zoomed = compute_kdv(
+            city, region=hot_region, size=(32, 24), normalization="none",
+            bandwidth=full.bandwidth,
+        )
+        # envelope per row grows as rows pack together; density values rise
+        assert zoomed.grid.mean() >= full.grid.mean() * 0.5
+
+    def test_ascii_preview_of_result(self, city):
+        res = compute_kdv(city, size=(64, 48))
+        text = ascii_preview(res.grid_image(), width=32, height=12)
+        assert len(text.split("\n")) == 12
+        assert any(c != " " for c in text.replace("\n", ""))
+
+    def test_csv_roundtrip_preserves_kdv(self, city, tmp_path):
+        from repro import load_csv, save_csv
+
+        path = tmp_path / "city.csv"
+        save_csv(city, path)
+        back = load_csv(path)
+        a = compute_kdv(city, size=(16, 12), bandwidth=500.0).grid
+        b = compute_kdv(back, size=(16, 12), bandwidth=500.0).grid
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_two_datasets_different_hotspots(self):
+        a = load_dataset("seattle", scale=0.001)
+        b = load_dataset("san_francisco", scale=0.0002)
+        res_a = compute_kdv(a, size=(16, 12))
+        res_b = compute_kdv(b, size=(16, 12))
+        assert res_a.raster.region != res_b.raster.region

@@ -1,0 +1,170 @@
+"""Cross-cutting mathematical invariants of KDV, tested property-style.
+
+These pin down facts that must hold regardless of implementation details:
+densities are invariant under translating the whole problem, under uniformly
+rescaling coordinates *and* bandwidth, and under 90-degree problem rotation
+(which swaps the raster axes — the RAO transformation); densities are
+additive over dataset partitions; and the sweep's local-frame transform is
+self-consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Raster, Region, compute_kdv
+from repro.core.sweep import row_frame
+
+
+def _grid(xy, region, b, **kw):
+    return compute_kdv(
+        xy, region=region, size=(13, 9), bandwidth=b, normalization="none", **kw
+    ).grid
+
+
+class TestTranslationInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        dx=st.floats(-1e5, 1e5),
+        dy=st.floats(-1e5, 1e5),
+        kernel=st.sampled_from(["uniform", "epanechnikov", "quartic"]),
+    )
+    def test_shift_everything(self, seed, dx, dy, kernel):
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform((0, 0), (50, 40), (60, 2))
+        region = Region(0.0, 0.0, 50.0, 40.0)
+        base = _grid(xy, region, 7.0, kernel=kernel)
+        shifted = _grid(
+            xy + (dx, dy),
+            Region(dx, dy, 50.0 + dx, 40.0 + dy),
+            7.0,
+            kernel=kernel,
+        )
+        np.testing.assert_allclose(shifted, base, rtol=1e-7, atol=1e-9)
+
+
+class TestScaleInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        c=st.floats(1e-3, 1e3),
+        kernel=st.sampled_from(["epanechnikov", "quartic"]),
+    )
+    def test_rescale_coordinates_and_bandwidth(self, seed, c, kernel):
+        """K depends on d/b for these kernels, so (c*xy, c*b) is identical."""
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform((0, 0), (50, 40), (60, 2))
+        region = Region(0.0, 0.0, 50.0, 40.0)
+        base = _grid(xy, region, 7.0, kernel=kernel)
+        scaled = _grid(
+            xy * c, Region(0.0, 0.0, 50.0 * c, 40.0 * c), 7.0 * c, kernel=kernel
+        )
+        np.testing.assert_allclose(scaled, base, rtol=1e-7, atol=1e-9)
+
+    def test_uniform_kernel_scales_by_inverse_bandwidth(self, rng):
+        """The uniform kernel's plateau is 1/b, so rescaling multiplies
+        densities by 1/c."""
+        xy = rng.uniform((0, 0), (50, 40), (60, 2))
+        region = Region(0.0, 0.0, 50.0, 40.0)
+        base = _grid(xy, region, 7.0, kernel="uniform")
+        scaled = _grid(
+            xy * 10, Region(0.0, 0.0, 500.0, 400.0), 70.0, kernel="uniform"
+        )
+        np.testing.assert_allclose(scaled * 10, base, rtol=1e-9)
+
+
+class TestRotationInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_quarter_turn(self, seed):
+        """Rotating points and region by 90 degrees transposes the grid."""
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform((0, 0), (50, 40), (60, 2))
+        base = compute_kdv(
+            xy, region=Region(0, 0, 50, 40), size=(13, 9), bandwidth=7.0,
+            normalization="none",
+        ).grid
+        rotated_xy = np.column_stack([xy[:, 1], xy[:, 0]])  # (x,y)->(y,x) mirror
+        rotated = compute_kdv(
+            rotated_xy, region=Region(0, 0, 40, 50), size=(9, 13), bandwidth=7.0,
+            normalization="none",
+        ).grid
+        np.testing.assert_allclose(rotated, base.T, rtol=1e-7, atol=1e-9)
+
+
+class TestAdditivity:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), split=st.integers(1, 59))
+    def test_partition_sum(self, seed, split):
+        """F over a dataset equals the sum of F over any partition of it."""
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform((0, 0), (50, 40), (60, 2))
+        region = Region(0.0, 0.0, 50.0, 40.0)
+        whole = _grid(xy, region, 7.0)
+        parts = _grid(xy[:split], region, 7.0) + _grid(xy[split:], region, 7.0)
+        np.testing.assert_allclose(parts, whole, rtol=1e-9, atol=1e-11)
+
+    def test_weights_equal_replication(self, rng):
+        """Integer weights equal replicating points that many times."""
+        xy = rng.uniform((0, 0), (50, 40), (20, 2))
+        region = Region(0.0, 0.0, 50.0, 40.0)
+        reps = rng.integers(1, 4, 20)
+        weighted = _grid(xy, region, 7.0, weights=reps.astype(float))
+        replicated = _grid(np.repeat(xy, reps, axis=0), region, 7.0)
+        np.testing.assert_allclose(weighted, replicated, rtol=1e-9, atol=1e-11)
+
+
+class TestRowFrame:
+    def test_roundtrip(self, rng):
+        """Scaled-frame interval endpoints agree with world-frame bounds."""
+        from repro.core.bounds import row_bounds
+
+        k, b, cx = 10.0, 4.0, 25.0
+        xy = np.column_stack(
+            [rng.uniform(0, 50, 100), rng.uniform(k - b, k + b, 100)]
+        )
+        u, v, half = row_frame(xy, k, cx, b)
+        lb, ub = row_bounds(xy, k, b)
+        np.testing.assert_allclose((u - half) * b + cx, lb, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose((u + half) * b + cx, ub, rtol=1e-9, atol=1e-9)
+
+    def test_clamps_boundary_rounding(self):
+        """A point exactly at the envelope edge must not produce NaN."""
+        xy = np.array([[3.0, 4.0 + 1e-16]])
+        u, v, half = row_frame(xy, k=0.0, cx=0.0, bandwidth=4.0)
+        assert np.isfinite(half).all()
+
+
+class TestDensityBounds:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        kernel=st.sampled_from(["uniform", "epanechnikov", "quartic"]),
+    )
+    def test_nonnegative_and_bounded(self, seed, kernel):
+        """0 <= F(q) <= n * max K for finite-support kernels."""
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform((0, 0), (50, 40), (60, 2))
+        region = Region(0.0, 0.0, 50.0, 40.0)
+        grid = _grid(xy, region, 7.0, kernel=kernel)
+        assert grid.min() >= -1e-9
+        k_max = 1.0 / 7.0 if kernel == "uniform" else 1.0
+        assert grid.max() <= 60 * k_max + 1e-9
+
+    def test_far_pixels_exactly_zero(self, rng):
+        """Pixels farther than b from every point get exactly 0 (not just
+        tiny) for finite-support kernels — no bleeding from the sweep."""
+        xy = np.tile([[5.0, 5.0]], (10, 1))
+        region = Region(0.0, 0.0, 100.0, 100.0)
+        grid = compute_kdv(
+            xy, region=region, size=(20, 20), bandwidth=3.0, normalization="none"
+        ).grid
+        raster = Raster(region, 20, 20)
+        xs = raster.x_centers()
+        ys = raster.y_centers()
+        d_far = (xs[None, :] - 5.0) ** 2 + (ys[:, None] - 5.0) ** 2 > 9.0
+        assert np.all(grid[d_far] == 0.0)

@@ -1,0 +1,210 @@
+"""Unit and property tests for kernel functions and their decompositions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import (
+    KERNELS,
+    NUM_CHANNELS,
+    EpanechnikovKernel,
+    GaussianKernel,
+    QuarticKernel,
+    UniformKernel,
+    channel_values,
+    get_kernel,
+)
+
+DECOMPOSABLE = ("uniform", "epanechnikov", "quartic")
+
+
+class TestRegistry:
+    def test_all_kernels_registered(self):
+        assert set(KERNELS) == {"uniform", "epanechnikov", "quartic", "gaussian"}
+
+    def test_get_kernel_by_name(self):
+        assert isinstance(get_kernel("quartic"), QuarticKernel)
+
+    def test_get_kernel_passthrough(self):
+        k = EpanechnikovKernel()
+        assert get_kernel(k) is k
+
+    def test_get_kernel_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_kernel("triweight")
+
+    def test_channel_counts(self):
+        assert UniformKernel().num_channels == 1
+        assert EpanechnikovKernel().num_channels == 4
+        assert QuarticKernel().num_channels == 10
+        assert GaussianKernel().num_channels is None
+
+
+class TestEvaluate:
+    """Pointwise kernel values against hand-computed numbers (Table 2)."""
+
+    def test_uniform_inside(self):
+        assert UniformKernel().evaluate(np.array(4.0), 3.0) == pytest.approx(1 / 3)
+
+    def test_uniform_on_boundary_counts(self):
+        # dist == b is inside per Table 2's "if dist <= b"
+        assert UniformKernel().evaluate(np.array(9.0), 3.0) == pytest.approx(1 / 3)
+
+    def test_uniform_outside_zero(self):
+        assert UniformKernel().evaluate(np.array(9.0001), 3.0) == 0.0
+
+    def test_epanechnikov_values(self):
+        k = EpanechnikovKernel()
+        assert k.evaluate(np.array(0.0), 2.0) == pytest.approx(1.0)
+        assert k.evaluate(np.array(1.0), 2.0) == pytest.approx(1 - 1 / 4)
+        assert k.evaluate(np.array(4.0), 2.0) == pytest.approx(0.0)
+        assert k.evaluate(np.array(4.0001), 2.0) == 0.0
+
+    def test_quartic_values(self):
+        k = QuarticKernel()
+        assert k.evaluate(np.array(0.0), 2.0) == pytest.approx(1.0)
+        assert k.evaluate(np.array(1.0), 2.0) == pytest.approx((1 - 1 / 4) ** 2)
+        assert k.evaluate(np.array(4.0), 2.0) == pytest.approx(0.0)
+
+    def test_gaussian_values(self):
+        k = GaussianKernel()
+        assert k.evaluate(np.array(0.0), 2.0) == pytest.approx(1.0)
+        assert k.evaluate(np.array(8.0), 2.0) == pytest.approx(math.exp(-1.0))
+
+    def test_gaussian_infinite_support(self):
+        assert GaussianKernel().support_radius(5.0) == math.inf
+        # well past any finite-support kernel's radius, still positive
+        assert GaussianKernel().evaluate(np.array(100.0), 2.0) > 0.0
+
+    def test_finite_support_radius(self):
+        for name in DECOMPOSABLE:
+            assert get_kernel(name).support_radius(7.5) == 7.5
+
+    def test_evaluate_vectorized_shape(self):
+        d = np.linspace(0, 10, 50).reshape(5, 10)
+        for name in KERNELS:
+            out = get_kernel(name).evaluate(d, 2.0)
+            assert out.shape == d.shape
+
+    def test_kernels_monotone_in_distance(self):
+        d = np.linspace(0, 9, 200)
+        for name in KERNELS:
+            vals = get_kernel(name).evaluate(d**2, 3.0)
+            assert np.all(np.diff(vals) <= 1e-15), name
+
+    def test_kernels_nonnegative(self):
+        d_sq = np.linspace(0, 100, 500)
+        for name in KERNELS:
+            assert np.all(get_kernel(name).evaluate(d_sq, 3.0) >= 0.0), name
+
+
+class TestChannelValues:
+    def test_channel_definitions(self):
+        xy = np.array([[2.0, 3.0]])
+        ch = channel_values(xy, NUM_CHANNELS)[0]
+        s = 4.0 + 9.0
+        expected = [1.0, 2.0, 3.0, s, s * 2, s * 3, s * s, 4.0, 6.0, 9.0]
+        np.testing.assert_allclose(ch, expected)
+
+    def test_partial_channels(self):
+        xy = np.array([[1.0, -1.0], [0.5, 2.0]])
+        full = channel_values(xy, NUM_CHANNELS)
+        for nch in (1, 4, 10):
+            np.testing.assert_allclose(channel_values(xy, nch), full[:, :nch])
+
+    def test_invalid_channel_count(self):
+        with pytest.raises(ValueError):
+            channel_values(np.zeros((2, 2)), 0)
+        with pytest.raises(ValueError):
+            channel_values(np.zeros((2, 2)), NUM_CHANNELS + 1)
+
+    def test_empty_input(self):
+        assert channel_values(np.empty((0, 2)), 4).shape == (0, 4)
+
+
+class TestDecomposition:
+    """density_from_aggregates must equal the direct kernel sum (Table 4)."""
+
+    @pytest.mark.parametrize("name", DECOMPOSABLE)
+    def test_matches_direct_sum(self, name, rng):
+        kernel = get_kernel(name)
+        pts = rng.uniform(-3, 3, (200, 2))
+        q = np.array([0.4, -0.7])
+        b = 1.8
+        d_sq = ((pts - q) ** 2).sum(axis=1)
+        inside = d_sq <= b * b
+        direct = kernel.evaluate(d_sq, b).sum()
+        # aggregates over R(q) only, in a b-scaled frame as the sweeps use
+        scaled = pts[inside] / b
+        agg = channel_values(scaled, kernel.num_channels).sum(axis=0)
+        via_agg = kernel.density_from_aggregates(
+            q[0] / b, q[1] / b, agg, 1.0
+        ) * kernel.rescale_factor(b)
+        assert via_agg == pytest.approx(direct, rel=1e-10, abs=1e-12)
+
+    @pytest.mark.parametrize("name", DECOMPOSABLE)
+    def test_empty_aggregates_give_zero(self, name):
+        kernel = get_kernel(name)
+        agg = np.zeros(kernel.num_channels)
+        assert kernel.density_from_aggregates(0.3, 0.1, agg, 1.0) == 0.0
+
+    def test_gaussian_has_no_decomposition(self):
+        with pytest.raises(NotImplementedError):
+            GaussianKernel().density_from_aggregates(0.0, 0.0, np.zeros(1), 1.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        b=st.floats(0.3, 5.0),
+        name=st.sampled_from(DECOMPOSABLE),
+    )
+    def test_decomposition_property(self, seed, b, name):
+        kernel = get_kernel(name)
+        r = np.random.default_rng(seed)
+        pts = r.uniform(-4, 4, (50, 2))
+        q = r.uniform(-4, 4, 2)
+        d_sq = ((pts - q) ** 2).sum(axis=1)
+        direct = kernel.evaluate(d_sq, b).sum()
+        inside = d_sq <= b * b
+        agg = channel_values(pts[inside] / b, kernel.num_channels).sum(axis=0)
+        via_agg = kernel.density_from_aggregates(
+            q[0] / b, q[1] / b, agg, 1.0
+        ) * kernel.rescale_factor(b)
+        assert via_agg == pytest.approx(direct, rel=1e-9, abs=1e-10)
+
+
+class TestNormalizers:
+    """Kernel normalizers make the 2-D kernel integrate to 1 over the plane."""
+
+    @pytest.mark.parametrize(
+        "name", ("uniform", "epanechnikov", "quartic", "gaussian")
+    )
+    def test_normalizer_integral(self, name):
+        kernel = get_kernel(name)
+        b = 1.7
+        # polar integration: integral = 2 pi int_0^R k(r) r dr
+        radius = min(kernel.support_radius(b), 12 * b)
+        r = np.linspace(0, radius, 200_001)
+        vals = kernel.evaluate(r * r, b) * r
+        integral = 2 * math.pi * np.trapezoid(vals, r)
+        assert integral * kernel.normalizer(b) == pytest.approx(1.0, rel=1e-4)
+
+    def test_rescale_factors(self):
+        assert UniformKernel().rescale_factor(4.0) == pytest.approx(0.25)
+        for name in ("epanechnikov", "quartic", "gaussian"):
+            assert get_kernel(name).rescale_factor(4.0) == 1.0
+
+    @pytest.mark.parametrize("name", list(KERNELS))
+    def test_scale_invariance_with_rescale(self, name):
+        """K_b(d) == rescale_factor(b) * K_1(d / b) for every kernel."""
+        kernel = get_kernel(name)
+        b = 3.3
+        d = np.linspace(0, 2 * b, 97)
+        lhs = kernel.evaluate(d * d, b)
+        rhs = kernel.rescale_factor(b) * kernel.evaluate((d / b) ** 2, 1.0)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-12, atol=1e-15)

@@ -1,0 +1,199 @@
+"""Tests for Ripley's K / L functions (extensions.kfunction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PointSet, Region
+from repro.extensions.kfunction import csr_envelope, k_function, l_function
+
+
+@pytest.fixture(scope="module")
+def region() -> Region:
+    return Region(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture(scope="module")
+def uniform_pattern(region):
+    rng = np.random.default_rng(11)
+    return rng.uniform(0, 100, (600, 2))
+
+
+@pytest.fixture(scope="module")
+def clustered_pattern(region):
+    rng = np.random.default_rng(12)
+    centers = rng.uniform(10, 90, (6, 2))
+    which = rng.integers(0, 6, 600)
+    return np.clip(centers[which] + rng.normal(0, 2.0, (600, 2)), 0, 100)
+
+
+RADII = np.linspace(2.0, 20.0, 8)
+
+
+class TestKFunction:
+    def test_csr_close_to_pi_r_squared(self, uniform_pattern, region):
+        k = k_function(uniform_pattern, RADII, region=region)
+        expected = np.pi * RADII**2
+        assert np.nanmax(np.abs(k / expected - 1.0)) < 0.35
+
+    def test_clustering_detected(self, uniform_pattern, clustered_pattern, region):
+        k_uni = k_function(uniform_pattern, RADII, region=region)
+        k_clu = k_function(clustered_pattern, RADII, region=region)
+        # at small scales the clustered pattern has far more close pairs
+        assert k_clu[0] > 5 * k_uni[0]
+
+    def test_monotone_nondecreasing(self, uniform_pattern, region):
+        k = k_function(uniform_pattern, RADII, region=region, correction="none")
+        assert np.all(np.diff(k) >= -1e-9)
+
+    def test_border_correction_reduces_bias(self, region):
+        """Uncorrected K underestimates CSR's pi r^2; the border correction
+        must be closer at large radii."""
+        rng = np.random.default_rng(13)
+        xy = rng.uniform(0, 100, (800, 2))
+        r = np.array([15.0, 20.0])
+        expected = np.pi * r**2
+        raw = k_function(xy, r, region=region, correction="none")
+        corrected = k_function(xy, r, region=region, correction="border")
+        assert np.all(np.abs(corrected - expected) <= np.abs(raw - expected))
+
+    def test_nan_when_no_eligible_centers(self, region):
+        """Border correction with r larger than any point's border distance
+        leaves no centers -> NaN, not a crash."""
+        xy = np.array([[50.0, 1.0], [50.0, 99.0], [1.0, 50.0], [99.0, 50.0]])
+        k = k_function(xy, np.array([10.0, 60.0]), region=region)
+        assert np.isnan(k[1])
+
+    def test_accepts_pointset(self, uniform_pattern, region):
+        ps = PointSet(uniform_pattern)
+        a = k_function(ps, RADII, region=region)
+        b = k_function(uniform_pattern, RADII, region=region)
+        np.testing.assert_allclose(a, b, equal_nan=True)
+
+    def test_small_known_case(self):
+        """Two points at distance 5 in a 10x10 region, no correction:
+        K(r) = |A|/(n(n-1)) * pairs = 100/2 * 2 = 100 once r >= 5."""
+        xy = np.array([[2.5, 5.0], [7.5, 5.0]])
+        region = Region(0, 0, 10, 10)
+        k = k_function(xy, np.array([4.0, 5.0, 6.0]), region=region, correction="none")
+        np.testing.assert_allclose(k, [0.0, 100.0, 100.0])
+
+    def test_validation(self, uniform_pattern, region):
+        with pytest.raises(ValueError, match="at least 2"):
+            k_function(uniform_pattern[:1], RADII, region=region)
+        with pytest.raises(ValueError, match="radii"):
+            k_function(uniform_pattern, np.array([3.0, 2.0]), region=region)
+        with pytest.raises(ValueError, match="radii"):
+            k_function(uniform_pattern, np.array([-1.0, 2.0]), region=region)
+        with pytest.raises(ValueError, match="unknown correction"):
+            k_function(uniform_pattern, RADII, region=region, correction="isotropic")
+        with pytest.raises(ValueError, match="expected .n, 2."):
+            k_function(np.zeros((5, 3)), RADII, region=region)
+
+
+class TestLFunction:
+    def test_csr_l_is_identity(self, uniform_pattern, region):
+        l_vals = l_function(uniform_pattern, RADII, region=region)
+        assert np.nanmax(np.abs(l_vals - RADII)) < 0.2 * RADII[-1]
+
+    def test_l_is_sqrt_k_over_pi(self, uniform_pattern, region):
+        k = k_function(uniform_pattern, RADII, region=region)
+        l_vals = l_function(uniform_pattern, RADII, region=region)
+        np.testing.assert_allclose(l_vals, np.sqrt(k / np.pi), equal_nan=True)
+
+
+class TestCSREnvelope:
+    def test_envelope_brackets_csr(self, region):
+        rng = np.random.default_rng(14)
+        xy = rng.uniform(0, 100, (300, 2))
+        radii = np.linspace(3, 12, 4)
+        lower, upper = csr_envelope(300, radii, region, simulations=19, seed=5)
+        assert np.all(lower <= upper)
+        k = k_function(xy, radii, region=region)
+        # a CSR pattern should mostly lie inside a 19-simulation envelope
+        assert np.mean((k >= lower) & (k <= upper)) >= 0.5
+
+    def test_clustered_exceeds_envelope(self, clustered_pattern, region):
+        radii = np.linspace(3, 12, 4)
+        lower, upper = csr_envelope(600, radii, region, simulations=19, seed=6)
+        k = k_function(clustered_pattern, radii, region=region)
+        assert np.all(k > upper)
+
+    def test_validation(self, region):
+        with pytest.raises(ValueError):
+            csr_envelope(1, RADII, region)
+        with pytest.raises(ValueError):
+            csr_envelope(10, RADII, region, simulations=0)
+        with pytest.raises(ValueError):
+            csr_envelope(10, RADII, region, quantile=0.6)
+
+
+class TestPairCorrelation:
+    def test_csr_near_one(self, uniform_pattern, region):
+        from repro.extensions.kfunction import pair_correlation
+
+        radii = np.linspace(2.0, 20.0, 12)
+        g = pair_correlation(uniform_pattern, radii, region=region)
+        assert abs(np.nanmean(g) - 1.0) < 0.25
+
+    def test_clustered_exceeds_one_at_cluster_scale(self, clustered_pattern, region):
+        from repro.extensions.kfunction import pair_correlation
+
+        radii = np.linspace(1.0, 15.0, 15)
+        g = pair_correlation(clustered_pattern, radii, region=region)
+        # clusters have sigma=2: g should spike at small r and decay
+        assert g[1] > 3.0
+        assert g[1] > g[-1]
+
+    def test_needs_three_radii(self, uniform_pattern, region):
+        from repro.extensions.kfunction import pair_correlation
+
+        with pytest.raises(ValueError):
+            pair_correlation(uniform_pattern, np.array([1.0, 2.0]), region=region)
+
+
+class TestCrossK:
+    def test_independence_gives_pi_r_squared(self, region):
+        from repro.extensions.kfunction import cross_k_function
+
+        rng = np.random.default_rng(21)
+        a = rng.uniform(0, 100, (300, 2))
+        b = rng.uniform(0, 100, (400, 2))
+        radii = np.linspace(3.0, 15.0, 6)
+        k = cross_k_function(a, b, radii, region=region)
+        np.testing.assert_allclose(k, np.pi * radii**2, rtol=0.35)
+
+    def test_colocation_detected(self, region):
+        from repro.extensions.kfunction import cross_k_function
+
+        rng = np.random.default_rng(22)
+        a = rng.uniform(10, 90, (100, 2))
+        b = a[rng.integers(0, 100, 400)] + rng.normal(0, 1.5, (400, 2))
+        radii = np.linspace(2.0, 10.0, 5)
+        k = cross_k_function(a, b, radii, region=region)
+        assert k[0] > 3 * np.pi * radii[0] ** 2
+
+    def test_asymmetry_of_counts_but_same_statistic(self, region):
+        """K_ab and K_ba estimate the same quantity (up to noise) for any
+        pair of patterns — the estimator is symmetric in expectation."""
+        from repro.extensions.kfunction import cross_k_function
+
+        rng = np.random.default_rng(23)
+        a = rng.uniform(0, 100, (200, 2))
+        b = rng.uniform(0, 100, (300, 2))
+        radii = np.linspace(5.0, 20.0, 4)
+        k_ab = cross_k_function(a, b, radii, region=region, correction="none")
+        k_ba = cross_k_function(b, a, radii, region=region, correction="none")
+        np.testing.assert_allclose(k_ab, k_ba, rtol=1e-9)
+
+    def test_validation(self, region):
+        from repro.extensions.kfunction import cross_k_function
+
+        a = np.zeros((0, 2))
+        b = np.ones((5, 2))
+        with pytest.raises(ValueError, match="at least one"):
+            cross_k_function(a, b, np.array([1.0]), region=region)
+        with pytest.raises(ValueError, match="unknown correction"):
+            cross_k_function(b, b, np.array([1.0]), region=region,
+                             correction="ripley")

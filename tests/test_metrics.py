@@ -1,0 +1,136 @@
+"""Tests for the grid comparison metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.metrics import (
+    hotspot_jaccard,
+    max_abs_error,
+    peak_displacement,
+    relative_linf,
+    rmse,
+)
+
+
+class TestBasics:
+    def test_identical_grids(self, rng):
+        g = rng.uniform(0, 5, (10, 12))
+        assert max_abs_error(g, g) == 0.0
+        assert relative_linf(g, g) == 0.0
+        assert rmse(g, g) == 0.0
+        assert hotspot_jaccard(g, g) == 1.0
+        assert peak_displacement(g, g) == 0.0
+
+    def test_max_abs_error(self):
+        a = np.zeros((2, 2))
+        b = np.array([[0.0, 0.0], [0.0, 3.0]])
+        assert max_abs_error(a, b) == 3.0
+
+    def test_relative_linf(self):
+        exact = np.array([[0.0, 10.0]])
+        approx = np.array([[1.0, 10.0]])
+        assert relative_linf(approx, exact) == pytest.approx(0.1)
+
+    def test_relative_linf_zero_exact(self):
+        zero = np.zeros((2, 2))
+        assert relative_linf(zero, zero) == 0.0
+        assert relative_linf(np.ones((2, 2)), zero) == math.inf
+
+    def test_rmse(self):
+        a = np.zeros((1, 4))
+        b = np.full((1, 4), 2.0)
+        assert rmse(a, b) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            max_abs_error(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            rmse(np.zeros((0, 0)), np.zeros((0, 0)))
+
+
+class TestHotspotJaccard:
+    def test_disjoint_hotspots(self):
+        a = np.zeros((10, 10))
+        b = np.zeros((10, 10))
+        a[0, 0] = 1.0
+        b[9, 9] = 1.0
+        assert hotspot_jaccard(a, b, quantile=0.5) == 0.0
+
+    def test_partial_overlap(self):
+        a = np.zeros((10, 10))
+        b = np.zeros((10, 10))
+        a[0, 0] = a[0, 1] = 1.0
+        b[0, 1] = b[0, 2] = 1.0
+        assert hotspot_jaccard(a, b, quantile=0.01) == pytest.approx(1 / 3)
+
+    def test_both_zero_grids(self):
+        z = np.zeros((4, 4))
+        assert hotspot_jaccard(z, z) == 1.0
+
+    def test_quantile_validation(self, rng):
+        g = rng.uniform(0, 1, (4, 4))
+        with pytest.raises(ValueError):
+            hotspot_jaccard(g, g, quantile=1.0)
+
+    def test_small_noise_keeps_hotspots(self, rng):
+        """Tiny perturbations should not change the detected hotspots."""
+        g = rng.uniform(0, 1, (30, 30))
+        g[10:13, 10:13] = 5.0
+        noisy = g + rng.normal(0, 1e-6, g.shape)
+        assert hotspot_jaccard(noisy, g, quantile=0.95) > 0.9
+
+
+class TestPeakDisplacement:
+    def test_known_displacement(self):
+        a = np.zeros((5, 5))
+        b = np.zeros((5, 5))
+        a[0, 0] = 1.0
+        b[3, 4] = 1.0
+        assert peak_displacement(a, b) == pytest.approx(5.0)
+
+    def test_exact_methods_zero_displacement(self, rng):
+        from repro import Region, compute_kdv
+
+        xy = rng.uniform((0, 0), (100, 80), (200, 2))
+        region = Region(0, 0, 100, 80)
+        a = compute_kdv(xy, region=region, size=(20, 16), bandwidth=10.0,
+                        method="slam_bucket_rao").grid
+        b = compute_kdv(xy, region=region, size=(20, 16), bandwidth=10.0,
+                        method="scan").grid
+        assert peak_displacement(a, b) == 0.0
+
+
+class TestOnRealApproximations:
+    def test_zorder_error_decreases_with_sample(self, rng):
+        from repro import Region, compute_kdv
+
+        xy = rng.uniform((0, 0), (100, 80), (2000, 2))
+        region = Region(0, 0, 100, 80)
+        exact = compute_kdv(xy, region=region, size=(20, 16), bandwidth=15.0).grid
+        errs = []
+        for m in (20, 200, 2000):
+            approx = compute_kdv(
+                xy, region=region, size=(20, 16), bandwidth=15.0,
+                method="zorder", sample_size=m,
+            ).grid
+            errs.append(relative_linf(approx, exact))
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_akde_jaccard_high_at_tight_tolerance(self, rng):
+        from repro import Region, compute_kdv
+
+        xy = rng.uniform((0, 0), (100, 80), (1000, 2))
+        region = Region(0, 0, 100, 80)
+        exact = compute_kdv(xy, region=region, size=(20, 16), bandwidth=15.0).grid
+        approx = compute_kdv(
+            xy, region=region, size=(20, 16), bandwidth=15.0,
+            method="akde", tolerance=1e-4,
+        ).grid
+        assert hotspot_jaccard(approx, exact, quantile=0.9) > 0.9

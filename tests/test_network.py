@@ -1,0 +1,349 @@
+"""Tests for the network KDV subsystem (graph, Dijkstra, lixels, NKDV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import get_kernel
+from repro.network import (
+    Lixelization,
+    SpatialNetwork,
+    bounded_dijkstra,
+    compute_nkdv,
+    node_distances_from_edge_point,
+    street_grid,
+)
+from repro.network.nkdv import nkdv_event_centric, nkdv_lixel_centric
+
+
+@pytest.fixture(scope="module")
+def grid_net() -> SpatialNetwork:
+    return street_grid(5, 4, spacing=100.0)
+
+
+@pytest.fixture(scope="module")
+def holey_net() -> SpatialNetwork:
+    return street_grid(6, 6, spacing=100.0, removal_fraction=0.2, seed=7)
+
+
+class TestSpatialNetwork:
+    def test_grid_counts(self, grid_net):
+        assert grid_net.num_nodes == 20
+        # 4 rows x 4 horizontal + 3 vertical x 5 columns per the grid shape
+        assert grid_net.num_edges == 4 * 4 + 3 * 5
+
+    def test_edge_lengths_euclidean(self, grid_net):
+        np.testing.assert_allclose(grid_net.edge_length, 100.0)
+        assert grid_net.total_length() == pytest.approx(31 * 100.0)
+
+    def test_custom_lengths(self):
+        net = SpatialNetwork(
+            np.array([[0.0, 0.0], [1.0, 0.0]]),
+            np.array([[0, 1]]),
+            edge_length=np.array([5.0]),
+        )
+        assert net.edge_length[0] == 5.0
+
+    def test_adjacency_consistent(self, grid_net):
+        for node in range(grid_net.num_nodes):
+            for neighbor, edge, weight in grid_net.neighbors(node):
+                u, v = grid_net.edges[edge]
+                assert {u, v} == {node, neighbor}
+                assert weight == pytest.approx(grid_net.edge_length[edge])
+
+    def test_degrees(self, grid_net):
+        degrees = sorted(grid_net.degree(n) for n in range(grid_net.num_nodes))
+        # 4 corners of degree 2, edges of degree 3, interior of degree 4
+        assert degrees[:4] == [2, 2, 2, 2]
+        assert degrees[-1] == 4
+
+    def test_validation(self):
+        xy = np.array([[0.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="self-loops"):
+            SpatialNetwork(xy, np.array([[0, 0]]))
+        with pytest.raises(ValueError, match="parallel"):
+            SpatialNetwork(xy, np.array([[0, 1], [1, 0]]))
+        with pytest.raises(ValueError, match="out of range"):
+            SpatialNetwork(xy, np.array([[0, 5]]))
+        with pytest.raises(ValueError, match="positive"):
+            SpatialNetwork(xy, np.array([[0, 1]]), edge_length=np.array([0.0]))
+
+    def test_edge_point(self, grid_net):
+        edge = 0
+        u, v = grid_net.edges[edge]
+        mid = grid_net.edge_point(edge, grid_net.edge_length[edge] / 2)
+        np.testing.assert_allclose(
+            mid, (grid_net.node_xy[u] + grid_net.node_xy[v]) / 2
+        )
+        with pytest.raises(ValueError):
+            grid_net.edge_point(edge, 1e9)
+
+    def test_snap_projects_to_nearest_edge(self, grid_net):
+        # a point just off the segment from (100,0)-(200,0)
+        edges, offsets = grid_net.snap(np.array([[150.0, 5.0]]))
+        u, v = grid_net.edges[edges[0]]
+        pts = grid_net.node_xy[[u, v]]
+        assert set(map(tuple, pts)) == {(100.0, 0.0), (200.0, 0.0)}
+        snapped = grid_net.edge_point(int(edges[0]), float(offsets[0]))
+        np.testing.assert_allclose(snapped, [150.0, 0.0])
+
+    def test_snap_endpoint_clamping(self, grid_net):
+        # far outside the grid: snaps to the nearest corner
+        edges, offsets = grid_net.snap(np.array([[-50.0, -50.0]]))
+        snapped = grid_net.edge_point(int(edges[0]), float(offsets[0]))
+        np.testing.assert_allclose(snapped, [0.0, 0.0])
+
+    def test_snap_empty_network(self):
+        net = SpatialNetwork(np.array([[0.0, 0.0]]), np.empty((0, 2)))
+        with pytest.raises(ValueError, match="no edges"):
+            net.snap(np.array([[0.0, 0.0]]))
+
+
+class TestStreetGrid:
+    def test_removal(self):
+        full = street_grid(6, 6)
+        holey = street_grid(6, 6, removal_fraction=0.3, seed=1)
+        assert holey.num_edges < full.num_edges
+
+    def test_origin_and_spacing(self):
+        net = street_grid(2, 2, spacing=50.0, origin=(10.0, 20.0))
+        np.testing.assert_allclose(net.node_xy.min(axis=0), [10.0, 20.0])
+        np.testing.assert_allclose(net.node_xy.max(axis=0), [60.0, 70.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            street_grid(1, 5)
+        with pytest.raises(ValueError):
+            street_grid(3, 3, removal_fraction=1.0)
+
+
+class TestBoundedDijkstra:
+    def test_against_networkx(self, holey_net):
+        """Cross-check against the independent networkx implementation."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for i, (u, v) in enumerate(holey_net.edges):
+            g.add_edge(int(u), int(v), weight=float(holey_net.edge_length[i]))
+        budget = 350.0
+        for source in (0, 7, 20):
+            if source not in g:
+                continue
+            expected = {
+                node: d
+                for node, d in nx.single_source_dijkstra_path_length(
+                    g, source, weight="weight"
+                ).items()
+                if d <= budget
+            }
+            got = bounded_dijkstra(holey_net, {source: 0.0}, budget)
+            assert got.keys() == expected.keys()
+            for node in expected:
+                assert got[node] == pytest.approx(expected[node])
+
+    def test_budget_excludes_far_nodes(self, grid_net):
+        got = bounded_dijkstra(grid_net, {0: 0.0}, 150.0)
+        assert max(got.values()) <= 150.0
+        # node 0's own distance is zero
+        assert got[0] == 0.0
+
+    def test_multi_source(self, grid_net):
+        a = bounded_dijkstra(grid_net, {0: 0.0}, 250.0)
+        b = bounded_dijkstra(grid_net, {19: 0.0}, 250.0)
+        both = bounded_dijkstra(grid_net, {0: 0.0, 19: 0.0}, 250.0)
+        for node in both:
+            assert both[node] == pytest.approx(
+                min(a.get(node, np.inf), b.get(node, np.inf))
+            )
+
+    def test_seed_beyond_budget_ignored(self, grid_net):
+        assert bounded_dijkstra(grid_net, {0: 1e9}, 100.0) == {}
+
+    def test_zero_budget(self, grid_net):
+        assert bounded_dijkstra(grid_net, {3: 0.0}, 0.0) == {3: 0.0}
+
+    def test_validation(self, grid_net):
+        with pytest.raises(ValueError, match="budget"):
+            bounded_dijkstra(grid_net, {0: 0.0}, -1.0)
+        with pytest.raises(ValueError, match="out of range"):
+            bounded_dijkstra(grid_net, {10**6: 0.0}, 10.0)
+
+    def test_edge_point_seeding(self, grid_net):
+        """Distances from a mid-edge point: endpoints at a and L - a."""
+        edge = 0
+        u, v = (int(x) for x in grid_net.edges[edge])
+        dist = node_distances_from_edge_point(grid_net, edge, 30.0, 500.0)
+        assert dist[u] == pytest.approx(30.0)
+        assert dist[v] == pytest.approx(70.0)
+
+    def test_disconnected_component_unreached(self):
+        xy = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+        net = SpatialNetwork(xy, np.array([[0, 1], [2, 3]]))
+        got = bounded_dijkstra(net, {0: 0.0}, 100.0)
+        assert set(got) == {0, 1}
+
+
+class TestLixelization:
+    def test_tiles_every_edge_exactly(self, grid_net):
+        lix = Lixelization(grid_net, 30.0)
+        for e in range(grid_net.num_edges):
+            sl = lix.lixels_of_edge(e)
+            assert lix.length[sl].sum() == pytest.approx(grid_net.edge_length[e])
+            assert np.all(lix.length[sl] <= 30.0 + 1e-9)
+
+    def test_centers_inside_edges(self, grid_net):
+        lix = Lixelization(grid_net, 30.0)
+        assert np.all(lix.center > 0)
+        assert np.all(lix.center < grid_net.edge_length[lix.edge_id])
+
+    def test_center_points_on_segments(self, grid_net):
+        lix = Lixelization(grid_net, 30.0)
+        pts = lix.center_points()
+        # grid edges are axis-aligned: centers share a coordinate with nodes
+        on_grid_line = (pts % 100.0 == 0.0).any(axis=1)
+        assert on_grid_line.all()
+
+    def test_segments_tile_edges(self, grid_net):
+        lix = Lixelization(grid_net, 33.0)
+        segments = lix.segments()
+        for e in range(grid_net.num_edges):
+            sl = lix.lixels_of_edge(e)
+            segs = segments[sl]
+            # consecutive lixels share endpoints
+            np.testing.assert_allclose(segs[:-1, 1], segs[1:, 0])
+
+    def test_long_lixel_clamped_to_one_per_edge(self, grid_net):
+        lix = Lixelization(grid_net, 1e6)
+        assert len(lix) == grid_net.num_edges
+
+    def test_validation(self, grid_net):
+        with pytest.raises(ValueError):
+            Lixelization(grid_net, 0.0)
+
+
+class TestNKDV:
+    @pytest.mark.parametrize("kernel_name", ["uniform", "epanechnikov", "quartic"])
+    def test_evaluators_agree(self, holey_net, kernel_name, rng):
+        pts = rng.uniform((0, 0), (500, 500), (25, 2))
+        lix = Lixelization(holey_net, 40.0)
+        edges, offsets = holey_net.snap(pts)
+        kernel = get_kernel(kernel_name)
+        fast = nkdv_event_centric(holey_net, lix, edges, offsets, kernel, 180.0)
+        naive = nkdv_lixel_centric(holey_net, lix, edges, offsets, kernel, 180.0)
+        np.testing.assert_allclose(fast, naive, rtol=1e-10, atol=1e-12)
+
+    def test_weighted_evaluators_agree(self, grid_net, rng):
+        pts = rng.uniform((0, 0), (400, 300), (20, 2))
+        w = rng.uniform(0, 3, 20)
+        lix = Lixelization(grid_net, 40.0)
+        edges, offsets = grid_net.snap(pts)
+        kernel = get_kernel("epanechnikov")
+        fast = nkdv_event_centric(grid_net, lix, edges, offsets, kernel, 180.0, weights=w)
+        naive = nkdv_lixel_centric(grid_net, lix, edges, offsets, kernel, 180.0, weights=w)
+        np.testing.assert_allclose(fast, naive, rtol=1e-10, atol=1e-12)
+
+    def test_single_event_same_edge_profile(self):
+        """One event mid-edge on a path graph: density falls off linearly in
+        network distance under the Epanechnikov kernel's 1 - (d/b)^2."""
+        xy = np.array([[0.0, 0.0], [100.0, 0.0]])
+        net = SpatialNetwork(xy, np.array([[0, 1]]))
+        lix = Lixelization(net, 10.0)
+        density = nkdv_event_centric(
+            net, lix, np.array([0]), np.array([50.0]),
+            get_kernel("epanechnikov"), 30.0,
+        )
+        d = np.abs(lix.center - 50.0)
+        expected = np.where(d <= 30.0, 1 - (d / 30.0) ** 2, 0.0)
+        np.testing.assert_allclose(density, expected, rtol=1e-12)
+
+    def test_density_respects_network_distance_not_euclidean(self):
+        """Two parallel streets 10 m apart but connected only at the far end:
+        an event on one street must NOT leak onto the other even though the
+        Euclidean distance is tiny."""
+        xy = np.array(
+            [[0.0, 0.0], [1000.0, 0.0], [0.0, 10.0], [1000.0, 10.0]]
+        )
+        edges = np.array([[0, 1], [2, 3], [1, 3]])  # connected at x=1000 only
+        net = SpatialNetwork(xy, edges)
+        lix = Lixelization(net, 50.0)
+        density = nkdv_event_centric(
+            net, lix, np.array([0]), np.array([0.0]),  # event at (0, 0)
+            get_kernel("epanechnikov"), 200.0,
+        )
+        other_street = lix.edge_id == 1
+        assert density[other_street].max() == 0.0
+        same_street = lix.edge_id == 0
+        assert density[same_street].max() > 0.0
+
+    def test_disconnected_component_gets_zero(self):
+        xy = np.array([[0.0, 0.0], [100.0, 0.0], [500.0, 0.0], [600.0, 0.0]])
+        net = SpatialNetwork(xy, np.array([[0, 1], [2, 3]]))
+        lix = Lixelization(net, 20.0)
+        density = nkdv_event_centric(
+            net, lix, np.array([0]), np.array([50.0]),
+            get_kernel("epanechnikov"), 1e4,
+        )
+        assert density[lix.edge_id == 1].max() == 0.0
+
+    def test_event_on_long_edge_beyond_endpoints(self):
+        """Bandwidth smaller than the distance to either endpoint: only the
+        same-edge fallback contributes."""
+        xy = np.array([[0.0, 0.0], [1000.0, 0.0]])
+        net = SpatialNetwork(xy, np.array([[0, 1]]))
+        lix = Lixelization(net, 25.0)
+        density = nkdv_event_centric(
+            net, lix, np.array([0]), np.array([500.0]),
+            get_kernel("epanechnikov"), 100.0,
+        )
+        naive = nkdv_lixel_centric(
+            net, lix, np.array([0]), np.array([500.0]),
+            get_kernel("epanechnikov"), 100.0,
+        )
+        np.testing.assert_allclose(density, naive, rtol=1e-12)
+        assert density.max() > 0
+
+    def test_gaussian_rejected(self, grid_net):
+        with pytest.raises(ValueError, match="infinite support"):
+            compute_nkdv(grid_net, np.zeros((1, 2)), kernel="gaussian")
+
+    def test_compute_nkdv_end_to_end(self, holey_net, rng):
+        pts = rng.uniform((0, 0), (500, 500), (60, 2))
+        res = compute_nkdv(holey_net, pts, lixel_length=25.0, bandwidth=150.0)
+        assert res.n_events == 60
+        assert res.max_density() > 0
+        hot = res.hotspot_lixels(0.9)
+        assert 0 < hot.sum() < len(res)
+        img = res.rasterize((64, 48))
+        assert img.shape == (48, 64)
+        assert (img > 0).any()
+
+    def test_compute_nkdv_pointset_weights(self, grid_net, rng):
+        from repro import PointSet
+
+        xy = rng.uniform((0, 0), (400, 300), (20, 2))
+        w = rng.uniform(1, 2, 20)
+        weighted = compute_nkdv(
+            grid_net, PointSet(xy, w=w), lixel_length=40.0, bandwidth=150.0
+        )
+        plain = compute_nkdv(grid_net, xy, lixel_length=40.0, bandwidth=150.0)
+        assert weighted.density.sum() > plain.density.sum()
+
+    def test_unknown_method(self, grid_net):
+        with pytest.raises(ValueError, match="unknown method"):
+            compute_nkdv(grid_net, np.zeros((1, 2)), method="sweep")
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), b=st.floats(20.0, 400.0))
+    def test_evaluator_agreement_property(self, seed, b):
+        gen = np.random.default_rng(seed)
+        net = street_grid(4, 4, spacing=100.0, removal_fraction=0.15, seed=seed % 100)
+        pts = gen.uniform((0, 0), (300, 300), (10, 2))
+        lix = Lixelization(net, 35.0)
+        edges, offsets = net.snap(pts)
+        kernel = get_kernel("epanechnikov")
+        fast = nkdv_event_centric(net, lix, edges, offsets, kernel, b)
+        naive = nkdv_lixel_centric(net, lix, edges, offsets, kernel, b)
+        np.testing.assert_allclose(fast, naive, rtol=1e-9, atol=1e-11)

@@ -1,0 +1,131 @@
+"""Tests for geographic projections (data.projection)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.projection import (
+    EARTH_RADIUS_M,
+    LocalEquirectangular,
+    WebMercator,
+)
+
+
+class TestLocalEquirectangular:
+    def test_origin_maps_to_zero(self):
+        proj = LocalEquirectangular(-122.3, 47.6)
+        np.testing.assert_allclose(
+            proj.forward(np.array([-122.3]), np.array([47.6])), [[0.0, 0.0]]
+        )
+
+    def test_one_degree_latitude_is_111km(self):
+        proj = LocalEquirectangular(0.0, 0.0)
+        xy = proj.forward(np.array([0.0]), np.array([1.0]))
+        assert xy[0, 1] == pytest.approx(EARTH_RADIUS_M * math.pi / 180, rel=1e-9)
+        assert xy[0, 1] == pytest.approx(111_195.0, rel=1e-3)
+
+    def test_longitude_shrinks_with_latitude(self):
+        equator = LocalEquirectangular(0.0, 0.0)
+        nordic = LocalEquirectangular(0.0, 60.0)
+        dx_eq = equator.forward(np.array([1.0]), np.array([0.0]))[0, 0]
+        dx_no = nordic.forward(np.array([1.0]), np.array([60.0]))[0, 0]
+        assert dx_no == pytest.approx(dx_eq * math.cos(math.radians(60.0)), rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lon0=st.floats(-179, 179),
+        lat0=st.floats(-80, 80),
+        dlon=st.floats(-0.4, 0.4),
+        dlat=st.floats(-0.4, 0.4),
+    )
+    def test_roundtrip_property(self, lon0, lat0, dlon, dlat):
+        proj = LocalEquirectangular(lon0, lat0)
+        lon = np.array([lon0 + dlon])
+        lat = np.array([np.clip(lat0 + dlat, -89.0, 89.0)])
+        back_lon, back_lat = proj.inverse(proj.forward(lon, lat))
+        assert back_lon[0] == pytest.approx(lon[0], abs=1e-9)
+        assert back_lat[0] == pytest.approx(lat[0], abs=1e-9)
+
+    def test_distance_accuracy_city_scale(self):
+        """Projected distances within a city match haversine to <0.1%."""
+        proj = LocalEquirectangular(-122.33, 47.61)  # Seattle
+        lon = np.array([-122.33, -122.28])
+        lat = np.array([47.61, 47.66])
+        xy = proj.forward(lon, lat)
+        projected = float(np.hypot(*(xy[1] - xy[0])))
+        # haversine reference
+        phi1, phi2 = map(math.radians, lat)
+        dphi = phi2 - phi1
+        dlmb = math.radians(lon[1] - lon[0])
+        h = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+        true = 2 * EARTH_RADIUS_M * math.asin(math.sqrt(h))
+        assert projected == pytest.approx(true, rel=1e-3)
+
+    def test_for_points(self):
+        lon = np.array([-1.0, 1.0])
+        lat = np.array([10.0, 12.0])
+        proj = LocalEquirectangular.for_points(lon, lat)
+        assert proj.origin_lon == 0.0
+        assert proj.origin_lat == 11.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalEquirectangular(0.0, 89.5)
+        with pytest.raises(ValueError, match="latitude"):
+            LocalEquirectangular(0.0, 0.0).forward(np.array([0.0]), np.array([95.0]))
+        with pytest.raises(ValueError, match="longitude"):
+            LocalEquirectangular(0.0, 0.0).forward(np.array([200.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            LocalEquirectangular(0.0, 0.0).inverse(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            LocalEquirectangular.for_points(np.array([]), np.array([]))
+
+
+class TestWebMercator:
+    def test_equator_longitude_scaling(self):
+        xy = WebMercator.forward(np.array([1.0]), np.array([0.0]))
+        assert xy[0, 0] == pytest.approx(EARTH_RADIUS_M * math.pi / 180, rel=1e-9)
+        assert xy[0, 1] == pytest.approx(0.0, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(lon=st.floats(-180, 180), lat=st.floats(-84, 84))
+    def test_roundtrip_property(self, lon, lat):
+        back_lon, back_lat = WebMercator.inverse(
+            WebMercator.forward(np.array([lon]), np.array([lat]))
+        )
+        assert back_lon[0] == pytest.approx(lon, abs=1e-9)
+        assert back_lat[0] == pytest.approx(lat, abs=1e-9)
+
+    def test_latitude_clamped(self):
+        high = WebMercator.forward(np.array([0.0]), np.array([89.9]))
+        top = WebMercator.forward(np.array([0.0]), np.array([85.05112878]))
+        assert high[0, 1] == pytest.approx(top[0, 1])
+
+    def test_scale_factor(self):
+        assert WebMercator.scale_factor(0.0) == pytest.approx(1.0)
+        assert WebMercator.scale_factor(60.0) == pytest.approx(2.0, rel=1e-9)
+        arr = WebMercator.scale_factor(np.array([0.0, 60.0]))
+        np.testing.assert_allclose(arr, [1.0, 2.0], rtol=1e-9)
+
+    def test_square_world(self):
+        """EPSG:3857's defining property: the world square is 2*pi*R wide
+        and equally tall at the latitude cutoff."""
+        corner = WebMercator.forward(np.array([180.0]), np.array([85.05112878]))
+        assert corner[0, 0] == pytest.approx(math.pi * EARTH_RADIUS_M, rel=1e-9)
+        assert corner[0, 1] == pytest.approx(math.pi * EARTH_RADIUS_M, rel=1e-4)
+
+    def test_kdv_pipeline_from_lonlat(self, rng):
+        """End to end: lon/lat events -> projection -> KDV."""
+        from repro import compute_kdv
+
+        lon = -122.3 + rng.normal(0, 0.01, 300)
+        lat = 47.6 + rng.normal(0, 0.01, 300)
+        proj = LocalEquirectangular.for_points(lon, lat)
+        xy = proj.forward(lon, lat)
+        res = compute_kdv(xy, size=(32, 24), bandwidth=500.0)
+        assert res.max_density() > 0

@@ -1,0 +1,128 @@
+"""Tests for the Region/Raster world-coordinate model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Raster, Region
+
+
+class TestRegion:
+    def test_basic_properties(self):
+        r = Region(1.0, 2.0, 5.0, 10.0)
+        assert r.width == 4.0
+        assert r.height == 8.0
+        assert r.center == (3.0, 6.0)
+
+    @pytest.mark.parametrize(
+        "bounds", [(0, 0, 0, 1), (0, 0, 1, 0), (2, 0, 1, 1), (0, 5, 1, 1)]
+    )
+    def test_degenerate_rejected(self, bounds):
+        with pytest.raises(ValueError, match="degenerate"):
+            Region(*bounds)
+
+    def test_from_points(self):
+        xy = np.array([[1.0, 2.0], [4.0, 7.0], [2.0, 3.0]])
+        r = Region.from_points(xy)
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (1.0, 2.0, 4.0, 7.0)
+
+    def test_from_points_padding(self):
+        r = Region.from_points(np.array([[0.0, 0.0], [10.0, 10.0]]), pad_fraction=0.1)
+        assert r.xmin == pytest.approx(-1.0)
+        assert r.xmax == pytest.approx(11.0)
+
+    def test_from_points_degenerate_axis(self):
+        # all points on a vertical line must still give a valid region
+        r = Region.from_points(np.array([[5.0, 0.0], [5.0, 9.0]]))
+        assert r.width > 0
+
+    def test_scaled_zoom_in(self):
+        r = Region(0.0, 0.0, 10.0, 20.0).scaled(0.5)
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (2.5, 5.0, 7.5, 15.0)
+        assert r.center == (5.0, 10.0)
+
+    def test_scaled_anisotropic(self):
+        r = Region(0.0, 0.0, 10.0, 10.0).scaled(0.5, ratio_y=0.2)
+        assert r.width == pytest.approx(5.0)
+        assert r.height == pytest.approx(2.0)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, 1, 1).scaled(0.0)
+        with pytest.raises(ValueError):
+            Region(0, 0, 1, 1).scaled(1.0, ratio_y=-1.0)
+
+    def test_translated(self):
+        r = Region(0.0, 0.0, 4.0, 4.0).translated(1.0, -2.0)
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (1.0, -2.0, 5.0, 2.0)
+
+    def test_contains(self):
+        r = Region(0.0, 0.0, 10.0, 10.0)
+        x = np.array([-1.0, 0.0, 5.0, 10.0, 11.0])
+        y = np.array([5.0, 5.0, 5.0, 10.0, 5.0])
+        np.testing.assert_array_equal(
+            r.contains(x, y), [False, True, True, True, False]
+        )
+
+    def test_transposed(self):
+        r = Region(1.0, 2.0, 3.0, 7.0).transposed()
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (2.0, 1.0, 7.0, 3.0)
+
+    def test_transposed_involution(self):
+        r = Region(1.0, 2.0, 3.0, 7.0)
+        assert r.transposed().transposed() == r
+
+
+class TestRaster:
+    def test_shape_and_gaps(self):
+        raster = Raster(Region(0.0, 0.0, 10.0, 6.0), 5, 3)
+        assert raster.shape == (3, 5)
+        assert raster.gx == pytest.approx(2.0)
+        assert raster.gy == pytest.approx(2.0)
+        assert raster.pixel_count == 15
+
+    def test_centers(self):
+        raster = Raster(Region(0.0, 0.0, 10.0, 6.0), 5, 3)
+        np.testing.assert_allclose(raster.x_centers(), [1.0, 3.0, 5.0, 7.0, 9.0])
+        np.testing.assert_allclose(raster.y_centers(), [1.0, 3.0, 5.0])
+
+    def test_centers_strictly_increasing_evenly_spaced(self):
+        raster = Raster(Region(-3.0, 2.0, 17.0, 21.0), 33, 17)
+        xs = raster.x_centers()
+        assert np.all(np.diff(xs) > 0)
+        np.testing.assert_allclose(np.diff(xs), raster.gx)
+
+    def test_centers_inside_region(self):
+        raster = Raster(Region(5.0, 5.0, 6.0, 6.0), 7, 7)
+        assert raster.x_centers().min() > 5.0
+        assert raster.x_centers().max() < 6.0
+
+    @pytest.mark.parametrize("size", [(0, 5), (5, 0), (-1, 5)])
+    def test_invalid_resolution(self, size):
+        with pytest.raises(ValueError):
+            Raster(Region(0, 0, 1, 1), *size)
+
+    def test_transposed(self):
+        raster = Raster(Region(0.0, 0.0, 10.0, 6.0), 5, 3)
+        t = raster.transposed()
+        assert t.width == 3 and t.height == 5
+        np.testing.assert_allclose(t.x_centers(), raster.y_centers())
+        np.testing.assert_allclose(t.y_centers(), raster.x_centers())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        width=st.integers(1, 50),
+        height=st.integers(1, 50),
+        x0=st.floats(-1e5, 1e5),
+        span=st.floats(0.01, 1e5),
+    )
+    def test_center_formula_property(self, width, height, x0, span):
+        raster = Raster(Region(x0, 0.0, x0 + span, 1.0), width, height)
+        xs = raster.x_centers()
+        assert len(xs) == width
+        assert xs[0] == pytest.approx(x0 + raster.gx / 2, rel=1e-9, abs=1e-9)
+        # symmetric: last center is gx/2 from the right edge
+        assert x0 + span - xs[-1] == pytest.approx(raster.gx / 2, rel=1e-6, abs=1e-6)

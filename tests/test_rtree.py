@@ -1,0 +1,156 @@
+"""Tests for the STR-packed R-tree and the RQS_rtree method."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compute_kdv
+from repro.baselines.rqs import rqs_rtree_grid
+from repro.core.kernels import channel_values, get_kernel
+from repro.index.rtree import RTree
+
+from .conftest import reference_grid
+
+
+def brute_radius(xy, qx, qy, r):
+    d_sq = (xy[:, 0] - qx) ** 2 + (xy[:, 1] - qy) ** 2
+    return set(np.nonzero(d_sq <= r * r)[0])
+
+
+class TestStructure:
+    def test_perm_is_permutation(self, small_xy):
+        tree = RTree(small_xy, leaf_size=8)
+        assert sorted(tree.perm) == list(range(len(small_xy)))
+
+    def test_single_root(self, small_xy):
+        tree = RTree(small_xy, leaf_size=8, fanout=4)
+        # root point range covers everything
+        assert tree.node_start[tree.root] == 0
+        assert tree.node_end[tree.root] == len(small_xy)
+
+    def test_children_cover_parent_range(self, small_xy):
+        tree = RTree(small_xy, leaf_size=8, fanout=4)
+        for node in range(tree.num_nodes):
+            if tree.is_leaf(node):
+                continue
+            kids = list(tree.children(node))
+            assert tree.node_start[node] == tree.node_start[kids[0]]
+            assert tree.node_end[node] == tree.node_end[kids[-1]]
+            # consecutive children tile the parent's point range
+            for a, b in zip(kids, kids[1:]):
+                assert tree.node_end[a] == tree.node_start[b]
+
+    def test_child_bboxes_inside_parent(self, small_xy):
+        tree = RTree(small_xy, leaf_size=8, fanout=4)
+        for node in range(tree.num_nodes):
+            if tree.is_leaf(node):
+                continue
+            pxmin, pymin, pxmax, pymax = tree.node_bbox[node]
+            for child in tree.children(node):
+                cxmin, cymin, cxmax, cymax = tree.node_bbox[child]
+                assert cxmin >= pxmin - 1e-12 and cymin >= pymin - 1e-12
+                assert cxmax <= pxmax + 1e-12 and cymax <= pymax + 1e-12
+
+    def test_leaf_sizes(self, small_xy):
+        tree = RTree(small_xy, leaf_size=8)
+        for node in range(tree.num_nodes):
+            if tree.is_leaf(node):
+                assert tree.node_size(node) <= 8
+
+    def test_str_order_locality(self, rng):
+        """STR packing yields spatially tight leaves (small average MBR)."""
+        xy = rng.uniform(0, 100, (1000, 2))
+        tree = RTree(xy, leaf_size=25)
+        leaf_areas = [
+            (tree.node_bbox[n][2] - tree.node_bbox[n][0])
+            * (tree.node_bbox[n][3] - tree.node_bbox[n][1])
+            for n in range(tree.num_nodes)
+            if tree.is_leaf(n)
+        ]
+        # 40 leaves tiling a 10,000-area square: average leaf MBR far below
+        # the full region's area
+        assert np.mean(leaf_areas) < 100 * 100 / 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RTree(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            RTree(np.zeros((3, 2)), leaf_size=0)
+        with pytest.raises(ValueError):
+            RTree(np.zeros((3, 2)), fanout=1)
+        with pytest.raises(ValueError):
+            RTree(np.zeros((3, 2)), weights=np.ones(2))
+
+    def test_empty(self):
+        tree = RTree(np.empty((0, 2)))
+        assert tree.query_radius(0.0, 0.0, 5.0).size == 0
+
+
+class TestQueries:
+    def test_matches_brute_force(self, small_xy, rng):
+        tree = RTree(small_xy, leaf_size=8, fanout=4)
+        for _ in range(20):
+            qx, qy = rng.uniform(0, 100), rng.uniform(0, 80)
+            r = rng.uniform(1, 40)
+            assert set(tree.query_radius(qx, qy, r)) == brute_radius(
+                small_xy, qx, qy, r
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(0, 120),
+        leaf_size=st.integers(1, 24),
+        fanout=st.integers(2, 9),
+        r=st.floats(0.01, 25.0),
+    )
+    def test_query_property(self, seed, n, leaf_size, fanout, r):
+        gen = np.random.default_rng(seed)
+        xy = gen.integers(-8, 8, (n, 2)).astype(float)
+        tree = RTree(xy, leaf_size=leaf_size, fanout=fanout)
+        qx, qy = gen.uniform(-10, 10, 2)
+        assert set(tree.query_radius(qx, qy, r)) == brute_radius(xy, qx, qy, r)
+
+    def test_count_radius(self, small_xy):
+        tree = RTree(small_xy, leaf_size=16)
+        assert tree.count_radius(50.0, 40.0, 20.0) == len(
+            brute_radius(small_xy, 50.0, 40.0, 20.0)
+        )
+
+
+class TestAggregates:
+    @pytest.mark.parametrize("nch", [1, 4, 10])
+    def test_node_aggregates(self, nch, small_xy, rng):
+        w = rng.uniform(0, 2, len(small_xy))
+        tree = RTree(small_xy, leaf_size=8, num_channels=nch, weights=w)
+        chans = channel_values(small_xy, nch, weights=w)
+        for node in range(0, tree.num_nodes, 3):
+            idx = tree.perm[tree.node_start[node] : tree.node_end[node]]
+            np.testing.assert_allclose(
+                tree.node_agg[node], chans[idx].sum(axis=0), rtol=1e-12, atol=1e-9
+            )
+
+
+class TestRQSRtree:
+    @pytest.mark.parametrize("kernel_name", ["uniform", "epanechnikov", "quartic"])
+    def test_exact(self, kernel_name, small_xy, raster):
+        expected = reference_grid(small_xy, raster, kernel_name, 9.0)
+        got = rqs_rtree_grid(small_xy, raster, get_kernel(kernel_name), 9.0)
+        np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-12)
+
+    def test_via_api(self, small_xy):
+        a = compute_kdv(small_xy, size=(12, 9), bandwidth=12.0, method="rqs_rtree")
+        b = compute_kdv(small_xy, size=(12, 9), bandwidth=12.0, method="scan")
+        np.testing.assert_allclose(a.grid, b.grid, rtol=1e-10)
+        assert a.exact
+
+    def test_weighted(self, small_xy, raster, rng):
+        w = rng.uniform(0, 3, len(small_xy))
+        a = rqs_rtree_grid(small_xy, raster, get_kernel("epanechnikov"), 9.0, weights=w)
+        from repro.baselines.scan import scan_grid
+
+        b = scan_grid(small_xy, raster, get_kernel("epanechnikov"), 9.0, weights=w)
+        np.testing.assert_allclose(a, b, rtol=1e-10, atol=1e-12)

@@ -1,0 +1,170 @@
+"""Tests for the incremental streaming KDV engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Region, compute_kdv
+from repro.extensions.streaming import StreamingKDV
+
+REGION = Region(0.0, 0.0, 1000.0, 800.0)
+
+
+@pytest.fixture
+def engine() -> StreamingKDV:
+    return StreamingKDV(REGION, size=(24, 18), bandwidth=80.0)
+
+
+def fresh_grid(xy):
+    return compute_kdv(
+        xy, region=REGION, size=(24, 18), bandwidth=80.0, normalization="none"
+    ).grid
+
+
+class TestInsert:
+    def test_empty_engine(self, engine):
+        assert len(engine) == 0
+        assert np.all(engine.grid == 0)
+
+    def test_insert_matches_batch_compute(self, engine, rng):
+        xy = rng.uniform((0, 0), (1000, 800), (300, 2))
+        engine.insert(xy)
+        np.testing.assert_allclose(engine.grid, fresh_grid(xy), rtol=1e-12)
+        assert len(engine) == 300
+
+    def test_incremental_equals_batch(self, engine, rng):
+        batches = [rng.uniform((0, 0), (1000, 800), (100, 2)) for _ in range(5)]
+        for batch in batches:
+            engine.insert(batch)
+        np.testing.assert_allclose(
+            engine.grid, fresh_grid(np.vstack(batches)), rtol=1e-10, atol=1e-12
+        )
+
+    def test_empty_batch_noop(self, engine):
+        engine.insert(np.empty((0, 2)))
+        assert len(engine) == 0
+
+    def test_bad_shapes(self, engine):
+        with pytest.raises(ValueError):
+            engine.insert(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            engine.insert(np.zeros((3, 2)), t=np.zeros(2))
+
+    def test_points_roundtrip(self, engine, rng):
+        a = rng.uniform((0, 0), (1000, 800), (40, 2))
+        b = rng.uniform((0, 0), (1000, 800), (60, 2))
+        engine.insert(a)
+        engine.insert(b)
+        np.testing.assert_array_equal(engine.points(), np.vstack([a, b]))
+
+
+class TestDelete:
+    def test_delete_oldest(self, engine, rng):
+        a = rng.uniform((0, 0), (1000, 800), (100, 2))
+        b = rng.uniform((0, 0), (1000, 800), (100, 2))
+        engine.insert(a)
+        engine.insert(b)
+        removed = engine.delete_oldest()
+        assert removed == 100
+        assert len(engine) == 100
+        np.testing.assert_allclose(engine.grid, fresh_grid(b), rtol=1e-9, atol=1e-10)
+
+    def test_delete_everything(self, engine, rng):
+        engine.insert(rng.uniform((0, 0), (1000, 800), (50, 2)))
+        engine.delete_oldest(batches=10)
+        assert len(engine) == 0
+        assert np.abs(engine.grid).max() < 1e-9
+
+    def test_expire_before(self, engine, rng):
+        for hour in range(5):
+            xy = rng.uniform((0, 0), (1000, 800), (50, 2))
+            engine.insert(xy, t=np.full(50, float(hour)))
+        removed = engine.expire_before(2.5)
+        assert removed == 150  # hours 0, 1, 2 expired (max t < 2.5)
+        assert len(engine) == 100
+
+    def test_expire_without_timestamps_stops(self, engine, rng):
+        engine.insert(rng.uniform((0, 0), (1000, 800), (50, 2)))  # no t
+        assert engine.expire_before(1e9) == 0
+
+    def test_sliding_window_matches_batch(self, engine, rng):
+        """After a window slide the grid equals computing the window fresh."""
+        kept = []
+        for hour in range(8):
+            xy = rng.uniform((0, 0), (1000, 800), (40, 2))
+            engine.insert(xy, t=np.full(40, float(hour)))
+            if hour >= 4:
+                kept.append(xy)
+        engine.expire_before(4.0)
+        np.testing.assert_allclose(
+            engine.grid, fresh_grid(np.vstack(kept)), rtol=1e-9, atol=1e-10
+        )
+
+
+class TestDriftAndRebuild:
+    def test_drift_small_after_churn(self, rng):
+        engine = StreamingKDV(REGION, size=(16, 12), bandwidth=80.0,
+                              rebuild_every=None)
+        for _ in range(30):
+            engine.insert(rng.uniform((0, 0), (1000, 800), (30, 2)))
+            engine.delete_oldest()
+        # float cancellation exists but stays at epsilon scale
+        assert engine.drift() < 1e-8
+
+    def test_rebuild_resets_drift(self, rng):
+        engine = StreamingKDV(REGION, size=(16, 12), bandwidth=80.0,
+                              rebuild_every=None)
+        engine.insert(rng.uniform((0, 0), (1000, 800), (100, 2)))
+        engine.delete_oldest()
+        engine.insert(rng.uniform((0, 0), (1000, 800), (100, 2)))
+        engine.rebuild()
+        assert engine.drift() == 0.0
+
+    def test_auto_rebuild_counter(self, rng):
+        engine = StreamingKDV(REGION, size=(8, 6), bandwidth=80.0, rebuild_every=3)
+        for _ in range(4):
+            engine.insert(rng.uniform((0, 0), (1000, 800), (10, 2)))
+        for _ in range(3):
+            engine.delete_oldest()
+        assert engine._deletes_since_rebuild == 0  # rebuild fired
+
+
+class TestAPI:
+    def test_density_normalizations(self, engine, rng):
+        xy = rng.uniform((0, 0), (1000, 800), (200, 2))
+        engine.insert(xy)
+        np.testing.assert_allclose(
+            engine.density("count") * 200, engine.density("none"), rtol=1e-12
+        )
+        with pytest.raises(ValueError):
+            engine.density("softmax")
+
+    def test_requires_exact_method(self):
+        with pytest.raises(ValueError, match="exact method"):
+            StreamingKDV(REGION, method="zorder")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingKDV(REGION, bandwidth=0.0)
+        with pytest.raises(ValueError):
+            StreamingKDV(REGION, rebuild_every=0)
+
+    def test_insert_cost_independent_of_history(self, rng):
+        """The real-time claim: tick cost ~ batch size, not history size.
+
+        Compared against rebuilding the same engine from its full history
+        (the same raster and method), with a loose factor for timer noise.
+        """
+        import time
+
+        engine = StreamingKDV(REGION, size=(160, 120), bandwidth=30.0)
+        engine.insert(rng.uniform((0, 0), (1000, 800), (200_000, 2)))
+        tick = rng.uniform((0, 0), (1000, 800), (100, 2))
+        start = time.perf_counter()
+        engine.insert(tick)
+        tick_time = time.perf_counter() - start
+        start = time.perf_counter()
+        engine.rebuild()
+        full_time = time.perf_counter() - start
+        assert tick_time < full_time / 3

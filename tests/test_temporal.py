@@ -1,0 +1,148 @@
+"""Tests for spatio-temporal KDV (extensions.temporal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PointSet, Region, compute_kdv
+from repro.extensions.temporal import STKDVResult, compute_stkdv, temporal_kernels
+
+
+@pytest.fixture
+def timed_points(rng) -> PointSet:
+    n = 500
+    xy = rng.uniform((0, 0), (100, 80), (n, 2))
+    t = rng.uniform(0.0, 100.0, n)
+    return PointSet(xy, t=t)
+
+
+class TestTemporalKernels:
+    def test_registry(self):
+        assert set(temporal_kernels) == {"box", "triangular", "epanechnikov", "gaussian"}
+
+    @pytest.mark.parametrize("name", ["box", "triangular", "epanechnikov"])
+    def test_finite_support(self, name):
+        fn, finite = temporal_kernels[name]
+        assert finite
+        dt = np.array([-1.5, -1.0, 0.0, 1.0, 1.5])
+        vals = fn(dt, 1.0)
+        assert vals[0] == 0.0 and vals[-1] == 0.0
+        assert vals[2] == 1.0
+
+    def test_gaussian_infinite(self):
+        fn, finite = temporal_kernels["gaussian"]
+        assert not finite
+        assert fn(np.array([5.0]), 1.0)[0] > 0.0
+
+    @pytest.mark.parametrize("name", list(temporal_kernels))
+    def test_symmetric_and_monotone(self, name):
+        fn, _ = temporal_kernels[name]
+        dt = np.linspace(0, 2, 50)
+        vals = fn(dt, 1.0)
+        np.testing.assert_allclose(fn(-dt, 1.0), vals)
+        assert np.all(np.diff(vals) <= 1e-12)
+
+
+class TestComputeSTKDV:
+    def test_frame_count_and_shapes(self, timed_points):
+        st = compute_stkdv(timed_points, times=6, size=(16, 12))
+        assert len(st) == 6
+        assert st.grids().shape == (6, 12, 16)
+        assert len(st.times) == 6
+
+    def test_explicit_times(self, timed_points):
+        st = compute_stkdv(timed_points, times=np.array([10.0, 50.0]), size=(8, 6))
+        np.testing.assert_array_equal(st.times, [10.0, 50.0])
+
+    def test_frame_equals_direct_weighted_kdv(self, timed_points):
+        st = compute_stkdv(
+            timed_points, times=np.array([40.0]), temporal_bandwidth=20.0,
+            size=(16, 12), bandwidth=15.0,
+        )
+        fn, _ = temporal_kernels["epanechnikov"]
+        w = fn(timed_points.t - 40.0, 20.0)
+        mask = w > 0
+        direct = compute_kdv(
+            timed_points.xy[mask],
+            region=Region.from_points(timed_points.xy),
+            size=(16, 12),
+            bandwidth=15.0,
+            weights=w[mask],
+            normalization="none",
+        )
+        np.testing.assert_allclose(st.frames[0].grid, direct.grid, rtol=1e-10)
+
+    def test_temporal_locality(self, rng):
+        """Events at t=0 must not contribute to a frame at t=100 when the
+        temporal bandwidth is small."""
+        xy = np.tile([[50.0, 40.0]], (100, 1))
+        t = np.zeros(100)
+        ps = PointSet(xy, t=t)
+        st = compute_stkdv(
+            ps, times=np.array([0.0, 100.0]), temporal_bandwidth=5.0,
+            size=(8, 6), bandwidth=30.0,
+        )
+        assert st.frames[0].grid.max() > 0
+        assert st.frames[1].grid.max() == 0.0
+
+    def test_gaussian_temporal_kernel_reaches_everywhere(self):
+        xy = np.tile([[50.0, 40.0]], (10, 1))
+        ps = PointSet(xy, t=np.zeros(10))
+        st = compute_stkdv(
+            ps, times=np.array([100.0]), temporal_kernel="gaussian",
+            temporal_bandwidth=50.0, size=(8, 6), bandwidth=30.0,
+        )
+        assert st.frames[0].grid.max() > 0
+
+    def test_existing_weights_multiply(self, rng):
+        xy = rng.uniform((0, 0), (50, 50), (50, 2))
+        t = np.full(50, 10.0)
+        w = rng.uniform(1, 2, 50)
+        with_w = compute_stkdv(
+            PointSet(xy, t=t, w=w), times=np.array([10.0]),
+            temporal_bandwidth=5.0, size=(8, 6), bandwidth=10.0,
+        ).frames[0].grid
+        without_w = compute_stkdv(
+            PointSet(xy, t=t), times=np.array([10.0]),
+            temporal_bandwidth=5.0, size=(8, 6), bandwidth=10.0,
+        ).frames[0].grid
+        assert with_w.sum() > without_w.sum()  # weights > 1 increase density
+
+    def test_peak_frame(self, rng):
+        """A burst of events mid-series makes the middle frame the peak."""
+        n = 300
+        xy = rng.uniform((0, 0), (100, 80), (n, 2))
+        t = np.concatenate([rng.uniform(0, 100, n - 150), np.full(150, 50.0)])
+        ps = PointSet(xy, t=t)
+        st = compute_stkdv(ps, times=np.array([0.0, 50.0, 100.0]),
+                           temporal_bandwidth=10.0, size=(16, 12))
+        assert st.peak_frame() == 1
+
+    def test_save_ppm_sequence(self, timed_points, tmp_path):
+        st = compute_stkdv(timed_points, times=3, size=(8, 6))
+        paths = st.save_ppm_sequence(str(tmp_path / "frame"))
+        assert len(paths) == 3
+        for p in paths:
+            assert (tmp_path / p.split("/")[-1]).read_bytes().startswith(b"P6\n8 6")
+
+    def test_requires_timestamps(self, rng):
+        ps = PointSet(rng.uniform(0, 1, (10, 2)))
+        with pytest.raises(ValueError, match="timestamps"):
+            compute_stkdv(ps)
+
+    def test_validation(self, timed_points):
+        with pytest.raises(ValueError, match="unknown temporal kernel"):
+            compute_stkdv(timed_points, temporal_kernel="cosine")
+        with pytest.raises(ValueError, match="frame count"):
+            compute_stkdv(timed_points, times=0)
+        with pytest.raises(ValueError, match="temporal_bandwidth"):
+            compute_stkdv(timed_points, temporal_bandwidth=-1.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            compute_stkdv(PointSet(np.empty((0, 2)), t=np.empty(0)))
+
+    def test_result_type(self, timed_points):
+        st = compute_stkdv(timed_points, times=2, size=(8, 6))
+        assert isinstance(st, STKDVResult)
+        assert st.temporal_kernel == "epanechnikov"
+        assert st.temporal_bandwidth > 0

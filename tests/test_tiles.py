@@ -1,0 +1,156 @@
+"""Tests for the slippy-map tile renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Region, compute_kdv
+from repro.viz.tiles import TileRenderer, TileScheme, render_tile
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(17)
+    return np.vstack(
+        [
+            rng.normal((300.0, 300.0), 40.0, (500, 2)),
+            rng.uniform((0, 0), (1000, 1000), (500, 2)),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return TileScheme(Region(0.0, 0.0, 1000.0, 1000.0))
+
+
+class TestTileScheme:
+    def test_level0_is_world(self, scheme):
+        assert scheme.tile_region(0, 0, 0) == scheme.world
+
+    def test_children_tile_the_world(self, scheme):
+        regions = [scheme.tile_region(1, tx, ty) for tx in (0, 1) for ty in (0, 1)]
+        total_area = sum(r.width * r.height for r in regions)
+        assert total_area == pytest.approx(1000.0 * 1000.0)
+        # adjacency: tile (1,0) starts where (0,0) ends
+        assert scheme.tile_region(1, 1, 0).xmin == scheme.tile_region(1, 0, 0).xmax
+
+    def test_tile_of_point(self, scheme):
+        assert scheme.tile_of_point(1, 250.0, 250.0) == (0, 0)
+        assert scheme.tile_of_point(1, 750.0, 250.0) == (1, 0)
+        assert scheme.tile_of_point(1, 250.0, 750.0) == (0, 1)
+        # clamping outside the world
+        assert scheme.tile_of_point(1, -50.0, 2000.0) == (0, 1)
+
+    def test_out_of_range_tile(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.tile_region(1, 2, 0)
+        with pytest.raises(ValueError):
+            scheme.tiles_per_axis(-1)
+
+    def test_for_points_square(self, points):
+        scheme = TileScheme.for_points(points)
+        assert scheme.world.width == pytest.approx(scheme.world.height)
+        assert scheme.world.contains(points[:, 0], points[:, 1]).all()
+
+
+class TestRenderTile:
+    def test_tile_matches_direct_compute(self, points, scheme):
+        grid = render_tile(points, scheme, 1, 0, 0, tile_size=32, bandwidth=60.0)
+        direct = compute_kdv(
+            points,
+            region=scheme.tile_region(1, 0, 0),
+            size=(32, 32),
+            bandwidth=60.0,
+            normalization="none",
+        ).grid
+        np.testing.assert_allclose(grid, direct, rtol=1e-12)
+
+    def test_seamless_across_tile_edges(self, points, scheme):
+        """Adjacent tiles stitched together equal one double-size render:
+        the proof that outside-tile points contribute correctly."""
+        size = 32
+        left = render_tile(points, scheme, 1, 0, 0, tile_size=size, bandwidth=60.0)
+        right = render_tile(points, scheme, 1, 1, 0, tile_size=size, bandwidth=60.0)
+        stitched = np.concatenate([left, right], axis=1)
+        whole = compute_kdv(
+            points,
+            region=Region(0.0, 0.0, 1000.0, 500.0),
+            size=(2 * size, size),
+            bandwidth=60.0,
+            normalization="none",
+        ).grid
+        np.testing.assert_allclose(stitched, whole, rtol=1e-9, atol=1e-12)
+
+    def test_pyramid_mass_consistency(self, points, scheme):
+        """Level-1 tiles cover the same world as level 0: their total mass
+        (density * pixel area) matches the overview's, up to resolution."""
+        def mass(grid, region, size):
+            gx = region.width / size
+            gy = region.height / size
+            return grid.sum() * gx * gy
+
+        overview = render_tile(points, scheme, 0, 0, 0, tile_size=64, bandwidth=60.0)
+        m0 = mass(overview, scheme.world, 64)
+        m1 = 0.0
+        for tx in (0, 1):
+            for ty in (0, 1):
+                tile = render_tile(points, scheme, 1, tx, ty, tile_size=64, bandwidth=60.0)
+                m1 += mass(tile, scheme.tile_region(1, tx, ty), 64)
+        assert m1 == pytest.approx(m0, rel=0.02)
+
+    def test_validation(self, points, scheme):
+        with pytest.raises(ValueError):
+            render_tile(points, scheme, 0, 0, 0, tile_size=0)
+
+
+class TestTileRenderer:
+    def test_cache_behavior(self, points):
+        renderer = TileRenderer(points, tile_size=16, bandwidth=60.0, cache_tiles=4)
+        renderer.tile(1, 0, 0)
+        misses_before = renderer.cache_misses
+        renderer.tile(1, 0, 0)
+        assert renderer.cache_misses == misses_before
+        assert renderer.cache_hits >= 1
+
+    def test_cache_eviction(self, points):
+        renderer = TileRenderer(points, tile_size=8, bandwidth=60.0, cache_tiles=2)
+        renderer.tile(1, 0, 0)
+        renderer.tile(1, 1, 0)
+        renderer.tile(1, 0, 1)  # evicts (1, 0, 0)
+        misses = renderer.cache_misses
+        renderer.tile(1, 0, 0)
+        assert renderer.cache_misses == misses + 1
+
+    def test_tile_image(self, points):
+        renderer = TileRenderer(points, tile_size=16, bandwidth=60.0)
+        img = renderer.tile_image(1, 0, 0)
+        assert img.shape == (16, 16, 3)
+        assert img.dtype == np.uint8
+
+    def test_consistent_color_scale(self, points):
+        """The hottest zoomed tile cannot be dimmer than its overview pixel:
+        colors share the pyramid-wide peak."""
+        renderer = TileRenderer(points, tile_size=16, bandwidth=60.0)
+        hot_tile = renderer.scheme.tile_of_point(1, 300.0, 300.0)
+        zoomed = renderer.tile(1, *hot_tile)
+        overview = renderer.tile(0, 0, 0)
+        assert zoomed.max() >= overview.max() * 0.5
+
+    def test_unknown_colormap(self, points):
+        renderer = TileRenderer(points, tile_size=8, bandwidth=60.0)
+        with pytest.raises(ValueError):
+            renderer.tile_image(0, 0, 0, colormap="jet")
+
+    def test_validation(self, points):
+        with pytest.raises(ValueError):
+            TileRenderer(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            TileRenderer(points, cache_tiles=0)
+
+    def test_pointset_input(self, points):
+        from repro import PointSet
+
+        renderer = TileRenderer(PointSet(points), tile_size=8, bandwidth=60.0)
+        assert renderer.tile(0, 0, 0).shape == (8, 8)

@@ -1,0 +1,142 @@
+"""Tests for bandwidth selection, colormaps, image writers, and previews."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz.bandwidth import scaled_bandwidth, scott_bandwidth
+from repro.viz.colormap import COLORMAPS, apply_colormap, normalize_grid
+from repro.viz.image import ascii_preview, write_pgm, write_ppm
+
+
+class TestScottBandwidth:
+    def test_formula(self, rng):
+        xy = rng.normal(0, 10, (1000, 2))
+        expected = 1000 ** (-1 / 6) * np.sqrt(
+            (np.var(xy[:, 0]) + np.var(xy[:, 1])) / 2
+        )
+        assert scott_bandwidth(xy) == pytest.approx(expected)
+
+    def test_scale_invariance(self, rng):
+        """Scott's bandwidth scales linearly with the data's spread."""
+        xy = rng.normal(0, 1, (500, 2))
+        assert scott_bandwidth(xy * 10) == pytest.approx(10 * scott_bandwidth(xy))
+
+    def test_shrinks_with_n(self, rng):
+        xy = rng.normal(0, 5, (4000, 2))
+        assert scott_bandwidth(xy) < scott_bandwidth(xy[:100]) * 1.2
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            scott_bandwidth(np.zeros((1, 2)))
+
+    def test_coincident_points(self):
+        with pytest.raises(ValueError, match="coincident"):
+            scott_bandwidth(np.zeros((10, 2)))
+
+    def test_scaled_bandwidth(self, rng):
+        xy = rng.normal(0, 5, (200, 2))
+        assert scaled_bandwidth(xy, 2.0) == pytest.approx(2 * scott_bandwidth(xy))
+        with pytest.raises(ValueError):
+            scaled_bandwidth(xy, 0.0)
+
+
+class TestNormalizeGrid:
+    def test_range(self, rng):
+        grid = rng.uniform(0, 7, (20, 30))
+        norm = normalize_grid(grid)
+        assert norm.min() >= 0.0 and norm.max() <= 1.0
+
+    def test_clipping_tames_outlier(self):
+        grid = np.ones((30, 30))
+        grid[0, 0] = 1e9  # one outlier among 900 cells, beyond the 99.5th pct
+        norm = normalize_grid(grid)
+        # the bulk of the map keeps contrast despite the outlier
+        assert norm[5, 5] == pytest.approx(1.0)
+
+    def test_all_zero(self):
+        assert np.all(normalize_grid(np.zeros((4, 4))) == 0.0)
+
+    def test_empty(self):
+        assert normalize_grid(np.zeros((0, 0))).shape == (0, 0)
+
+
+class TestColormap:
+    def test_known_maps(self):
+        assert {"heat", "viridis", "gray"} <= set(COLORMAPS)
+
+    def test_output_shape_dtype(self, rng):
+        grid = rng.uniform(0, 3, (8, 9))
+        img = apply_colormap(grid, "heat")
+        assert img.shape == (8, 9, 3)
+        assert img.dtype == np.uint8
+
+    def test_zero_maps_to_first_stop(self):
+        img = apply_colormap(np.zeros((2, 2)), "gray")
+        assert np.all(img == 0)
+
+    def test_heat_low_is_light_high_is_dark_red(self):
+        grid = np.array([[0.0, 100.0]])
+        img = apply_colormap(grid, "heat")
+        assert tuple(img[0, 0]) == (255, 255, 255)  # low density: white
+        assert img[0, 1, 0] > img[0, 1, 2]  # high density: red-dominant
+
+    def test_unknown_map(self):
+        with pytest.raises(ValueError, match="unknown colormap"):
+            apply_colormap(np.zeros((2, 2)), "jet")
+
+
+class TestImageWriters:
+    def test_ppm_layout(self, tmp_path):
+        img = np.arange(2 * 3 * 3, dtype=np.uint8).reshape(2, 3, 3)
+        path = tmp_path / "img.ppm"
+        write_ppm(path, img)
+        data = path.read_bytes()
+        assert data == b"P6\n3 2\n255\n" + img.tobytes()
+
+    def test_ppm_rejects_bad_input(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 3, 3), dtype=np.float64))
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 3), dtype=np.uint8))
+
+    def test_pgm_layout(self, tmp_path):
+        img = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        path = tmp_path / "img.pgm"
+        write_pgm(path, img)
+        assert path.read_bytes() == b"P5\n3 2\n255\n" + img.tobytes()
+
+    def test_pgm_rejects_bad_input(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 3, 3), dtype=np.uint8))
+
+
+class TestAsciiPreview:
+    def test_dimensions(self, rng):
+        text = ascii_preview(rng.uniform(0, 1, (100, 200)), width=40, height=10)
+        lines = text.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_small_grid_unchanged_dims(self):
+        text = ascii_preview(np.ones((3, 5)), width=40, height=10)
+        lines = text.split("\n")
+        assert len(lines) == 3 and len(lines[0]) == 5
+
+    def test_peak_gets_densest_char(self):
+        grid = np.zeros((5, 5))
+        grid[2, 2] = 1.0
+        text = ascii_preview(grid, width=5, height=5)
+        assert text.split("\n")[2][2] == "@"
+
+    def test_zero_grid_is_blank(self):
+        text = ascii_preview(np.zeros((4, 4)), width=4, height=4)
+        assert set(text) <= {" ", "\n"}
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_preview(np.zeros((2, 2, 2)))
+
+    def test_empty(self):
+        assert ascii_preview(np.zeros((0, 0))) == ""

@@ -1,0 +1,218 @@
+"""Tests for weighted KDV support across all methods.
+
+Weighted density ``F(q) = sum_p w_p K(q, p)`` (e.g. severity-weighted
+accidents) decomposes into the same aggregates with channels scaled per
+point, so every exact method must stay exact under weighting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EXACT_METHODS, PointSet, Raster, Region, compute_kdv
+from repro.core.kernels import get_kernel
+
+
+@pytest.fixture
+def weights(rng, small_xy):
+    return rng.uniform(0.0, 4.0, len(small_xy))
+
+
+def weighted_reference(xy, raster, kernel_name, bandwidth, weights):
+    kernel = get_kernel(kernel_name)
+    xs = raster.x_centers()
+    ys = raster.y_centers()
+    grid = np.zeros(raster.shape)
+    for j, k in enumerate(ys):
+        for i, qx in enumerate(xs):
+            d_sq = (xy[:, 0] - qx) ** 2 + (xy[:, 1] - k) ** 2
+            grid[j, i] = (weights * kernel.evaluate(d_sq, bandwidth)).sum()
+    return grid
+
+
+class TestWeightedExactness:
+    @pytest.mark.parametrize("method", EXACT_METHODS)
+    @pytest.mark.parametrize("kernel_name", ["uniform", "epanechnikov", "quartic"])
+    def test_matches_weighted_reference(
+        self, method, kernel_name, small_xy, raster, weights
+    ):
+        expected = weighted_reference(small_xy, raster, kernel_name, 9.0, weights)
+        got = compute_kdv(
+            small_xy,
+            region=raster.region,
+            size=(raster.width, raster.height),
+            kernel=kernel_name,
+            bandwidth=9.0,
+            method=method,
+            weights=weights,
+            normalization="none",
+        ).grid
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-10)
+
+    def test_unit_weights_equal_unweighted(self, small_xy, raster):
+        unweighted = compute_kdv(
+            small_xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, normalization="none",
+        ).grid
+        weighted = compute_kdv(
+            small_xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, weights=np.ones(len(small_xy)), normalization="none",
+        ).grid
+        np.testing.assert_allclose(weighted, unweighted, rtol=1e-12)
+
+    def test_weights_linear(self, small_xy, raster, weights):
+        """F is linear in the weights: doubling weights doubles the grid."""
+        base = compute_kdv(
+            small_xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, weights=weights, normalization="none",
+        ).grid
+        doubled = compute_kdv(
+            small_xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, weights=2 * weights, normalization="none",
+        ).grid
+        np.testing.assert_allclose(doubled, 2 * base, rtol=1e-12)
+
+    def test_zero_weight_points_invisible(self, raster, rng):
+        xy = rng.uniform((0, 0), (100, 80), (100, 2))
+        w = np.ones(100)
+        w[50:] = 0.0
+        with_zeros = compute_kdv(
+            xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, weights=w, normalization="none",
+        ).grid
+        only_first = compute_kdv(
+            xy[:50], region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, normalization="none",
+        ).grid
+        np.testing.assert_allclose(with_zeros, only_first, rtol=1e-10, atol=1e-12)
+
+    def test_superposition(self, raster, rng):
+        """A weight-2 point equals two coincident weight-1 points."""
+        xy = rng.uniform((20, 20), (80, 60), (30, 2))
+        doubled = compute_kdv(
+            xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=12.0, weights=np.full(30, 2.0), normalization="none",
+        ).grid
+        stacked = compute_kdv(
+            np.vstack([xy, xy]), region=raster.region,
+            size=(raster.width, raster.height), bandwidth=12.0,
+            normalization="none",
+        ).grid
+        np.testing.assert_allclose(doubled, stacked, rtol=1e-10, atol=1e-12)
+
+
+class TestWeightedApproximate:
+    def test_akde_weighted_bound(self, small_xy, raster, weights):
+        expected = weighted_reference(small_xy, raster, "epanechnikov", 9.0, weights)
+        got = compute_kdv(
+            small_xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, method="akde", weights=weights, tolerance=1e-3,
+            normalization="none",
+        ).grid
+        bound = weights.sum() * 1e-3 / 2
+        assert np.abs(got - expected).max() <= bound + 1e-9
+
+    def test_zorder_full_sample_weighted_exact(self, small_xy, raster, weights):
+        expected = weighted_reference(small_xy, raster, "epanechnikov", 9.0, weights)
+        got = compute_kdv(
+            small_xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, method="zorder", weights=weights,
+            sample_size=len(small_xy), normalization="none",
+        ).grid
+        np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-12)
+
+    def test_zorder_all_zero_weights(self, small_xy, raster):
+        got = compute_kdv(
+            small_xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, method="zorder", weights=np.zeros(len(small_xy)),
+            sample_size=10, normalization="none",
+        ).grid
+        assert np.all(got == 0)
+
+
+class TestWeightedAPI:
+    def test_pointset_weights_used_by_default(self, rng, raster):
+        xy = rng.uniform((0, 0), (100, 80), (50, 2))
+        w = rng.uniform(0, 3, 50)
+        ps = PointSet(xy, w=w)
+        via_pointset = compute_kdv(
+            ps, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, normalization="none",
+        ).grid
+        via_arg = compute_kdv(
+            xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, weights=w, normalization="none",
+        ).grid
+        np.testing.assert_allclose(via_pointset, via_arg, rtol=1e-12)
+
+    def test_explicit_weights_override_pointset(self, rng, raster):
+        xy = rng.uniform((0, 0), (100, 80), (50, 2))
+        ps = PointSet(xy, w=rng.uniform(1, 3, 50))
+        override = compute_kdv(
+            ps, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, weights=np.ones(50), normalization="none",
+        ).grid
+        plain = compute_kdv(
+            xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, normalization="none",
+        ).grid
+        np.testing.assert_allclose(override, plain, rtol=1e-12)
+
+    def test_count_normalization_uses_total_mass(self, rng, raster):
+        xy = rng.uniform((0, 0), (100, 80), (50, 2))
+        w = rng.uniform(1, 3, 50)
+        raw = compute_kdv(
+            xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, weights=w, normalization="none",
+        ).grid
+        normalized = compute_kdv(
+            xy, region=raster.region, size=(raster.width, raster.height),
+            bandwidth=9.0, weights=w, normalization="count",
+        ).grid
+        np.testing.assert_allclose(normalized * w.sum(), raw, rtol=1e-12)
+
+    def test_invalid_weights_rejected(self, small_xy, raster):
+        with pytest.raises(ValueError, match="weights must have shape"):
+            compute_kdv(small_xy, size=(8, 8), bandwidth=9.0, weights=np.ones(3))
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            compute_kdv(
+                small_xy, size=(8, 8), bandwidth=9.0,
+                weights=-np.ones(len(small_xy)),
+            )
+
+    def test_pointset_validates_weights(self, rng):
+        xy = rng.uniform(0, 1, (5, 2))
+        with pytest.raises(ValueError, match="w must have shape"):
+            PointSet(xy, w=np.ones(4))
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            PointSet(xy, w=np.array([1.0, 2.0, -1.0, 0.0, 1.0]))
+
+    def test_total_weight(self, rng):
+        xy = rng.uniform(0, 1, (5, 2))
+        assert PointSet(xy).total_weight() == 5.0
+        assert PointSet(xy, w=np.full(5, 0.5)).total_weight() == pytest.approx(2.5)
+
+    def test_select_carries_weights(self, rng):
+        xy = rng.uniform(0, 1, (10, 2))
+        ps = PointSet(xy, w=np.arange(10, dtype=float))
+        sub = ps.select(np.array([1, 3, 5]))
+        np.testing.assert_array_equal(sub.w, [1.0, 3.0, 5.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), b=st.floats(0.5, 30.0))
+def test_weighted_slam_property(seed, b):
+    gen = np.random.default_rng(seed)
+    xy = gen.uniform((0, 0), (20, 15), (40, 2))
+    w = gen.uniform(0, 3, 40)
+    raster = Raster(Region(0, 0, 20, 15), 9, 7)
+    expected = weighted_reference(xy, raster, "epanechnikov", b, w)
+    got = compute_kdv(
+        xy, region=raster.region, size=(9, 7), bandwidth=b,
+        method="slam_bucket_rao", weights=w, normalization="none",
+    ).grid
+    scale = max(expected.max(), 1.0)
+    np.testing.assert_allclose(got / scale, expected / scale, atol=1e-9)
