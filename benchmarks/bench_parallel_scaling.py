@@ -1,0 +1,120 @@
+"""Parallel row-block sweep scaling: speedup at 1/2/4/8 workers.
+
+Measures the four SLAM variants on the paper's default workload
+(1280x960 pixels, 100k points) across worker counts, for both executor
+backends, and reports per-cell wall time, rows/sec, and speedup relative to
+the serial sweep.  The headline acceptance number is SLAM_BUCKET^(RAO) at
+4 workers, which should reach >= 2x on a machine with >= 4 usable cores;
+on fewer cores the table documents the (lack of) scaling honestly.
+
+Knobs (environment variables, all optional):
+
+``REPRO_BENCH_PARALLEL_RESOLUTION``
+    Base resolution ``X`` (default 1280; ``Y = 3 X / 4`` -> 1280x960).
+``REPRO_BENCH_PARALLEL_N``
+    Point count (default 100_000).
+``REPRO_BENCH_PARALLEL_BACKEND``
+    ``process`` (default) or ``thread``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_scaling.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from _common import write_report
+from repro.bench.harness import format_table
+from repro.core.api import METHODS, PARALLEL_METHODS
+from repro.core.kernels import get_kernel
+from repro.viz.region import Raster, Region
+
+WORKER_COUNTS = (1, 2, 4, 8)
+BENCH_METHODS = PARALLEL_METHODS  # slam_sort, slam_bucket, + RAO variants
+
+_cells: dict[tuple[str, int], float] = {}
+_stats: dict[tuple[str, int], dict] = {}
+
+
+def _resolution() -> tuple[int, int]:
+    x = int(os.environ.get("REPRO_BENCH_PARALLEL_RESOLUTION", "1280"))
+    return x, max(1, (x * 3) // 4)
+
+
+def _num_points() -> int:
+    return int(os.environ.get("REPRO_BENCH_PARALLEL_N", "100000"))
+
+
+def _backend() -> str:
+    return os.environ.get("REPRO_BENCH_PARALLEL_BACKEND", "process")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """The default parallel-scaling workload: uniform-ish clustered points
+    over a 1280x960 raster, Epanechnikov kernel, fixed bandwidth."""
+    width, height = _resolution()
+    n = _num_points()
+    rng = np.random.default_rng(20220613)  # the paper's SIGMOD year + month
+    centers = rng.uniform((0.0, 0.0), (10_000.0, 7_500.0), (32, 2))
+    assignments = rng.integers(0, len(centers), n)
+    xy = centers[assignments] + rng.normal(0.0, 400.0, (n, 2))
+    raster = Raster(Region(0.0, 0.0, 10_000.0, 7_500.0), width, height)
+    return xy, raster, get_kernel("epanechnikov"), 250.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _cells:
+        return
+    width, height = _resolution()
+    headers = ["method"] + [f"w={w}" for w in WORKER_COUNTS] + [
+        f"speedup@{w}" for w in WORKER_COUNTS[1:]
+    ]
+    rows = []
+    for method in BENCH_METHODS:
+        serial = _cells.get((method, 1))
+        row: list = [method]
+        for w in WORKER_COUNTS:
+            t = _cells.get((method, w))
+            row.append(f"{t:.3f}" if t is not None else "-")
+        for w in WORKER_COUNTS[1:]:
+            t = _cells.get((method, w))
+            row.append(f"{serial / t:.2f}x" if serial and t else "-")
+        rows.append(row)
+    lines = [
+        f"{m} w={w}: {s['blocks']} blocks, {s.get('orientation', 'rows')}, "
+        f"{s['rows_per_sec']:,.0f} rows/s"
+        for (m, w), s in sorted(_stats.items())
+        if "rows_per_sec" in s
+    ]
+    title = (
+        f"Parallel row-block sweep scaling, {width}x{height}, "
+        f"n={_num_points():,}, backend={_backend()}, cpus={os.cpu_count()}"
+    )
+    text = format_table(headers, rows, title=title)
+    write_report("parallel_scaling", text + "\n\n" + "\n".join(lines))
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("method", BENCH_METHODS)
+def test_scaling(benchmark, method, workers, workload):
+    xy, raster, kernel, bandwidth = workload
+    fn, _exact = METHODS[method]
+    stats: dict = {}
+    kwargs = {"stats": stats}
+    if workers > 1:
+        kwargs.update(workers=workers, backend=_backend())
+
+    def call():
+        return fn(xy, raster, kernel, bandwidth, **kwargs)
+
+    benchmark.pedantic(call, rounds=1, iterations=1, warmup_rounds=0)
+    _cells[(method, workers)] = float(benchmark.stats.stats.mean)
+    _stats[(method, workers)] = stats

@@ -21,6 +21,7 @@ from .core.api import (
     APPROXIMATE_METHODS,
     EXACT_METHODS,
     METHODS,
+    PARALLEL_METHODS,
     compute_kdv,
     method_names,
 )
@@ -33,7 +34,7 @@ from .core.kernels import (
     UniformKernel,
     get_kernel,
 )
-from .core.result import KDVResult
+from .core.result import KDVResult, SweepStats
 from .data.datasets import dataset_names, full_size, load_dataset
 from .data.generators import CityModel, generate_city
 from .data.io import load_csv, save_csv
@@ -59,7 +60,9 @@ __all__ = [
     "METHODS",
     "EXACT_METHODS",
     "APPROXIMATE_METHODS",
+    "PARALLEL_METHODS",
     "KDVResult",
+    "SweepStats",
     "Kernel",
     "UniformKernel",
     "EpanechnikovKernel",

@@ -60,6 +60,22 @@ _COMPLEXITY = {
 }
 
 
+def _parse_workers(text: str) -> "int | str":
+    if text == "auto":
+        return "auto"
+    try:
+        workers = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive integer or 'auto', got {text!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive integer or 'auto', got {text!r}"
+        )
+    return workers
+
+
 def _parse_size(text: str) -> tuple[int, int]:
     try:
         w, h = text.lower().split("x")
@@ -98,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="bandwidth in meters, or 'scott' (default)")
     p_compute.add_argument("--method", default="slam_bucket_rao",
                            choices=method_names())
+    p_compute.add_argument("--workers", type=_parse_workers, default=1,
+                           help="row-sweep workers for SLAM methods: a count "
+                                "or 'auto' (default 1, serial)")
     p_compute.add_argument("--colormap", default="heat",
                            choices=("heat", "viridis", "gray"))
     p_compute.add_argument("--preview", action="store_true",
@@ -175,6 +194,7 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         bandwidth=bandwidth,
         method=args.method,
+        workers=args.workers,
     )
     elapsed = time.perf_counter() - start
     result.save_ppm(args.output, colormap=args.colormap)
@@ -183,6 +203,12 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         f"kernel={result.kernel}  b={result.bandwidth:,.1f}  "
         f"method={result.method}  {elapsed:.3f}s"
     )
+    if result.stats is not None:
+        s = result.stats
+        print(
+            f"sweep: {s.orientation}, {s.workers} worker(s) [{s.backend}], "
+            f"{s.blocks} block(s), {s.rows_per_sec:,.0f} rows/s"
+        )
     print(f"wrote {args.output}")
     if args.preview:
         print(ascii_preview(result.grid_image()))

@@ -2,6 +2,6 @@
 
 from .api import compute_kdv, method_names
 from .kernels import get_kernel
-from .result import KDVResult
+from .result import KDVResult, SweepStats
 
-__all__ = ["compute_kdv", "method_names", "get_kernel", "KDVResult"]
+__all__ = ["compute_kdv", "method_names", "get_kernel", "KDVResult", "SweepStats"]

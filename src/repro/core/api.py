@@ -45,8 +45,9 @@ from ..data.points import PointSet
 from ..viz.bandwidth import scott_bandwidth
 from ..viz.region import Raster, Region
 from .kernels import Kernel, get_kernel
+from .parallel import resolve_workers
 from .rao import with_rao
-from .result import KDVResult
+from .result import KDVResult, SweepStats
 from .slam_bucket import slam_bucket_grid
 from .slam_sort import slam_sort_grid
 
@@ -55,14 +56,20 @@ __all__ = [
     "METHODS",
     "EXACT_METHODS",
     "APPROXIMATE_METHODS",
+    "PARALLEL_METHODS",
     "method_names",
 ]
 
 GridFn = Callable[..., np.ndarray]
 
 
-def _slam_fn(table: dict[str, GridFn], rao: bool) -> Callable[..., np.ndarray]:
+def _slam_fn(name: str, table: dict[str, GridFn], rao: bool) -> Callable[..., np.ndarray]:
     def fn(xy, raster, kernel, bandwidth, engine="numpy", **kwargs):
+        if engine not in table:
+            raise ValueError(
+                f"unknown engine {engine!r} for method {name!r}; "
+                f"available: {sorted(table)}"
+            )
         base = table[engine]
         if rao:
             return with_rao(base)(xy, raster, kernel, bandwidth, **kwargs)
@@ -98,14 +105,17 @@ METHODS: dict[str, tuple[Callable[..., np.ndarray], bool]] = {
     "akde_dual": (_plain(akde_dual_grid), False),
     "binned_fft": (_plain(binned_fft_grid), False),
     "quad": (_engined(quad_grid), True),
-    "slam_sort": (_slam_fn(slam_sort_grid, rao=False), True),
-    "slam_bucket": (_slam_fn(slam_bucket_grid, rao=False), True),
-    "slam_sort_rao": (_slam_fn(slam_sort_grid, rao=True), True),
-    "slam_bucket_rao": (_slam_fn(slam_bucket_grid, rao=True), True),
+    "slam_sort": (_slam_fn("slam_sort", slam_sort_grid, rao=False), True),
+    "slam_bucket": (_slam_fn("slam_bucket", slam_bucket_grid, rao=False), True),
+    "slam_sort_rao": (_slam_fn("slam_sort_rao", slam_sort_grid, rao=True), True),
+    "slam_bucket_rao": (_slam_fn("slam_bucket_rao", slam_bucket_grid, rao=True), True),
 }
 
 EXACT_METHODS = tuple(name for name, (_, exact) in METHODS.items() if exact)
 APPROXIMATE_METHODS = tuple(name for name, (_, exact) in METHODS.items() if not exact)
+
+#: Methods whose row sweep honors the ``workers`` parallelism parameter.
+PARALLEL_METHODS = ("slam_sort", "slam_bucket", "slam_sort_rao", "slam_bucket_rao")
 
 _NORMALIZATIONS = ("none", "count", "density")
 
@@ -125,6 +135,7 @@ def compute_kdv(
     engine: str = "numpy",
     normalization: str = "count",
     weights: np.ndarray | None = None,
+    workers: "int | str" = 1,
     **method_kwargs,
 ) -> KDVResult:
     """Compute a kernel density visualization.
@@ -157,9 +168,18 @@ def compute_kdv(
         severity).  Defaults to the :class:`PointSet`'s ``w`` field when one
         is set.  All methods support weighting; the density becomes
         ``sum_p w_p K(q, p)``.
+    workers:
+        ``1`` (default, serial), an integer worker count, or ``"auto"`` for
+        the CPU count.  Honored by the SLAM methods
+        (:data:`PARALLEL_METHODS`), which partition the sweep into row
+        blocks; results are bit-identical for every setting.  Other methods
+        run serially regardless.  Pass ``backend="thread"`` as a method
+        kwarg to use threads instead of processes (effective for the numpy
+        engine, whose array ops release the GIL).
     method_kwargs:
         Extra options forwarded to the method (e.g. ``tolerance`` for aKDE,
-        ``sample_size`` for Z-order, ``leaf_size`` for tree methods).
+        ``sample_size`` for Z-order, ``leaf_size`` for tree methods,
+        ``backend`` for the SLAM methods).
 
     Returns
     -------
@@ -180,15 +200,24 @@ def compute_kdv(
             f"unknown normalization {normalization!r}; available: {_NORMALIZATIONS}"
         )
     kernel_obj = get_kernel(kernel)
+    resolve_workers(workers)  # reject bad values up front, for every method
     if region is None:
         if len(xy) == 0:
             raise ValueError("region is required for an empty dataset")
         region = Region.from_points(xy)
     width, height = size
     raster = Raster(region, int(width), int(height))
+    n = len(xy)
 
     if bandwidth == "scott":
-        bandwidth_value = scott_bandwidth(xy)
+        if n == 0:
+            # Scott's rule is undefined without data.  The grid below is
+            # identically zero whatever the bandwidth, so any positive
+            # placeholder keeps the result well-formed; pick one scaled to
+            # the region so downstream consumers see a plausible value.
+            bandwidth_value = min(region.width, region.height) / 10.0
+        else:
+            bandwidth_value = scott_bandwidth(xy)
     else:
         bandwidth_value = float(bandwidth)
         if bandwidth_value <= 0:
@@ -205,14 +234,42 @@ def compute_kdv(
         method_kwargs = {**method_kwargs, "weights": weights}
 
     grid_fn, exact = METHODS[method]
+    if n == 0:
+        # No point contributes anywhere; short-circuit to an all-zeros grid
+        # rather than running method internals that assume n >= 1.
+        return KDVResult(
+            grid=np.zeros(raster.shape, dtype=np.float64),
+            raster=raster,
+            kernel=kernel_obj.name,
+            bandwidth=bandwidth_value,
+            method=method,
+            normalization=normalization,
+            n_points=0,
+            exact=exact,
+        )
+
+    sweep_stats: dict = {}
+    if method in PARALLEL_METHODS:
+        method_kwargs = {**method_kwargs, "workers": workers, "stats": sweep_stats}
     grid = grid_fn(xy, raster, kernel_obj, bandwidth_value, engine=engine, **method_kwargs)
 
-    n = len(xy)
     total_mass = float(weights.sum()) if weights is not None else float(n)
     if normalization == "count" and total_mass > 0:
         grid = grid / total_mass
     elif normalization == "density" and total_mass > 0:
         grid = grid * (kernel_obj.normalizer(bandwidth_value) / total_mass)
+
+    stats = None
+    if sweep_stats:
+        stats = SweepStats(
+            rows=sweep_stats["rows"],
+            blocks=sweep_stats["blocks"],
+            workers=sweep_stats["workers"],
+            backend=sweep_stats["backend"],
+            orientation=sweep_stats.get("orientation", "rows"),
+            elapsed_seconds=sweep_stats["elapsed_seconds"],
+            rows_per_sec=sweep_stats["rows_per_sec"],
+        )
 
     return KDVResult(
         grid=grid,
@@ -223,4 +280,5 @@ def compute_kdv(
         normalization=normalization,
         n_points=n,
         exact=exact,
+        stats=stats,
     )

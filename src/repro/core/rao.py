@@ -48,14 +48,35 @@ def with_rao(grid_fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
         bandwidth: float,
         ysorted=None,
         weights: np.ndarray | None = None,
+        workers: "int | str | None" = 1,
+        backend: str = "process",
+        stats: dict | None = None,
     ) -> np.ndarray:
-        if rao_orientation(raster) == "rows":
+        orientation = rao_orientation(raster)
+        if stats is not None:
+            stats["orientation"] = orientation
+        if orientation == "rows":
             return grid_fn(
-                xy, raster, kernel, bandwidth, ysorted=ysorted, weights=weights
+                xy,
+                raster,
+                kernel,
+                bandwidth,
+                ysorted=ysorted,
+                weights=weights,
+                workers=workers,
+                backend=backend,
+                stats=stats,
             )
         xy_swapped = np.asarray(xy, dtype=np.float64)[:, ::-1]
         transposed = grid_fn(
-            xy_swapped, raster.transposed(), kernel, bandwidth, weights=weights
+            xy_swapped,
+            raster.transposed(),
+            kernel,
+            bandwidth,
+            weights=weights,
+            workers=workers,
+            backend=backend,
+            stats=stats,
         )
         return np.ascontiguousarray(transposed.T)
 

@@ -8,7 +8,46 @@ import numpy as np
 
 from ..viz.region import Raster
 
-__all__ = ["KDVResult"]
+__all__ = ["KDVResult", "SweepStats"]
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Lightweight per-call instrumentation of a SLAM sweep.
+
+    Attached to :attr:`KDVResult.stats` by the sweep methods so benchmarks
+    and observability hooks can read throughput without re-timing.
+
+    Attributes
+    ----------
+    rows:
+        Number of sweep lines actually processed (after RAO the shorter
+        raster axis).
+    blocks:
+        How many contiguous row blocks the sweep was partitioned into
+        (1 for the serial path).
+    workers:
+        Resolved worker count (``"auto"`` already expanded).
+    backend:
+        ``"serial"``, ``"process"``, or ``"thread"``.
+    orientation:
+        Sweep orientation chosen: ``"rows"`` (default) or ``"columns"``
+        (RAO transposed the problem).
+    elapsed_seconds:
+        Wall-clock time of the sweep proper (excludes normalization and
+        index construction in the caller).
+    rows_per_sec:
+        ``rows / elapsed_seconds`` — the scaling metric the parallel
+        benchmark reports.
+    """
+
+    rows: int
+    blocks: int
+    workers: int
+    backend: str
+    orientation: str
+    elapsed_seconds: float
+    rows_per_sec: float
 
 
 @dataclass(frozen=True)
@@ -35,6 +74,10 @@ class KDVResult:
         Dataset size the grid was computed from.
     exact:
         Whether the method guarantees exact density values.
+    stats:
+        Optional :class:`SweepStats` instrumentation; populated by the SLAM
+        sweep methods, ``None`` for baselines and empty-dataset short
+        circuits.
     """
 
     grid: np.ndarray
@@ -45,6 +88,7 @@ class KDVResult:
     normalization: str
     n_points: int
     exact: bool
+    stats: SweepStats | None = None
 
     @property
     def shape(self) -> tuple[int, int]:

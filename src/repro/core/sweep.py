@@ -18,10 +18,21 @@ the bandwidth.  Distances scale by ``1/b``, so the engines evaluate kernels
 with bandwidth 1; densities are invariant because the kernels of Table 2
 depend only on ``dist/b``.  This changes nothing algorithmically — it is a
 units change — and keeps every intermediate quantity O((W/b)^2).
+
+Parallel execution
+------------------
+Rows are independent (the paper's per-row decomposition shares only read-only
+state: the y-sorted index and the scaled pixel centers), so the driver can
+hand contiguous *row blocks* to :mod:`repro.core.parallel` and assemble the
+results.  Each row is computed by exactly the same code in exactly the same
+floating-point order regardless of blocking, so any ``workers`` setting —
+including ``workers=1``, which bypasses the executor entirely — produces
+bit-identical grids.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Protocol
 
 import numpy as np
@@ -29,8 +40,9 @@ import numpy as np
 from ..viz.region import Raster
 from .envelope import YSortedIndex
 from .kernels import Kernel, channel_values
+from .parallel import resolve_workers, run_blocks, validate_backend
 
-__all__ = ["RowEngine", "sweep_kdv", "row_frame"]
+__all__ = ["RowEngine", "sweep_kdv", "sweep_rows", "row_frame"]
 
 
 class RowEngine(Protocol):
@@ -75,6 +87,42 @@ def row_frame(
     return u, v, np.sqrt(radicand)
 
 
+def sweep_rows(
+    start: int,
+    stop: int,
+    y_centers: np.ndarray,
+    xs_scaled: np.ndarray,
+    ysorted: YSortedIndex,
+    cx: float,
+    bandwidth: float,
+    kernel: Kernel,
+    row_engine: RowEngine,
+    sorted_weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute the contiguous pixel-row block ``[start, stop)`` of a sweep.
+
+    Pure function of its arguments — all inputs are read-only shared state
+    (the y-sorted index, the scaled pixel x-centers) plus the block bounds, so
+    blocks can be evaluated in any order, on any thread, or in a worker
+    process, and always yield the same ``(stop - start, X)`` float64 array.
+    The result is *unscaled*: :func:`sweep_kdv` applies the kernel's rescale
+    factor once after assembling all blocks.
+    """
+    nch = kernel.num_channels
+    block = np.zeros((stop - start, len(xs_scaled)), dtype=np.float64)
+    for j in range(start, stop):
+        k = y_centers[j]
+        env_slice = ysorted.envelope_slice(k, bandwidth)
+        env = ysorted.sorted_xy[env_slice]
+        if len(env) == 0:
+            continue
+        u, v, half = row_frame(env, k, cx, bandwidth)
+        row_weights = None if sorted_weights is None else sorted_weights[env_slice]
+        chans = channel_values(np.column_stack((u, v)), nch, weights=row_weights)
+        block[j - start] = row_engine(xs_scaled, u - half, u + half, chans, kernel)
+    return block
+
+
 def sweep_kdv(
     xy: np.ndarray,
     raster: Raster,
@@ -83,6 +131,9 @@ def sweep_kdv(
     row_engine: RowEngine,
     ysorted: YSortedIndex | None = None,
     weights: np.ndarray | None = None,
+    workers: "int | str | None" = 1,
+    backend: str = "process",
+    stats: dict | None = None,
 ) -> np.ndarray:
     """Compute the raw KDV grid ``sum_p w_p K(q, p)`` with a row-sweep engine.
 
@@ -104,6 +155,18 @@ def sweep_kdv(
         Optional ``(n,)`` per-point weights (w_p = 1 when omitted).  Weighting
         scales each point's aggregate channels, so the sweep itself is
         unchanged and the complexity guarantees still hold.
+    workers:
+        ``1`` (default) runs the serial sweep; an integer > 1 dispatches row
+        blocks to that many workers; ``"auto"`` uses the CPU count.  Any
+        setting produces a bit-identical grid.
+    backend:
+        ``"process"`` (default; sidesteps the GIL for the python engine) or
+        ``"thread"`` (cheaper startup; effective for the numpy engine, whose
+        heavy array ops release the GIL).  Ignored when one worker resolves.
+    stats:
+        Optional dict that receives lightweight instrumentation: ``rows``,
+        ``blocks``, ``workers``, ``backend``, ``elapsed_seconds``,
+        ``rows_per_sec``.
 
     Returns
     -------
@@ -116,6 +179,8 @@ def sweep_kdv(
         )
     if bandwidth <= 0:
         raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    num_workers = resolve_workers(workers)
+    validate_backend(backend)
     xy = np.asarray(xy, dtype=np.float64)
     if ysorted is None:
         ysorted = YSortedIndex(xy)
@@ -130,23 +195,36 @@ def sweep_kdv(
 
     cx = (raster.region.xmin + raster.region.xmax) / 2.0
     xs_scaled = (raster.x_centers() - cx) / bandwidth
-    grid = np.zeros(raster.shape, dtype=np.float64)
-    nch = kernel.num_channels
+    y_centers = raster.y_centers()
+    height = raster.height
 
-    for j, k in enumerate(raster.y_centers()):
-        env_slice = ysorted.envelope_slice(k, bandwidth)
-        env = ysorted.sorted_xy[env_slice]
-        if len(env) == 0:
-            continue
-        u, v, half = row_frame(env, k, cx, bandwidth)
-        row_weights = None if sorted_weights is None else sorted_weights[env_slice]
-        chans = channel_values(np.column_stack((u, v)), nch, weights=row_weights)
-        grid[j] = row_engine(xs_scaled, u - half, u + half, chans, kernel)
+    t0 = time.perf_counter()
+    row_args = (y_centers, xs_scaled, ysorted, cx, bandwidth, kernel, row_engine)
+    row_kwargs = {"sorted_weights": sorted_weights}
+    if num_workers == 1:
+        grid = sweep_rows(0, height, *row_args, **row_kwargs)
+        num_blocks = 1
+    else:
+        blocks, grid = run_blocks(
+            sweep_rows, row_args, row_kwargs, height, num_workers, backend
+        )
+        num_blocks = blocks
+    elapsed = time.perf_counter() - t0
+
     # Undo the bandwidth scaling for kernels whose value depends on b
     # directly (the uniform kernel's 1/b plateau); see Kernel.rescale_factor.
     factor = kernel.rescale_factor(bandwidth)
     if factor != 1.0:
         grid *= factor
+    if stats is not None:
+        stats.update(
+            rows=height,
+            blocks=num_blocks,
+            workers=num_workers,
+            backend="serial" if num_workers == 1 else backend,
+            elapsed_seconds=elapsed,
+            rows_per_sec=height / elapsed if elapsed > 0 else float("inf"),
+        )
     return grid
 
 
@@ -160,9 +238,21 @@ def make_grid_function(row_engine: RowEngine) -> Callable[..., np.ndarray]:
         bandwidth: float,
         ysorted: YSortedIndex | None = None,
         weights: np.ndarray | None = None,
+        workers: "int | str | None" = 1,
+        backend: str = "process",
+        stats: dict | None = None,
     ) -> np.ndarray:
         return sweep_kdv(
-            xy, raster, kernel, bandwidth, row_engine, ysorted=ysorted, weights=weights
+            xy,
+            raster,
+            kernel,
+            bandwidth,
+            row_engine,
+            ysorted=ysorted,
+            weights=weights,
+            workers=workers,
+            backend=backend,
+            stats=stats,
         )
 
     return grid_fn

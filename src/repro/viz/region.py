@@ -44,6 +44,8 @@ class Region:
     def from_points(cls, xy: np.ndarray, pad_fraction: float = 0.0) -> "Region":
         """Minimum bounding rectangle of a coordinate array, optionally padded."""
         arr = np.asarray(xy, dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot infer a region from an empty point set")
         xmin, ymin = arr.min(axis=0)
         xmax, ymax = arr.max(axis=0)
         if xmax == xmin:

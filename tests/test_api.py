@@ -9,7 +9,6 @@ from repro import (
     APPROXIMATE_METHODS,
     EXACT_METHODS,
     KDVResult,
-    PointSet,
     Region,
     compute_kdv,
     method_names,
@@ -217,3 +216,63 @@ class TestKDVResult:
         data = path.read_bytes()
         assert data.startswith(b"P6\n20 15\n255\n")
         assert len(data) == len(b"P6\n20 15\n255\n") + 20 * 15 * 3
+
+
+class TestErrorPaths:
+    """Hardened user-facing error paths (regression tests: each of these
+    failed with a raw KeyError / deep shape error on the seed code)."""
+
+    def test_bad_engine_lists_available(self, small_xy):
+        with pytest.raises(ValueError) as excinfo:
+            compute_kdv(small_xy, size=(8, 8), bandwidth=5.0,
+                        method="slam_bucket", engine="typo")
+        message = str(excinfo.value)
+        assert "typo" in message
+        assert "slam_bucket" in message
+        assert "numpy" in message and "python" in message
+
+    @pytest.mark.parametrize(
+        "method", ["slam_sort", "slam_bucket", "slam_sort_rao", "slam_bucket_rao"]
+    )
+    def test_bad_engine_every_slam_method(self, small_xy, method):
+        with pytest.raises(ValueError, match="unknown engine"):
+            compute_kdv(small_xy, size=(8, 8), bandwidth=5.0,
+                        method=method, engine="cuda")
+
+    @pytest.mark.parametrize(
+        "method", ["slam_bucket_rao", "slam_sort", "slam_bucket", "scan", "quad"]
+    )
+    def test_empty_dataset_with_region(self, method):
+        res = compute_kdv(np.empty((0, 2)), region=Region(0, 0, 10, 8),
+                          size=(12, 9), bandwidth=2.0, method=method)
+        assert res.shape == (9, 12)
+        assert np.all(res.grid == 0.0)
+        assert res.n_points == 0
+        assert res.method == method
+        assert res.bandwidth == 2.0
+
+    def test_empty_dataset_scott_bandwidth(self):
+        # Scott's rule is undefined for n == 0; the short-circuit substitutes
+        # a positive region-scaled placeholder so the result stays well-formed.
+        res = compute_kdv(np.empty((0, 2)), region=Region(0, 0, 10, 8),
+                          size=(6, 4))
+        assert np.all(res.grid == 0.0)
+        assert res.bandwidth > 0
+
+    def test_empty_dataset_without_region_still_raises(self):
+        with pytest.raises(ValueError, match="region is required"):
+            compute_kdv(np.empty((0, 2)), size=(6, 4), bandwidth=1.0)
+
+    def test_empty_pointset_with_weights(self):
+        res = compute_kdv(np.empty((0, 2)), region=Region(0, 0, 5, 5),
+                          size=(4, 4), bandwidth=1.0,
+                          weights=np.empty(0))
+        assert np.all(res.grid == 0.0)
+
+    def test_empty_dataset_normalizations(self):
+        for normalization in ("none", "count", "density"):
+            res = compute_kdv(np.empty((0, 2)), region=Region(0, 0, 5, 5),
+                              size=(4, 4), bandwidth=1.0,
+                              normalization=normalization)
+            assert np.all(res.grid == 0.0)
+            assert res.normalization == normalization

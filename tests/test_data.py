@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import CityModel, PointSet, generate_city, load_dataset
-from repro.data.datasets import DATASETS, dataset_names, full_size
+from repro.data.datasets import dataset_names, full_size
 from repro.data.io import load_csv, save_csv
 from repro.data.sampling import sample_without_replacement, size_sweep
 

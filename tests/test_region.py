@@ -34,6 +34,12 @@ class TestRegion:
         assert r.xmin == pytest.approx(-1.0)
         assert r.xmax == pytest.approx(11.0)
 
+    def test_from_points_empty_rejected(self):
+        # regression: the seed died inside NumPy with "zero-size array to
+        # reduction operation" instead of a diagnosable error
+        with pytest.raises(ValueError, match="empty point set"):
+            Region.from_points(np.empty((0, 2)))
+
     def test_from_points_degenerate_axis(self):
         # all points on a vertical line must still give a valid region
         r = Region.from_points(np.array([[5.0, 0.0], [5.0, 9.0]]))

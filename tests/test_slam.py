@@ -173,6 +173,62 @@ class TestBucketIndices:
         np.testing.assert_array_equal(enter, [0, 0, 1])
         np.testing.assert_array_equal(leave, [0, 1, 1])
 
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_pixels=st.integers(1, 30),
+        x0=st.floats(-1e6, 1e6, allow_nan=False),
+        gx=st.floats(1e-3, 1e3, allow_nan=False),
+    )
+    def test_endpoints_exactly_on_pixel_centers(self, seed, num_pixels, x0, gx):
+        """Endpoints that *are* pixel centers (no rounding slack at all) must
+        still land on the searchsorted bucket."""
+        r = np.random.default_rng(seed)
+        xs = x0 + np.arange(num_pixels) * gx
+        picks = r.integers(0, num_pixels, 40)
+        lb = xs[picks]
+        ub = xs[np.maximum(picks, r.integers(0, num_pixels, 40))]
+        enter, leave = bucket_indices(xs, lb, ub)
+        np.testing.assert_array_equal(enter, np.searchsorted(xs, lb, side="left"))
+        np.testing.assert_array_equal(leave, np.searchsorted(xs, ub, side="right"))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_pixels=st.integers(1, 30),
+        direction=st.sampled_from([-1.0, 1.0]),
+    )
+    def test_sub_ulp_offsets(self, seed, num_pixels, direction):
+        """Endpoints one ulp away from a pixel center: the arithmetic bucket
+        can round either way, but the one-step correction must restore exact
+        searchsorted semantics."""
+        r = np.random.default_rng(seed)
+        xs = r.uniform(-100, 100) + np.arange(num_pixels) * r.uniform(0.25, 7.0)
+        centers = xs[r.integers(0, num_pixels, 50)]
+        lb = np.nextafter(centers, direction * np.inf)
+        ub = np.nextafter(centers + r.uniform(0, 3, 50), -direction * np.inf)
+        lb, ub = np.minimum(lb, ub), np.maximum(lb, ub)
+        enter, leave = bucket_indices(xs, lb, ub)
+        np.testing.assert_array_equal(enter, np.searchsorted(xs, lb, side="left"))
+        np.testing.assert_array_equal(leave, np.searchsorted(xs, ub, side="right"))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        center=st.floats(-1e4, 1e4, allow_nan=False),
+    )
+    def test_one_pixel_row_property(self, seed, center):
+        """Degenerate 1-pixel rows use the gx=1 fallback; semantics must not
+        change."""
+        r = np.random.default_rng(seed)
+        xs = np.array([center])
+        lb = center + r.uniform(-2, 2, 25)
+        lb[0] = center  # force the exact-tie case every run
+        ub = lb + r.uniform(0, 2, 25)
+        enter, leave = bucket_indices(xs, lb, ub)
+        np.testing.assert_array_equal(enter, np.searchsorted(xs, lb, side="left"))
+        np.testing.assert_array_equal(leave, np.searchsorted(xs, ub, side="right"))
+
 
 class TestEnginesAgree:
     @pytest.mark.parametrize("variant", ["sort", "bucket"])

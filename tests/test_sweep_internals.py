@@ -92,9 +92,9 @@ class TestEngineParity:
         assert set(slam_sort_grid) == {"python", "numpy"}
         assert set(slam_bucket_grid) == {"python", "numpy"}
 
-    def test_unknown_engine_raises_keyerror_via_api(self, small_xy):
+    def test_unknown_engine_raises_valueerror_via_api(self, small_xy):
         from repro import compute_kdv
 
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown engine 'cython'.*slam_sort"):
             compute_kdv(small_xy, size=(8, 8), bandwidth=5.0,
                         method="slam_sort", engine="cython")
