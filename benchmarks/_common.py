@@ -21,9 +21,16 @@ from pathlib import Path
 import pytest
 
 from repro.bench.harness import TIMEOUT, format_series, format_table
+from repro.bench.report import BenchReport
 from repro.core.api import METHODS
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def json_dir() -> Path:
+    """Where ``BENCH_*.json`` reports go: ``REPRO_BENCH_JSON`` or the
+    default text-report directory."""
+    return Path(os.environ.get("REPRO_BENCH_JSON", str(OUT_DIR)))
 
 #: Elementary-operation budget per benchmark cell (the timeout analog).
 MAX_CELL_COST = float(os.environ.get("REPRO_BENCH_MAX_CELL", "3e9"))
@@ -93,6 +100,67 @@ def write_report(name: str, text: str) -> None:
     path = OUT_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def emit_json(
+    name: str,
+    cells: dict,
+    *,
+    title: str = "",
+    unit: str = "seconds",
+    key_fields: "list[str] | None" = None,
+    meta: "dict | None" = None,
+    recorder=None,
+    peak_memory_bytes: "int | None" = None,
+    started: "float | None" = None,
+) -> Path:
+    """Write the machine-readable twin of a text report:
+    ``BENCH_<name>.json`` (see :mod:`repro.bench.report` and
+    ``docs/benchmarks.md``).  Every bench module calls this from its report
+    fixture so JSON is produced on both the pytest and script paths."""
+    report = BenchReport(name, title=title, unit=unit, key_fields=key_fields)
+    if started is not None:
+        report._start = started
+    report.add_cells(cells)
+    if meta:
+        report.meta.update(meta)
+    report.attach_recorder(recorder)
+    report.peak_memory_bytes = peak_memory_bytes
+    path = report.write(json_dir())
+    print(f"[bench report: {path}]")
+    return path
+
+
+def pytest_script_main(path: str, argv: "list[str] | None" = None) -> int:
+    """``python benchmarks/bench_<x>.py [--json DIR] [pytest args...]``.
+
+    Runs the module's cells through pytest (the fixtures need it) with the
+    JSON output directory redirected; used by every bench module's
+    ``__main__`` block and by the ``repro bench`` CLI subcommand.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run one benchmark module and write its text + JSON reports."
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="directory for the BENCH_<name>.json report "
+        "(default: benchmarks/out)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (e.g. -k slam)",
+    )
+    ns = parser.parse_args(argv)
+    if ns.json:
+        os.environ["REPRO_BENCH_JSON"] = ns.json
+    return int(
+        pytest.main([str(path), "-q", "-s", "-p", "no:cacheprovider", *ns.pytest_args])
+    )
 
 
 def series_report(

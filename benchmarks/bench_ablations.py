@@ -14,10 +14,12 @@ reproduction makes and the extensions it adds:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from _common import run_cell, write_report
+from _common import emit_json, run_cell, write_report
 from repro.bench.harness import format_table
 from repro.baselines.akde import akde_grid
 from repro.baselines.akde_dual import akde_dual_grid
@@ -38,6 +40,7 @@ _RASTER = Raster(_REGION, 160, 120)
 _B = 300.0
 
 _times: dict[str, float] = {}
+_STARTED = time.perf_counter()
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -49,6 +52,13 @@ def _report():
     write_report(
         "ablations",
         format_table(["variant", "seconds"], rows, title="Design-choice ablations"),
+    )
+    emit_json(
+        "ablations",
+        _times,
+        title="Design-choice ablations",
+        key_fields=["variant"],
+        started=_STARTED,
     )
 
 
@@ -132,3 +142,9 @@ def test_weighted_vs_unweighted_overhead(benchmark):
     fn = lambda: slam_bucket_grid["numpy"](_XY, _RASTER, kernel, _B, weights=w)
     benchmark.group = "ablation weights"
     _times["weighted_slam_bucket"] = run_cell(benchmark, fn)
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

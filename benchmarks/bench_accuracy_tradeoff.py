@@ -9,9 +9,11 @@ hotspot-overlap Jaccard, and peak displacement against the exact grid.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from _common import grid_fn, run_cell, write_report
+from _common import emit_json, grid_fn, run_cell, write_report
 from repro.bench.harness import format_table
 from repro.bench.metrics import hotspot_jaccard, peak_displacement, relative_linf
 from repro.bench.workloads import base_resolution, bench_raster
@@ -34,6 +36,7 @@ CONFIGS = [
 
 _rows: list[list] = []
 _exact_holder: dict = {}
+_STARTED = time.perf_counter()
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -48,6 +51,23 @@ def _report():
             _rows,
             title=f"Accuracy vs time ({_DATASET}, Epanechnikov, default bandwidth)",
         ),
+    )
+    report_cells = {}
+    extras = {}
+    for config, seconds, linf, jaccard, shift in _rows:
+        report_cells[(config,)] = seconds
+        extras[config] = {
+            "relative_linf": float(linf),
+            "hotspot_jaccard": float(jaccard),
+            "peak_displacement_px": float(shift),
+        }
+    emit_json(
+        "accuracy_tradeoff",
+        report_cells,
+        title=f"Accuracy vs time ({_DATASET})",
+        key_fields=["config"],
+        meta={"accuracy": extras, "dataset": _DATASET},
+        started=_STARTED,
     )
 
 
@@ -84,3 +104,9 @@ def test_accuracy_tradeoff(benchmark, datasets, bandwidths, config):
             peak_displacement(grid, exact),
         ]
     )
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

@@ -13,9 +13,11 @@ Cells whose predicted cost exceeds the budget are skipped and reported as
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from _common import grid_fn, run_cell, skip_if_over_budget, write_report
+from _common import emit_json, grid_fn, run_cell, skip_if_over_budget, write_report
 from repro.bench.harness import TIMEOUT, format_series
 from repro.bench.workloads import bench_raster, resolution_ladder
 from repro.core.kernels import get_kernel
@@ -26,6 +28,7 @@ ALL_DATASETS = list(dataset_names())
 LADDER = resolution_ladder()
 
 _cells: dict[tuple[str, str, tuple[int, int]], float] = {}
+_STARTED = time.perf_counter()
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -48,6 +51,13 @@ def _report():
             )
         )
     write_report("fig13_resolution", "\n\n".join(sections))
+    emit_json(
+        "fig13_resolution",
+        {(m, d, f"{x}x{y}"): v for (m, d, (x, y)), v in _cells.items()},
+        title="Figure 13: time (s) vs resolution, per dataset",
+        key_fields=["method", "dataset", "resolution"],
+        started=_STARTED,
+    )
 
 
 @pytest.mark.parametrize("size", LADDER, ids=lambda s: f"{s[0]}x{s[1]}")
@@ -66,3 +76,9 @@ def test_fig13(benchmark, datasets, bandwidths, method, dataset_name, size):
         bandwidths[dataset_name],
     )
     _cells[(method, dataset_name, size)] = run_cell(benchmark, fn)
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

@@ -7,9 +7,11 @@ replacement, exactly like the paper's protocol.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from _common import grid_fn, run_cell, skip_if_over_budget, write_report
+from _common import emit_json, grid_fn, run_cell, skip_if_over_budget, write_report
 from repro.bench.harness import TIMEOUT, format_series
 from repro.bench.workloads import SIZE_FRACTIONS, base_resolution, bench_raster
 from repro.core.kernels import get_kernel
@@ -20,6 +22,7 @@ FIG_METHODS = ["scan", "rqs_kd", "zorder", "quad", "slam_bucket_rao"]
 ALL_DATASETS = list(dataset_names())
 
 _cells: dict[tuple[str, str, float], float] = {}
+_STARTED = time.perf_counter()
 
 
 @pytest.fixture(scope="session")
@@ -52,6 +55,13 @@ def _report():
             )
         )
     write_report("fig14_datasize", "\n\n".join(sections))
+    emit_json(
+        "fig14_datasize",
+        _cells,
+        title="Figure 14: time (s) vs dataset size, per dataset",
+        key_fields=["method", "dataset", "fraction"],
+        started=_STARTED,
+    )
 
 
 @pytest.mark.parametrize("fraction", SIZE_FRACTIONS, ids=lambda f: f"{int(f*100)}pct")
@@ -73,3 +83,9 @@ def test_fig14(benchmark, samples, bandwidths, method, dataset_name, fraction):
         bandwidths[dataset_name],
     )
     _cells[(method, dataset_name, fraction)] = run_cell(benchmark, fn)
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

@@ -11,9 +11,18 @@ analog) instead of stalling the suite.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from _common import MAX_CELL_COST, grid_fn, predicted_cost, run_cell, write_report
+from _common import (
+    MAX_CELL_COST,
+    emit_json,
+    grid_fn,
+    predicted_cost,
+    run_cell,
+    write_report,
+)
 from repro.bench.harness import TIMEOUT, format_series
 from repro.bench.workloads import BANDWIDTH_RATIOS, base_resolution, bench_raster
 from repro.core.kernels import get_kernel
@@ -23,6 +32,7 @@ FIG_METHODS = ["scan", "rqs_kd", "zorder", "quad", "slam_bucket_rao"]
 ALL_DATASETS = list(dataset_names())
 
 _cells: dict[tuple[str, str, float], float] = {}
+_STARTED = time.perf_counter()
 
 
 def _skip_if_over_budget(method: str, width: int, height: int, n: int, ratio: float):
@@ -56,6 +66,13 @@ def _report():
             )
         )
     write_report("fig15_bandwidth", "\n\n".join(sections))
+    emit_json(
+        "fig15_bandwidth",
+        _cells,
+        title="Figure 15: time (s) vs bandwidth multiplier, per dataset",
+        key_fields=["method", "dataset", "bandwidth_ratio"],
+        started=_STARTED,
+    )
 
 
 @pytest.mark.parametrize("ratio", BANDWIDTH_RATIOS, ids=lambda r: f"x{r}")
@@ -75,3 +92,9 @@ def test_fig15(benchmark, datasets, bandwidths, method, dataset_name, ratio):
         bandwidths[dataset_name] * ratio,
     )
     _cells[(method, dataset_name, ratio)] = run_cell(benchmark, fn)
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

@@ -18,9 +18,11 @@ exploratory frame fastest, in near-real-time, which the competitors cannot.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from _common import grid_fn, run_cell, skip_if_over_budget, write_report
+from _common import emit_json, grid_fn, run_cell, skip_if_over_budget, write_report
 from repro.bench.harness import TIMEOUT, format_series
 from repro.bench.workloads import ZOOM_RATIOS, base_resolution
 from repro.core.kernels import get_kernel
@@ -34,6 +36,7 @@ YEAR_SECONDS = 365.25 * 24 * 3600.0
 
 _zoom_cells: dict[tuple[str, str, float], float] = {}
 _pan_cells: dict[tuple[str, str], float] = {}
+_STARTED = time.perf_counter()
 
 
 @pytest.fixture(scope="session")
@@ -77,6 +80,15 @@ def _report():
             )
         )
     write_report("fig16_explore", "\n\n".join(sections))
+    cells = {("zoom", m, d, r): v for (m, d, r), v in _zoom_cells.items()}
+    cells.update({("pan", m, d, "mean5"): v for (m, d), v in _pan_cells.items()})
+    emit_json(
+        "fig16_explore",
+        cells,
+        title="Figure 16: exploratory zoom/pan frame time (s)",
+        key_fields=["operation", "method", "dataset", "parameter"],
+        started=_STARTED,
+    )
 
 
 @pytest.mark.parametrize("ratio", ZOOM_RATIOS, ids=lambda r: f"zoom{r}")
@@ -121,3 +133,9 @@ def test_fig16_pan(benchmark, year_filtered, bandwidths, method, dataset_name):
     benchmark.group = f"fig16 pan {dataset_name}"
     total = run_cell(benchmark, all_pans)
     _pan_cells[(method, dataset_name)] = total / len(regions)
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

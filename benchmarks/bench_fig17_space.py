@@ -11,9 +11,11 @@ The reported number is peak MiB; the shape to verify against the paper is
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from _common import grid_fn, skip_if_over_budget, write_report
+from _common import emit_json, grid_fn, skip_if_over_budget, write_report
 from repro.bench.harness import TIMEOUT, format_series, measure_peak_memory
 from repro.bench.workloads import SIZE_FRACTIONS, base_resolution, bench_raster
 from repro.core.kernels import get_kernel
@@ -24,6 +26,7 @@ FIG_METHODS = ["scan", "rqs_kd", "zorder", "quad", "slam_sort", "slam_bucket_rao
 ALL_DATASETS = list(dataset_names())
 
 _cells: dict[tuple[str, str, float], float] = {}
+_STARTED = time.perf_counter()
 
 
 @pytest.fixture(scope="session")
@@ -55,6 +58,14 @@ def _report():
             )
         )
     write_report("fig17_space", "\n\n".join(sections))
+    emit_json(
+        "fig17_space",
+        _cells,
+        title="Figure 17: peak memory (MiB) vs dataset size, per dataset",
+        unit="MiB",
+        key_fields=["method", "dataset", "fraction"],
+        started=_STARTED,
+    )
 
 
 @pytest.mark.parametrize("fraction", SIZE_FRACTIONS, ids=lambda f: f"{int(f*100)}pct")
@@ -87,3 +98,9 @@ def test_fig17(benchmark, samples, bandwidths, method, dataset_name, fraction):
 
     benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     _cells[(method, dataset_name, fraction)] = peak_holder["peak"] / (1024 * 1024)
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

@@ -9,9 +9,11 @@ SLAM_BUCKET^(RAO)'s margin over the competitors again widens with resolution.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from _common import grid_fn, run_cell, skip_if_over_budget, write_report
+from _common import emit_json, grid_fn, run_cell, skip_if_over_budget, write_report
 from repro.bench.harness import TIMEOUT, format_series
 from repro.bench.workloads import bench_raster, resolution_ladder
 from repro.core.kernels import get_kernel
@@ -22,6 +24,7 @@ FIG_KERNELS = ["uniform", "quartic"]
 LADDER = resolution_ladder()
 
 _cells: dict[tuple[str, str, str, tuple[int, int]], float] = {}
+_STARTED = time.perf_counter()
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -51,6 +54,16 @@ def _report():
                 )
             )
     write_report("fig18_kernels_resolution", "\n\n".join(sections))
+    emit_json(
+        "fig18_kernels_resolution",
+        {
+            (m, d, k, f"{x}x{y}"): v
+            for (m, d, k, (x, y)), v in _cells.items()
+        },
+        title="Figure 18: time (s) vs resolution, uniform & quartic kernels",
+        key_fields=["method", "dataset", "kernel", "resolution"],
+        started=_STARTED,
+    )
 
 
 @pytest.mark.parametrize("size", LADDER, ids=lambda s: f"{s[0]}x{s[1]}")
@@ -70,3 +83,9 @@ def test_fig18(benchmark, datasets, bandwidths, method, dataset_name, kernel_nam
         bandwidths[dataset_name],
     )
     _cells[(method, dataset_name, kernel_name, size)] = run_cell(benchmark, fn)
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

@@ -7,9 +7,11 @@ every sample fraction for both kernels.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from _common import grid_fn, run_cell, skip_if_over_budget, write_report
+from _common import emit_json, grid_fn, run_cell, skip_if_over_budget, write_report
 from repro.bench.harness import TIMEOUT, format_series
 from repro.bench.workloads import SIZE_FRACTIONS, base_resolution, bench_raster
 from repro.core.kernels import get_kernel
@@ -20,6 +22,7 @@ FIG_DATASETS = ["los_angeles", "san_francisco"]
 FIG_KERNELS = ["uniform", "quartic"]
 
 _cells: dict[tuple[str, str, str, float], float] = {}
+_STARTED = time.perf_counter()
 
 
 @pytest.fixture(scope="session")
@@ -60,6 +63,13 @@ def _report():
                 )
             )
     write_report("fig19_kernels_datasize", "\n\n".join(sections))
+    emit_json(
+        "fig19_kernels_datasize",
+        _cells,
+        title="Figure 19: time (s) vs dataset size, uniform & quartic kernels",
+        key_fields=["method", "dataset", "kernel", "fraction"],
+        started=_STARTED,
+    )
 
 
 @pytest.mark.parametrize("fraction", SIZE_FRACTIONS, ids=lambda f: f"{int(f*100)}pct")
@@ -82,3 +92,9 @@ def test_fig19(
         bandwidths[dataset_name],
     )
     _cells[(method, dataset_name, kernel_name, fraction)] = run_cell(benchmark, fn)
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

@@ -9,16 +9,19 @@ powers SLAM, transplanted to networks.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from _common import run_cell, write_report
+from _common import emit_json, run_cell, write_report
 from repro.bench.harness import format_table
 from repro.core.kernels import get_kernel
 from repro.network import Lixelization, street_grid
 from repro.network.nkdv import nkdv_event_centric, nkdv_lixel_centric
 
 _rows: list[list] = []
+_STARTED = time.perf_counter()
 
 _NET = street_grid(25, 20, spacing=120.0, removal_fraction=0.1, seed=9)
 _RNG = np.random.default_rng(31)
@@ -43,6 +46,14 @@ def _report():
             ),
         ),
     )
+    emit_json(
+        "nkdv",
+        {(ev, length): seconds for ev, length, _lix, seconds in _rows},
+        title="NKDV: event-centric vs lixel-centric evaluation",
+        key_fields=["evaluator", "lixel_length_m"],
+        meta={"events": len(_EVENTS), "bandwidth_m": _BANDWIDTH},
+        started=_STARTED,
+    )
 
 
 @pytest.mark.parametrize("lixel_length", [60.0, 30.0])
@@ -57,3 +68,9 @@ def test_nkdv(benchmark, evaluator, lixel_length):
     benchmark.group = "nkdv"
     seconds = run_cell(benchmark, fn)
     _rows.append([evaluator, lixel_length, len(lixels), seconds])
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

@@ -17,10 +17,12 @@ Exponents are least-squares slopes in log-log space, printed in the report.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from _common import run_cell, write_report
+from _common import emit_json, run_cell, write_report
 from repro.bench.harness import format_table
 from repro.core.kernels import get_kernel
 from repro.core.rao import with_rao
@@ -35,6 +37,7 @@ FIXED_SIZE = (128, 96)
 PORTRAIT = (48, 640)  # Y >> X: the case RAO exists for
 
 _times: dict[tuple[str, str, int], float] = {}
+_STARTED = time.perf_counter()
 
 _rng = np.random.default_rng(7)
 _POINTS = {
@@ -97,6 +100,13 @@ def _report():
             f"({eng_py / eng_np:.1f}x constant-factor gap, same asymptotics)"
         )
     write_report("table1_complexity", text + "\n" + "\n".join(extra))
+    emit_json(
+        "table1_complexity",
+        {(s, a, str(v)): t for (s, a, v), t in _times.items()},
+        title="Table 1 empirical scaling check + ablations",
+        key_fields=["series", "axis", "value"],
+        started=_STARTED,
+    )
 
 
 @pytest.mark.parametrize("n", N_LADDER)
@@ -145,3 +155,9 @@ def test_engine_ablation(benchmark, engine):
     benchmark.group = "table1 engine ablation"
     fn = lambda: slam_bucket_grid[engine](xy, raster, _KERNEL, _BANDWIDTH)
     _times[(f"engine_{engine}", "n", FIXED_N)] = run_cell(benchmark, fn)
+
+
+if __name__ == "__main__":
+    from _common import pytest_script_main
+
+    raise SystemExit(pytest_script_main(__file__))

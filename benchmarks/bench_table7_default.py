@@ -12,10 +12,16 @@ for all four datasets.  The paper's headline observations this reproduces:
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from _common import (
+    MAX_CELL_COST,
+    emit_json,
     grid_fn,
+    json_dir,
+    predicted_cost,
     run_cell,
     skip_if_over_budget,
     table_report,
@@ -24,6 +30,8 @@ from repro.bench.harness import TIMEOUT
 from repro.bench.workloads import base_resolution, bench_raster
 from repro.core.kernels import get_kernel
 from repro.data.datasets import dataset_names
+
+_STARTED = time.perf_counter()
 
 _cells: dict[tuple[str, str], float] = {}
 
@@ -74,14 +82,20 @@ def _report():
                 f"{d}: SLAM_BUCKET^(RAO) vs QUAD speedup {quad_t / rao_t:.1f}x"
             )
     x, y = base_resolution()
-    table_report(
-        "table7_default",
+    title = (
         f"Table 7: response time (s), resolution {x}x{y}, Scott bandwidth, "
-        "Epanechnikov kernel",
-        ["method"] + ALL_DATASETS,
-        rows,
+        "Epanechnikov kernel"
     )
+    table_report("table7_default", title, ["method"] + ALL_DATASETS, rows)
     print("\n".join(lines))
+    emit_json(
+        "table7_default",
+        _cells,
+        title=title,
+        key_fields=["method", "dataset"],
+        meta={"resolution": [x, y], "kernel": "epanechnikov"},
+        started=_STARTED,
+    )
 
 
 @pytest.mark.parametrize("dataset_name", ALL_DATASETS)
@@ -99,3 +113,110 @@ def test_table7(benchmark, datasets, bandwidths, method, dataset_name):
         bandwidths[dataset_name],
     )
     _cells[(method, dataset_name)] = run_cell(benchmark, fn)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Script mode: run every cell directly (no pytest), with an attached
+    recorder and a per-cell peak-memory pass, and write
+    ``BENCH_table7_default.json``::
+
+        PYTHONPATH=src python benchmarks/bench_table7_default.py --json out/
+    """
+    import argparse
+    import os
+
+    from repro.bench.harness import format_table, measure_peak_memory, time_call
+    from repro.bench.report import BenchReport
+    from repro.bench.workloads import bench_budget, bench_dataset, default_bandwidth
+    from repro.core.api import PARALLEL_METHODS
+    from repro.obs import Recorder
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="output directory for BENCH_table7_default.json "
+        "(default: benchmarks/out)",
+    )
+    parser.add_argument(
+        "--methods",
+        default=None,
+        help="comma-separated subset of methods to run (default: all)",
+    )
+    parser.add_argument(
+        "--datasets",
+        default=None,
+        help="comma-separated subset of datasets to run (default: all)",
+    )
+    ns = parser.parse_args(argv)
+    if ns.json:
+        os.environ["REPRO_BENCH_JSON"] = ns.json
+    methods = ns.methods.split(",") if ns.methods else ALL_METHODS
+    names = ns.datasets.split(",") if ns.datasets else ALL_DATASETS
+
+    x, y = base_resolution()
+    title = (
+        f"Table 7: response time (s), resolution {x}x{y}, Scott bandwidth, "
+        "Epanechnikov kernel"
+    )
+    recorder = Recorder()
+    report = BenchReport(
+        "table7_default", title=title, key_fields=["method", "dataset"]
+    )
+    report.meta.update(resolution=[x, y], kernel="epanechnikov")
+    kernel = get_kernel("epanechnikov")
+    budget = bench_budget()
+    cells: dict[tuple[str, str], float] = {}
+
+    for dataset_name in names:
+        points = bench_dataset(dataset_name)
+        bandwidth = default_bandwidth(points)
+        raster = bench_raster(points, (x, y))
+        for method in methods:
+            if predicted_cost(method, raster.width, raster.height, len(points)) > MAX_CELL_COST:
+                cells[(method, dataset_name)] = TIMEOUT
+                report.add_cell((method, dataset_name), TIMEOUT)
+                print(f"{method:16s} {dataset_name:12s} timeout (over budget)")
+                continue
+            kwargs = (
+                {"recorder": recorder} if method in PARALLEL_METHODS else {}
+            )
+            fn = grid_fn(method, points.xy, raster, kernel, bandwidth, **kwargs)
+            fn_plain = grid_fn(method, points.xy, raster, kernel, bandwidth)
+            if method in PARALLEL_METHODS:
+                elapsed, _ = time_call(fn)
+            else:
+                with recorder.span(f"compute.{method}"):
+                    elapsed, _ = time_call(fn)
+            # second, tracemalloc-instrumented run (un-instrumented fn, so
+            # the recorder counts each cell once) for the space column;
+            # skipped for slow cells so the script stays within ~2x the
+            # plain sweep time
+            peak = None
+            if elapsed <= budget:
+                peak, _ = measure_peak_memory(fn_plain)
+            cells[(method, dataset_name)] = elapsed
+            report.add_cell(
+                (method, dataset_name), elapsed, peak_memory_bytes=peak
+            )
+            print(f"{method:16s} {dataset_name:12s} {elapsed:8.3f}s")
+
+    rows = [
+        [m] + [cells.get((m, d), TIMEOUT) for d in names] for m in methods
+    ]
+    print()
+    print(format_table(["method"] + list(names), rows, title=title))
+    print()
+    print(recorder.summary())
+    report.attach_recorder(recorder)
+    report.peak_memory_bytes = max(
+        (c.get("peak_memory_bytes") or 0 for c in report.cells), default=0
+    ) or None
+    path = report.write(json_dir())
+    print(f"\n[bench report: {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

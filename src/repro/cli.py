@@ -17,6 +17,9 @@ Subcommands
     Render a spatio-temporal KDV frame sequence to numbered PPM files.
 ``nkdv``
     Network KDV over a synthetic street grid, rendered to PPM.
+``bench``
+    Run one benchmark module from ``benchmarks/`` and write its text table
+    plus the machine-readable ``BENCH_<name>.json`` report.
 
 Examples
 --------
@@ -27,6 +30,8 @@ Examples
     python -m repro compute seattle.csv -o hotspots.ppm --size 640x480
     python -m repro compute --dataset new_york --scale 0.005 --kernel quartic \
         --method slam_bucket_rao --preview
+    python -m repro compute --dataset seattle --stats
+    python -m repro bench table7_default --json benchmarks/out
 """
 
 from __future__ import annotations
@@ -121,6 +126,9 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=("heat", "viridis", "gray"))
     p_compute.add_argument("--preview", action="store_true",
                            help="print an ASCII preview to stdout")
+    p_compute.add_argument("--stats", action="store_true",
+                           help="collect per-phase timings and counters "
+                                "(repro.obs recorder) and print the summary")
 
     sub.add_parser("datasets", help="list built-in synthetic datasets")
     sub.add_parser("methods", help="list KDV methods")
@@ -164,6 +172,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_net.add_argument("--bandwidth", type=float, default=400.0,
                        help="network-distance bandwidth in meters")
     p_net.add_argument("-o", "--output", default="nkdv.ppm")
+
+    p_bench = sub.add_parser(
+        "bench", help="run one benchmark module and write its reports"
+    )
+    p_bench.add_argument(
+        "name",
+        nargs="?",
+        help="benchmark name, e.g. table7_default or bench_fig13_resolution.py "
+             "(omit with --list)",
+    )
+    p_bench.add_argument("--json", metavar="DIR", default=None,
+                         help="directory for the BENCH_<name>.json report "
+                              "(default: benchmarks/out)")
+    p_bench.add_argument("--list", action="store_true",
+                         help="list available benchmark modules and exit")
+    p_bench.add_argument("bench_args", nargs=argparse.REMAINDER,
+                         help="extra arguments forwarded to the benchmark "
+                              "(precede with --)")
     return parser
 
 
@@ -195,6 +221,7 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         bandwidth=bandwidth,
         method=args.method,
         workers=args.workers,
+        collect_stats=args.stats,
     )
     elapsed = time.perf_counter() - start
     result.save_ppm(args.output, colormap=args.colormap)
@@ -209,6 +236,8 @@ def _cmd_compute(args: argparse.Namespace) -> int:
             f"sweep: {s.orientation}, {s.workers} worker(s) [{s.backend}], "
             f"{s.blocks} block(s), {s.rows_per_sec:,.0f} rows/s"
         )
+    if result.recorder is not None:
+        print(result.recorder.summary())
     print(f"wrote {args.output}")
     if args.preview:
         print(ascii_preview(result.grid_image()))
@@ -330,6 +359,60 @@ def _cmd_nkdv(args: argparse.Namespace) -> int:
     return 0
 
 
+def _benchmarks_dir():
+    """Locate the repository's ``benchmarks/`` directory (source checkouts
+    only — the modules are not shipped inside the package)."""
+    from pathlib import Path
+
+    candidate = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+    return candidate if candidate.is_dir() else None
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+    import runpy
+
+    bench_dir = _benchmarks_dir()
+    if bench_dir is None:
+        print("error: benchmarks/ directory not found (requires a source "
+              "checkout)", file=sys.stderr)
+        return 2
+    names = sorted(
+        p.stem.removeprefix("bench_") for p in bench_dir.glob("bench_*.py")
+    )
+    if args.list or not args.name:
+        for name in names:
+            print(name)
+        return 0 if args.list else 2
+    name = args.name.removeprefix("bench_").removesuffix(".py")
+    script = bench_dir / f"bench_{name}.py"
+    if not script.is_file():
+        print(f"error: unknown benchmark {args.name!r}; available: "
+              f"{', '.join(names)}", file=sys.stderr)
+        return 2
+    # argparse's REMAINDER grabs everything after the name, including our own
+    # --json when it follows the positional; the bench modules accept the
+    # same flag, so forwarding verbatim (minus bare `--` separators) works
+    # for both orderings.
+    extra = [token for token in args.bench_args if token != "--"]
+    if args.json:
+        os.environ["REPRO_BENCH_JSON"] = args.json
+    # Hand over to the module's own __main__ (argparse inside); sys.path gets
+    # the benchmarks dir so the modules' `from _common import ...` resolves.
+    old_argv = sys.argv
+    sys.path.insert(0, str(bench_dir))
+    try:
+        sys.argv = [str(script)] + extra
+        try:
+            runpy.run_path(str(script), run_name="__main__")
+        except SystemExit as exc:
+            return int(exc.code or 0)
+        return 0
+    finally:
+        sys.argv = old_argv
+        sys.path.remove(str(bench_dir))
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -341,6 +424,7 @@ def main(argv: list[str] | None = None) -> int:
         "hotspots": _cmd_hotspots,
         "stkdv": _cmd_stkdv,
         "nkdv": _cmd_nkdv,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

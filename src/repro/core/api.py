@@ -42,6 +42,7 @@ from ..baselines.rqs import rqs_ball_grid, rqs_kd_grid, rqs_rtree_grid
 from ..baselines.scan import scan_grid
 from ..baselines.zorder import zorder_grid
 from ..data.points import PointSet
+from ..obs import Recorder, active
 from ..viz.bandwidth import scott_bandwidth
 from ..viz.region import Raster, Region
 from .kernels import Kernel, get_kernel
@@ -136,6 +137,8 @@ def compute_kdv(
     normalization: str = "count",
     weights: np.ndarray | None = None,
     workers: "int | str" = 1,
+    collect_stats: bool = False,
+    recorder: "Recorder | None" = None,
     **method_kwargs,
 ) -> KDVResult:
     """Compute a kernel density visualization.
@@ -176,6 +179,18 @@ def compute_kdv(
         run serially regardless.  Pass ``backend="thread"`` as a method
         kwarg to use threads instead of processes (effective for the numpy
         engine, whose array ops release the GIL).
+    collect_stats:
+        ``True`` attaches a fresh :class:`~repro.obs.Recorder` to the
+        computation and returns it on :attr:`KDVResult.recorder`.  SLAM
+        methods record per-phase sweep timings (index build, envelope
+        update, endpoint sort/bucket, prefix sweep) and row/envelope
+        counters; other methods record a single ``compute`` span.  The
+        default ``False`` skips all instrumentation — the sweep hot path
+        pays nothing.
+    recorder:
+        Pass an existing :class:`~repro.obs.Recorder` to accumulate several
+        computations into one dump (e.g. a benchmark cell that renders many
+        tiles).  Implies ``collect_stats``.
     method_kwargs:
         Extra options forwarded to the method (e.g. ``tolerance`` for aKDE,
         ``sample_size`` for Z-order, ``leaf_size`` for tree methods,
@@ -233,6 +248,10 @@ def compute_kdv(
             raise ValueError("weights must be finite and non-negative")
         method_kwargs = {**method_kwargs, "weights": weights}
 
+    if recorder is None and collect_stats:
+        recorder = Recorder()
+    rec = active(recorder)
+
     grid_fn, exact = METHODS[method]
     if n == 0:
         # No point contributes anywhere; short-circuit to an all-zeros grid
@@ -246,12 +265,29 @@ def compute_kdv(
             normalization=normalization,
             n_points=0,
             exact=exact,
+            recorder=rec,
         )
 
     sweep_stats: dict = {}
     if method in PARALLEL_METHODS:
         method_kwargs = {**method_kwargs, "workers": workers, "stats": sweep_stats}
-    grid = grid_fn(xy, raster, kernel_obj, bandwidth_value, engine=engine, **method_kwargs)
+        if rec is not None:
+            method_kwargs["recorder"] = rec
+        grid = grid_fn(
+            xy, raster, kernel_obj, bandwidth_value, engine=engine, **method_kwargs
+        )
+    elif rec is not None:
+        # Baselines have no internal phases; record the whole computation as
+        # one span so every method is comparable in a recorder dump.
+        with rec.span(f"compute.{method}"):
+            grid = grid_fn(
+                xy, raster, kernel_obj, bandwidth_value, engine=engine,
+                **method_kwargs,
+            )
+    else:
+        grid = grid_fn(
+            xy, raster, kernel_obj, bandwidth_value, engine=engine, **method_kwargs
+        )
 
     total_mass = float(weights.sum()) if weights is not None else float(n)
     if normalization == "count" and total_mass > 0:
@@ -261,6 +297,12 @@ def compute_kdv(
 
     stats = None
     if sweep_stats:
+        phases: dict[str, float] = {}
+        counters: dict[str, int] = {}
+        if rec is not None:
+            snap = rec.snapshot()
+            phases = {name: p["total_s"] for name, p in snap["phases"].items()}
+            counters = dict(snap["counters"])
         stats = SweepStats(
             rows=sweep_stats["rows"],
             blocks=sweep_stats["blocks"],
@@ -269,6 +311,8 @@ def compute_kdv(
             orientation=sweep_stats.get("orientation", "rows"),
             elapsed_seconds=sweep_stats["elapsed_seconds"],
             rows_per_sec=sweep_stats["rows_per_sec"],
+            phases=phases,
+            counters=counters,
         )
 
     return KDVResult(
@@ -281,4 +325,5 @@ def compute_kdv(
         n_points=n,
         exact=exact,
         stats=stats,
+        recorder=rec,
     )

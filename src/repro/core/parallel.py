@@ -123,23 +123,29 @@ def _run_block(start: int, stop: int) -> np.ndarray:
 
 
 def run_blocks(
-    block_fn: Callable[..., np.ndarray],
+    block_fn: Callable[..., "np.ndarray | tuple[np.ndarray, object]"],
     args: tuple,
     kwargs: dict,
     num_rows: int,
     workers: int,
     backend: str,
-) -> tuple[int, np.ndarray]:
+) -> tuple[int, np.ndarray, list]:
     """Evaluate ``block_fn(start, stop, *args, **kwargs)`` over a row
     partition and assemble the ``(num_rows, X)`` grid.
 
-    ``block_fn`` must be a module-level (picklable) function returning a
-    ``(stop - start, X)`` float64 block.  Returns ``(num_blocks, grid)``.
+    ``block_fn`` must be a module-level (picklable) function returning either
+    a ``(stop - start, X)`` float64 block, or an ``(block, aux)`` pair where
+    ``aux`` is any picklable per-block payload — the observability layer uses
+    this to ship each worker's recorder snapshot back for merging.
+
+    Returns ``(num_blocks, grid, aux_list)``; ``aux_list`` is empty when the
+    block function returns bare arrays, else one entry per block in row
+    order.
     """
     validate_backend(backend)
     blocks = partition_rows(num_rows, workers * BLOCKS_PER_WORKER)
     if not blocks:
-        return 0, np.zeros((0, 0), dtype=np.float64)
+        return 0, np.zeros((0, 0), dtype=np.float64), []
     workers = min(workers, len(blocks))
     if backend == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -156,7 +162,11 @@ def run_blocks(
         ) as pool:
             futures = [pool.submit(_run_block, start, stop) for start, stop in blocks]
             results = [f.result() for f in futures]
+    aux: list = []
+    if results and isinstance(results[0], tuple):
+        aux = [r[1] for r in results]
+        results = [r[0] for r in results]
     grid = np.empty((num_rows, results[0].shape[1]), dtype=np.float64)
     for (start, stop), block in zip(blocks, results):
         grid[start:stop] = block
-    return len(blocks), grid
+    return len(blocks), grid, aux

@@ -19,6 +19,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import Recorder, active
 from ..viz.region import Raster
 from .kernels import Kernel
 
@@ -51,10 +52,14 @@ def with_rao(grid_fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
         workers: "int | str | None" = 1,
         backend: str = "process",
         stats: dict | None = None,
+        recorder: "Recorder | None" = None,
     ) -> np.ndarray:
         orientation = rao_orientation(raster)
         if stats is not None:
             stats["orientation"] = orientation
+        rec = active(recorder)
+        if rec is not None:
+            rec.count(f"rao.{orientation}_sweeps")
         if orientation == "rows":
             return grid_fn(
                 xy,
@@ -66,6 +71,7 @@ def with_rao(grid_fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
                 workers=workers,
                 backend=backend,
                 stats=stats,
+                recorder=recorder,
             )
         xy_swapped = np.asarray(xy, dtype=np.float64)[:, ::-1]
         transposed = grid_fn(
@@ -77,6 +83,7 @@ def with_rao(grid_fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
             workers=workers,
             backend=backend,
             stats=stats,
+            recorder=recorder,
         )
         return np.ascontiguousarray(transposed.T)
 

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import Recorder
 from ..viz.region import Raster
 
 __all__ = ["KDVResult", "SweepStats"]
@@ -16,7 +17,11 @@ class SweepStats:
     """Lightweight per-call instrumentation of a SLAM sweep.
 
     Attached to :attr:`KDVResult.stats` by the sweep methods so benchmarks
-    and observability hooks can read throughput without re-timing.
+    and observability hooks can read throughput without re-timing.  When the
+    computation ran with a :class:`~repro.obs.Recorder` attached
+    (``compute_kdv(..., collect_stats=True)``), :attr:`phases` and
+    :attr:`counters` carry the recorder's per-phase breakdown; otherwise
+    they are empty dicts.
 
     Attributes
     ----------
@@ -39,6 +44,13 @@ class SweepStats:
     rows_per_sec:
         ``rows / elapsed_seconds`` — the scaling metric the parallel
         benchmark reports.
+    phases:
+        Phase name -> total seconds (e.g. ``"sweep.envelope_update"``,
+        ``"sweep.endpoint_bucket"``, ``"sweep.prefix_sweep"``,
+        ``"index_build"``); empty unless a recorder was attached.
+    counters:
+        Counter name -> value (e.g. ``"sweep.rows"``,
+        ``"sweep.envelope_points"``); empty unless a recorder was attached.
     """
 
     rows: int
@@ -48,6 +60,8 @@ class SweepStats:
     orientation: str
     elapsed_seconds: float
     rows_per_sec: float
+    phases: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -78,6 +92,12 @@ class KDVResult:
         Optional :class:`SweepStats` instrumentation; populated by the SLAM
         sweep methods, ``None`` for baselines and empty-dataset short
         circuits.
+    recorder:
+        The :class:`~repro.obs.Recorder` the computation ran under, when one
+        was attached (``collect_stats=True`` or an explicit ``recorder=``);
+        ``None`` otherwise.  ``recorder.snapshot()`` is the machine-readable
+        dump embedded in benchmark reports; ``recorder.summary()`` is the
+        human-readable view the CLI's ``--stats`` flag prints.
     """
 
     grid: np.ndarray
@@ -89,6 +109,7 @@ class KDVResult:
     n_points: int
     exact: bool
     stats: SweepStats | None = None
+    recorder: Recorder | None = None
 
     @property
     def shape(self) -> tuple[int, int]:

@@ -26,10 +26,13 @@ single step suffices.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 
 import numpy as np
 
+from ..obs import Recorder
 from .kernels import Kernel
+from .slam_sort import PHASE_PREFIX_SWEEP
 from .sweep import make_grid_function
 
 __all__ = [
@@ -37,7 +40,12 @@ __all__ = [
     "slam_bucket_row_numpy",
     "slam_bucket_grid",
     "bucket_indices",
+    "PHASE_ENDPOINT_BUCKET",
 ]
+
+#: Observability phase name for the O(1) arithmetic bucket assignment —
+#: SLAM_BUCKET's replacement for SLAM_SORT's ``sweep.endpoint_sort`` phase.
+PHASE_ENDPOINT_BUCKET = "sweep.endpoint_bucket"
 
 
 def bucket_indices(
@@ -78,6 +86,7 @@ def slam_bucket_row_python(
     ub: np.ndarray,
     chans: np.ndarray,
     kernel: Kernel,
+    recorder: "Recorder | None" = None,
 ) -> np.ndarray:
     """Literal transcription of Algorithm 2 with explicit bucket lists."""
     num_pixels = len(xs)
@@ -85,6 +94,7 @@ def slam_bucket_row_python(
     x0 = float(xs[0])
     gx = float(xs[1] - xs[0]) if num_pixels > 1 else 1.0
 
+    t0 = perf_counter() if recorder is not None else 0.0
     # Lower/upper bound buckets, one per pixel plus the past-the-end bucket.
     buckets_l: list[list[int]] = [[] for _ in range(num_pixels + 1)]
     buckets_u: list[list[int]] = [[] for _ in range(num_pixels + 1)]
@@ -103,6 +113,9 @@ def slam_bucket_row_python(
             i_u -= 1
         buckets_l[min(i_l, num_pixels)].append(p)
         buckets_u[min(i_u, num_pixels)].append(p)
+    if recorder is not None:
+        t1 = perf_counter()
+        recorder.timer(PHASE_ENDPOINT_BUCKET).add(t1 - t0)
 
     agg_l = [0.0] * num_channels
     agg_u = [0.0] * num_channels
@@ -118,6 +131,8 @@ def slam_bucket_row_python(
         for c in range(num_channels):
             diff[c] = agg_l[c] - agg_u[c]
         out[i] = kernel.density_from_aggregates(float(xs[i]), 0.0, diff, 1.0)
+    if recorder is not None:
+        recorder.timer(PHASE_PREFIX_SWEEP).add(perf_counter() - t1)
     return out
 
 
@@ -127,11 +142,16 @@ def slam_bucket_row_numpy(
     ub: np.ndarray,
     chans: np.ndarray,
     kernel: Kernel,
+    recorder: "Recorder | None" = None,
 ) -> np.ndarray:
     """Vectorized Algorithm 2: per-channel bincount of bucket deltas + cumsum."""
     num_pixels = len(xs)
     num_channels = chans.shape[1]
+    t0 = perf_counter() if recorder is not None else 0.0
     enter, leave = bucket_indices(xs, lb, ub)
+    if recorder is not None:
+        t1 = perf_counter()
+        recorder.timer(PHASE_ENDPOINT_BUCKET).add(t1 - t0)
 
     # net[i] = (channel sums entering at pixel i) - (channel sums leaving);
     # the running aggregate at pixel i is the prefix sum over buckets <= i.
@@ -140,7 +160,10 @@ def slam_bucket_row_numpy(
         net[:, c] = np.bincount(enter, weights=chans[:, c], minlength=num_pixels + 1)
         net[:, c] -= np.bincount(leave, weights=chans[:, c], minlength=num_pixels + 1)
     agg = np.cumsum(net[:num_pixels], axis=0)
-    return kernel.density_from_aggregates(xs, 0.0, agg, 1.0)
+    out = kernel.density_from_aggregates(xs, 0.0, agg, 1.0)
+    if recorder is not None:
+        recorder.timer(PHASE_PREFIX_SWEEP).add(perf_counter() - t1)
+    return out
 
 
 #: Grid-level SLAM_BUCKET, engine selected by the caller.

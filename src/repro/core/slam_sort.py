@@ -28,12 +28,27 @@ on the set ``R(q)`` even for crafted integer inputs.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
+from ..obs import Recorder
 from .kernels import Kernel
 from .sweep import make_grid_function
 
-__all__ = ["slam_sort_row_python", "slam_sort_row_numpy", "slam_sort_grid"]
+__all__ = [
+    "slam_sort_row_python",
+    "slam_sort_row_numpy",
+    "slam_sort_grid",
+    "PHASE_ENDPOINT_SORT",
+    "PHASE_PREFIX_SWEEP",
+]
+
+# Observability phase names recorded by the engines below (per row, timer
+# accumulation): ordering interval endpoints, then evaluating pixels from
+# running aggregates.  See docs/observability.md.
+PHASE_ENDPOINT_SORT = "sweep.endpoint_sort"
+PHASE_PREFIX_SWEEP = "sweep.prefix_sweep"
 
 # Event type codes; the sort key is (x, type) so that at equal x the order is
 # "enter L" -> "evaluate pixel" -> "enter U", implementing the closed interval.
@@ -48,9 +63,11 @@ def slam_sort_row_python(
     ub: np.ndarray,
     chans: np.ndarray,
     kernel: Kernel,
+    recorder: "Recorder | None" = None,
 ) -> np.ndarray:
     """Literal event-list sweep of Algorithm 1 for one pixel row."""
     num_channels = chans.shape[1]
+    t0 = perf_counter() if recorder is not None else 0.0
     events: list[tuple[float, int, int]] = []
     for p in range(len(lb)):
         events.append((float(lb[p]), _EVENT_LB, p))
@@ -58,6 +75,9 @@ def slam_sort_row_python(
     for i, x in enumerate(xs):
         events.append((float(x), _EVENT_PIXEL, i))
     events.sort(key=lambda e: (e[0], e[1]))
+    if recorder is not None:
+        t1 = perf_counter()
+        recorder.timer(PHASE_ENDPOINT_SORT).add(t1 - t0)
 
     agg_l = [0.0] * num_channels  # aggregates of L (points whose LB was passed)
     agg_u = [0.0] * num_channels  # aggregates of U (points whose UB was passed)
@@ -74,6 +94,8 @@ def slam_sort_row_python(
             for c in range(num_channels):
                 diff[c] = agg_l[c] - agg_u[c]
             out[idx] = kernel.density_from_aggregates(x, 0.0, diff, 1.0)
+    if recorder is not None:
+        recorder.timer(PHASE_PREFIX_SWEEP).add(perf_counter() - t1)
     return out
 
 
@@ -83,11 +105,13 @@ def slam_sort_row_numpy(
     ub: np.ndarray,
     chans: np.ndarray,
     kernel: Kernel,
+    recorder: "Recorder | None" = None,
 ) -> np.ndarray:
     """Vectorized Algorithm 1: sorted endpoints + prefix sums per row."""
     num_channels = chans.shape[1]
     zero_row = np.zeros((1, num_channels), dtype=np.float64)
 
+    t0 = perf_counter() if recorder is not None else 0.0
     order_l = np.argsort(lb, kind="stable")
     lb_sorted = lb[order_l]
     prefix_l = np.concatenate([zero_row, np.cumsum(chans[order_l], axis=0)])
@@ -95,13 +119,19 @@ def slam_sort_row_numpy(
     order_u = np.argsort(ub, kind="stable")
     ub_sorted = ub[order_u]
     prefix_u = np.concatenate([zero_row, np.cumsum(chans[order_u], axis=0)])
+    if recorder is not None:
+        t1 = perf_counter()
+        recorder.timer(PHASE_ENDPOINT_SORT).add(t1 - t0)
 
     # L = points with LB <= x (inclusive); U = points with UB < x (strict),
     # so R(q) = L \ U is the closed interval membership of Lemma 2.
     idx_l = np.searchsorted(lb_sorted, xs, side="right")
     idx_u = np.searchsorted(ub_sorted, xs, side="left")
     agg = prefix_l[idx_l] - prefix_u[idx_u]
-    return kernel.density_from_aggregates(xs, 0.0, agg, 1.0)
+    out = kernel.density_from_aggregates(xs, 0.0, agg, 1.0)
+    if recorder is not None:
+        recorder.timer(PHASE_PREFIX_SWEEP).add(perf_counter() - t1)
+    return out
 
 
 #: Grid-level SLAM_SORT, engine selected by the caller.

@@ -37,6 +37,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
+from ..obs import NULL_RECORDER, Recorder, active
 from ..viz.region import Raster
 from .envelope import YSortedIndex
 from .kernels import Kernel, channel_values
@@ -54,6 +55,9 @@ class RowEngine(Protocol):
     ``lb/ub``  -- interval endpoints per envelope point, shape (m,)
     ``chans``  -- aggregate channel values per envelope point, shape (m, nch)
     ``kernel`` -- the kernel whose aggregates ``chans`` encodes
+    ``recorder`` -- optional :class:`~repro.obs.Recorder`; when attached the
+    engine accumulates its endpoint-ordering and prefix-sweep phase timings
+    into it (``None``, the default, skips all timing)
 
     Returns the row's ``sum_{p in R(q)} K(q, p)`` values, shape (X,).
     """
@@ -65,6 +69,7 @@ class RowEngine(Protocol):
         ub: np.ndarray,
         chans: np.ndarray,
         kernel: Kernel,
+        recorder: "Recorder | None" = None,
     ) -> np.ndarray: ...
 
 
@@ -98,6 +103,7 @@ def sweep_rows(
     kernel: Kernel,
     row_engine: RowEngine,
     sorted_weights: np.ndarray | None = None,
+    recorder: "Recorder | None" = None,
 ) -> np.ndarray:
     """Compute the contiguous pixel-row block ``[start, stop)`` of a sweep.
 
@@ -107,20 +113,73 @@ def sweep_rows(
     process, and always yield the same ``(stop - start, X)`` float64 array.
     The result is *unscaled*: :func:`sweep_kdv` applies the kernel's rescale
     factor once after assembling all blocks.
+
+    When ``recorder`` is attached the block accumulates counters
+    (``sweep.rows``, ``sweep.empty_rows``, ``sweep.envelope_points``) and the
+    ``sweep.envelope_update`` phase timer, and passes the recorder into the
+    row engine for its per-phase breakdown.  With ``recorder=None`` (the
+    default) the loop below runs untouched — no clock reads, no allocations.
     """
     nch = kernel.num_channels
     block = np.zeros((stop - start, len(xs_scaled)), dtype=np.float64)
+    rec = active(recorder)
+    if rec is None:
+        for j in range(start, stop):
+            k = y_centers[j]
+            env_slice = ysorted.envelope_slice(k, bandwidth)
+            env = ysorted.sorted_xy[env_slice]
+            if len(env) == 0:
+                continue
+            u, v, half = row_frame(env, k, cx, bandwidth)
+            row_weights = None if sorted_weights is None else sorted_weights[env_slice]
+            chans = channel_values(np.column_stack((u, v)), nch, weights=row_weights)
+            block[j - start] = row_engine(xs_scaled, u - half, u + half, chans, kernel)
+        return block
+
+    # Instrumented twin of the loop above: identical arithmetic in identical
+    # order (the bit-identity contract), plus clocks and counters.  Local
+    # accumulators flush into the recorder once per block so the recorder
+    # lock is not taken per row.
+    perf = time.perf_counter
+    envelope_seconds = 0.0
+    envelope_points = 0
+    empty_rows = 0
     for j in range(start, stop):
         k = y_centers[j]
+        t0 = perf()
         env_slice = ysorted.envelope_slice(k, bandwidth)
         env = ysorted.sorted_xy[env_slice]
         if len(env) == 0:
+            envelope_seconds += perf() - t0
+            empty_rows += 1
             continue
         u, v, half = row_frame(env, k, cx, bandwidth)
         row_weights = None if sorted_weights is None else sorted_weights[env_slice]
         chans = channel_values(np.column_stack((u, v)), nch, weights=row_weights)
-        block[j - start] = row_engine(xs_scaled, u - half, u + half, chans, kernel)
+        envelope_seconds += perf() - t0
+        envelope_points += len(env)
+        block[j - start] = row_engine(
+            xs_scaled, u - half, u + half, chans, kernel, recorder=rec
+        )
+    rows = stop - start
+    rec.count("sweep.rows", rows)
+    rec.count("sweep.empty_rows", empty_rows)
+    rec.count("sweep.envelope_points", envelope_points)
+    rec.timer("sweep.envelope_update").add(envelope_seconds, rows)
     return block
+
+
+def _sweep_rows_recorded(start: int, stop: int, *args, **kwargs):
+    """Picklable parallel-block wrapper: run :func:`sweep_rows` under a fresh
+    per-block recorder and ship its snapshot back with the block.
+
+    Worker threads and processes never share the caller's recorder; the
+    parent merges the returned snapshots, so merged counters equal the serial
+    sweep's counts exactly (see :meth:`repro.obs.Recorder.merge`).
+    """
+    recorder = Recorder()
+    block = sweep_rows(start, stop, *args, recorder=recorder, **kwargs)
+    return block, recorder.snapshot()
 
 
 def sweep_kdv(
@@ -134,6 +193,7 @@ def sweep_kdv(
     workers: "int | str | None" = 1,
     backend: str = "process",
     stats: dict | None = None,
+    recorder: "Recorder | None" = None,
 ) -> np.ndarray:
     """Compute the raw KDV grid ``sum_p w_p K(q, p)`` with a row-sweep engine.
 
@@ -167,6 +227,14 @@ def sweep_kdv(
         Optional dict that receives lightweight instrumentation: ``rows``,
         ``blocks``, ``workers``, ``backend``, ``elapsed_seconds``,
         ``rows_per_sec``.
+    recorder:
+        Optional :class:`~repro.obs.Recorder`.  When attached, the sweep
+        records the ``index_build`` and ``sweep`` spans, per-phase timers
+        (``sweep.envelope_update`` plus the engine's endpoint-ordering and
+        prefix-sweep phases), and row/envelope counters.  In parallel runs
+        each block records into a private recorder whose snapshot is merged
+        back here, so counts equal the serial sweep's.  ``None`` (default)
+        disables all instrumentation at zero cost.
 
     Returns
     -------
@@ -181,9 +249,14 @@ def sweep_kdv(
         raise ValueError(f"bandwidth must be positive, got {bandwidth}")
     num_workers = resolve_workers(workers)
     validate_backend(backend)
+    rec = active(recorder)
     xy = np.asarray(xy, dtype=np.float64)
     if ysorted is None:
-        ysorted = YSortedIndex(xy)
+        if rec is not None:
+            with rec.span("index_build"):
+                ysorted = YSortedIndex(xy)
+        else:
+            ysorted = YSortedIndex(xy)
     sorted_weights = None
     if weights is not None:
         weights = np.asarray(weights, dtype=np.float64)
@@ -201,14 +274,23 @@ def sweep_kdv(
     t0 = time.perf_counter()
     row_args = (y_centers, xs_scaled, ysorted, cx, bandwidth, kernel, row_engine)
     row_kwargs = {"sorted_weights": sorted_weights}
-    if num_workers == 1:
-        grid = sweep_rows(0, height, *row_args, **row_kwargs)
-        num_blocks = 1
-    else:
-        blocks, grid = run_blocks(
-            sweep_rows, row_args, row_kwargs, height, num_workers, backend
-        )
-        num_blocks = blocks
+    with (rec or NULL_RECORDER).span("sweep"):
+        if num_workers == 1:
+            grid = sweep_rows(0, height, *row_args, recorder=rec, **row_kwargs)
+            num_blocks = 1
+        elif rec is None:
+            num_blocks, grid, _aux = run_blocks(
+                sweep_rows, row_args, row_kwargs, height, num_workers, backend
+            )
+        else:
+            # Each block records into a private recorder; merging the
+            # returned snapshots reproduces the serial counts exactly.
+            num_blocks, grid, snapshots = run_blocks(
+                _sweep_rows_recorded, row_args, row_kwargs,
+                height, num_workers, backend,
+            )
+            for snap in snapshots:
+                rec.merge(snap)
     elapsed = time.perf_counter() - t0
 
     # Undo the bandwidth scaling for kernels whose value depends on b
@@ -216,6 +298,8 @@ def sweep_kdv(
     factor = kernel.rescale_factor(bandwidth)
     if factor != 1.0:
         grid *= factor
+    if rec is not None:
+        rec.count("sweep.blocks", num_blocks)
     if stats is not None:
         stats.update(
             rows=height,
@@ -241,6 +325,7 @@ def make_grid_function(row_engine: RowEngine) -> Callable[..., np.ndarray]:
         workers: "int | str | None" = 1,
         backend: str = "process",
         stats: dict | None = None,
+        recorder: "Recorder | None" = None,
     ) -> np.ndarray:
         return sweep_kdv(
             xy,
@@ -253,6 +338,7 @@ def make_grid_function(row_engine: RowEngine) -> Callable[..., np.ndarray]:
             workers=workers,
             backend=backend,
             stats=stats,
+            recorder=recorder,
         )
 
     return grid_fn

@@ -1,0 +1,31 @@
+"""Observability: monotonic counters, phase timers, and trace spans.
+
+The instrumentation layer behind ``compute_kdv(..., collect_stats=True)``,
+the CLI's ``--stats`` flag, and the recorder dumps embedded in
+``BENCH_*.json`` benchmark reports.  See ``docs/observability.md`` for the
+API tour and how to read per-phase sweep timings.
+"""
+
+from .recorder import (
+    NULL_RECORDER,
+    RECORDER_SCHEMA,
+    Counter,
+    NullRecorder,
+    PhaseTimer,
+    Recorder,
+    Span,
+    active,
+    format_summary,
+)
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Counter",
+    "PhaseTimer",
+    "Span",
+    "active",
+    "format_summary",
+    "RECORDER_SCHEMA",
+]

@@ -21,6 +21,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..core.api import compute_kdv
+from ..obs import NULL_RECORDER, Recorder, active
 from ..viz.region import Region
 
 __all__ = ["TileScheme", "render_tile", "TileRenderer"]
@@ -117,6 +118,13 @@ class TileRenderer:
         Tile addressing; defaults to the dataset's squared MBR.
     cache_tiles:
         LRU capacity (tiles), since pan/zoom UIs re-request aggressively.
+    recorder:
+        Optional :class:`~repro.obs.Recorder`; when set, every lookup bumps
+        the ``tiles.cache.hits`` / ``tiles.cache.misses`` /
+        ``tiles.cache.evictions`` counters and each render is timed under a
+        ``tiles.render`` phase.  The plain :attr:`cache_hits` /
+        :attr:`cache_misses` / :attr:`cache_evictions` integers are always
+        maintained regardless.
     """
 
     def __init__(
@@ -128,6 +136,7 @@ class TileRenderer:
         kernel: str = "epanechnikov",
         method: str = "slam_bucket_rao",
         cache_tiles: int = 64,
+        recorder: "Recorder | None" = None,
     ):
         from ..data.points import PointSet
 
@@ -144,34 +153,45 @@ class TileRenderer:
             raise ValueError("cache_tiles must be >= 1")
         self._cache: OrderedDict[tuple[int, int, int], np.ndarray] = OrderedDict()
         self._cache_capacity = cache_tiles
+        self.recorder = active(recorder)
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         # per-level color scale: max density of the level-0 overview
         overview = self.tile(0, 0, 0)
         self._color_peak = float(overview.max()) or 1.0
 
     def tile(self, zoom: int, tx: int, ty: int) -> np.ndarray:
         """Density grid of a tile (cached)."""
+        rec = self.recorder
         key = (zoom, tx, ty)
         if key in self._cache:
             self.cache_hits += 1
+            if rec is not None:
+                rec.count("tiles.cache.hits")
             self._cache.move_to_end(key)
             return self._cache[key]
         self.cache_misses += 1
-        grid = render_tile(
-            self.points,
-            self.scheme,
-            zoom,
-            tx,
-            ty,
-            tile_size=self.tile_size,
-            bandwidth=self.bandwidth,
-            kernel=self.kernel,
-            method=self.method,
-        )
+        if rec is not None:
+            rec.count("tiles.cache.misses")
+        with (rec or NULL_RECORDER).span("tiles.render"):
+            grid = render_tile(
+                self.points,
+                self.scheme,
+                zoom,
+                tx,
+                ty,
+                tile_size=self.tile_size,
+                bandwidth=self.bandwidth,
+                kernel=self.kernel,
+                method=self.method,
+            )
         self._cache[key] = grid
         if len(self._cache) > self._cache_capacity:
             self._cache.popitem(last=False)
+            self.cache_evictions += 1
+            if rec is not None:
+                rec.count("tiles.cache.evictions")
         return grid
 
     def tile_image(self, zoom: int, tx: int, ty: int, colormap: str = "heat"):

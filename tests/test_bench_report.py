@@ -1,0 +1,153 @@
+"""Tests for the machine-readable benchmark report writer (repro.bench.report).
+
+Contracts under test, mirroring docs/benchmarks.md:
+
+* ``BenchReport.write`` emits strict JSON that ``load_report`` round-trips;
+* the TIMEOUT infinity sentinel encodes as ``{"value": null, "timeout": true}``;
+* ``validate_report`` rejects malformed payloads with a message naming the
+  first violation;
+* provenance fields (git SHA, host, env knobs) are populated.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import TIMEOUT
+from repro.bench.report import (
+    BENCH_REPORT_SCHEMA,
+    BENCH_REPORT_VERSION,
+    BenchReport,
+    bench_env,
+    git_revision,
+    host_info,
+    load_report,
+    validate_report,
+)
+from repro.obs import Recorder
+
+
+def _small_report() -> BenchReport:
+    report = BenchReport(
+        "unit_test", title="unit test", key_fields=["method", "dataset"]
+    )
+    report.add_cell(("slam_sort", "seattle"), 0.5, peak_memory_bytes=1024)
+    report.add_cell(("akde", "seattle"), TIMEOUT)
+    return report
+
+
+class TestBenchReport:
+    def test_write_and_load_round_trip(self, tmp_path):
+        report = _small_report()
+        rec = Recorder()
+        rec.count("sweep.rows", 10)
+        with rec.span("sweep"):
+            pass
+        report.attach_recorder(rec)
+        report.meta["resolution"] = [160, 120]
+
+        path = report.write(tmp_path)
+        assert path == tmp_path / "BENCH_unit_test.json"
+
+        loaded = load_report(path)
+        assert loaded["schema"] == BENCH_REPORT_SCHEMA
+        assert loaded["version"] == BENCH_REPORT_VERSION
+        assert loaded["name"] == "unit_test"
+        assert loaded["key_fields"] == ["method", "dataset"]
+        assert loaded["meta"] == {"resolution": [160, 120]}
+        assert loaded["recorder"]["counters"] == {"sweep.rows": 10}
+        assert "sweep" in loaded["recorder"]["phases"]
+        assert loaded["wall_clock_s"] >= 0.0
+
+    def test_timeout_encoding(self, tmp_path):
+        path = _small_report().write(tmp_path)
+        text = path.read_text()
+        assert "Infinity" not in text  # strict JSON, no IEEE spellings
+        cells = {tuple(c["key"]): c for c in json.loads(text)["cells"]}
+        timed_out = cells[("akde", "seattle")]
+        assert timed_out["value"] is None and timed_out["timeout"] is True
+        measured = cells[("slam_sort", "seattle")]
+        assert measured["value"] == 0.5 and measured["timeout"] is False
+        assert measured["peak_memory_bytes"] == 1024
+
+    def test_scalar_key_is_wrapped(self):
+        report = BenchReport("x")
+        report.add_cell("solo", 1.0)
+        assert report.cells[0]["key"] == ["solo"]
+
+    def test_add_cells_sorted_deterministically(self):
+        report = BenchReport("x")
+        report.add_cells({("b", 2): 1.0, ("a", 10): 2.0, ("a", 2): 3.0})
+        assert [c["key"] for c in report.cells] == [
+            ["a", 10], ["a", 2], ["b", 2]
+        ]
+
+    def test_timeout_in_extra_field_also_encoded(self):
+        report = BenchReport("x")
+        report.add_cell(("m",), 1.0, baseline=TIMEOUT)
+        assert report.cells[0]["baseline"] is None
+
+    def test_git_provenance(self, tmp_path):
+        loaded = load_report(_small_report().write(tmp_path))
+        # the test suite runs inside the repo checkout
+        assert loaded["git"]["sha"] and len(loaded["git"]["sha"]) == 40
+        assert isinstance(loaded["git"]["dirty"], bool)
+
+    def test_git_revision_outside_checkout(self, tmp_path):
+        assert git_revision(tmp_path) == {"sha": None, "dirty": None}
+
+    def test_host_info_fields(self):
+        info = host_info()
+        assert info["python"] and info["machine"]
+        assert info["cpu_count"] >= 1
+
+    def test_bench_env_records_only_set_knobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert "REPRO_BENCH_SCALE" not in bench_env()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_env()["REPRO_BENCH_SCALE"] == "0.5"
+
+
+class TestValidateReport:
+    def test_accepts_own_output(self):
+        validate_report(_small_report().to_dict())
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.update(schema="other"), "schema"),
+            (lambda d: d.update(version="1"), "version"),
+            (lambda d: d.update(version=BENCH_REPORT_VERSION + 1), "newer"),
+            (lambda d: d.update(name=""), "name"),
+            (lambda d: d.update(cells="nope"), "cells"),
+            (lambda d: d.pop("git"), "git"),
+            (lambda d: d["cells"].append({"key": [], "value": 1, "timeout": False}),
+             "key"),
+            (lambda d: d["cells"].append({"key": ["a"], "value": "fast",
+                                          "timeout": False}), "value"),
+            (lambda d: d["cells"].append({"key": ["a"], "value": 1.0,
+                                          "timeout": "no"}), "timeout"),
+            (lambda d: d["cells"].append({"key": ["a"], "value": None,
+                                          "timeout": False}), "not a timeout"),
+            (lambda d: d.update(recorder={"counters": {}}), "recorder"),
+        ],
+    )
+    def test_rejects_malformed(self, mutate, message):
+        payload = _small_report().to_dict()
+        mutate(payload)
+        with pytest.raises(ValueError, match=message):
+            validate_report(payload)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="object"):
+            validate_report([1, 2])
+
+    def test_write_refuses_invalid_payload(self, tmp_path):
+        """A report that fails its own schema check is never written."""
+        report = BenchReport("bad")
+        report.cells.append({"key": [], "value": 1.0, "timeout": False})
+        with pytest.raises(ValueError):
+            report.write(tmp_path)
+        assert not (tmp_path / "BENCH_bad.json").exists()

@@ -7,6 +7,8 @@ docs drifting from the code, which matters for a reproduction repository.
 
 from __future__ import annotations
 
+import importlib
+import re
 from pathlib import Path
 
 import pytest
@@ -104,5 +106,92 @@ class TestDesignInventory:
     def test_docs_exist(self):
         for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                     "docs/algorithm.md", "docs/api_guide.md",
-                    "docs/reproducing.md"):
+                    "docs/reproducing.md", "docs/benchmarks.md",
+                    "docs/observability.md"):
             assert (REPO / doc).is_file(), doc
+
+
+def _doc_files() -> list[Path]:
+    return [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+
+def _logical_lines(text: str) -> list[str]:
+    """Lines with backslash continuations joined."""
+    lines: list[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        if raw.rstrip().endswith("\\"):
+            pending += raw.rstrip()[:-1] + " "
+            continue
+        lines.append(pending + raw)
+        pending = ""
+    if pending:
+        lines.append(pending)
+    return lines
+
+
+class TestDocsSymbolsImport:
+    """Every dotted ``repro.*`` reference in the docs resolves: the named
+    module imports and the final attribute (if any) exists.  Catches docs
+    that mention renamed or removed API."""
+
+    DOTTED = re.compile(r"\brepro(?:\.\w+)+")
+
+    @pytest.mark.parametrize("doc", _doc_files(), ids=lambda p: p.name)
+    def test_dotted_references_resolve(self, doc):
+        text = doc.read_text()
+        for match in sorted(set(self.DOTTED.findall(text))):
+            dotted = match.removesuffix(".py")
+            parts = dotted.split(".")
+            # longest importable module prefix, remainder must be attributes
+            obj = None
+            for i in range(len(parts), 0, -1):
+                try:
+                    obj = importlib.import_module(".".join(parts[:i]))
+                except ImportError:
+                    continue
+                break
+            assert obj is not None, f"{doc.name}: cannot import {dotted}"
+            for attr in parts[i:]:
+                assert hasattr(obj, attr), (
+                    f"{doc.name}: {dotted} — no attribute {attr!r}"
+                )
+                obj = getattr(obj, attr)
+
+    @pytest.mark.parametrize("doc", _doc_files(), ids=lambda p: p.name)
+    def test_import_statements_run(self, doc):
+        """``from repro... import a, b`` lines in doc code blocks execute."""
+        for line in _logical_lines(doc.read_text()):
+            stripped = line.strip()
+            if not stripped.startswith("from repro"):
+                continue
+            exec(stripped, {})  # raises ImportError on drift
+
+
+class TestDocumentedCliFlags:
+    """Every ``--flag`` shown in a documented ``repro`` or bench-script
+    invocation is defined somewhere in the CLI / bench sources."""
+
+    def _known_flags(self) -> str:
+        sources = [REPO / "src" / "repro" / "cli.py"]
+        sources += sorted((REPO / "benchmarks").glob("*.py"))
+        return "\n".join(p.read_text() for p in sources)
+
+    def test_documented_flags_exist(self):
+        known = self._known_flags()
+        flag_re = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+        missing = []
+        for doc in _doc_files():
+            for line in _logical_lines(doc.read_text()):
+                # direct CLI or script-mode bench invocations only (pytest
+                # runs own their flags, e.g. --benchmark-only)
+                if "-m repro" not in line and not re.search(
+                    r"python\s+benchmarks/bench_", line
+                ):
+                    continue
+                for flag in flag_re.findall(line):
+                    if f'"{flag}"' not in known and f"'{flag}'" not in known:
+                        missing.append(f"{doc.name}: {flag} ({line.strip()})")
+        assert not missing, "documented flags not found in code:\n" + "\n".join(
+            missing
+        )

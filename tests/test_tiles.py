@@ -154,3 +154,33 @@ class TestTileRenderer:
 
         renderer = TileRenderer(PointSet(points), tile_size=8, bandwidth=60.0)
         assert renderer.tile(0, 0, 0).shape == (8, 8)
+
+    def test_recorder_counts_cache_traffic(self, points):
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        renderer = TileRenderer(
+            points, tile_size=8, bandwidth=60.0, cache_tiles=2, recorder=rec
+        )
+        # __init__ renders the (0, 0, 0) overview for the color scale: miss 1
+        renderer.tile(1, 0, 0)  # miss 2
+        renderer.tile(1, 0, 0)  # hit 1
+        renderer.tile(1, 1, 0)  # miss 3 + eviction of the overview
+        renderer.tile(1, 0, 1)  # miss 4 + eviction of (1, 0, 0)
+        assert rec.counter_value("tiles.cache.misses") == 4
+        assert rec.counter_value("tiles.cache.hits") == 1
+        assert rec.counter_value("tiles.cache.evictions") == 2
+        assert renderer.cache_evictions == 2
+        # counters agree with the renderer's own attributes
+        assert rec.counter_value("tiles.cache.misses") == renderer.cache_misses
+        assert rec.counter_value("tiles.cache.hits") == renderer.cache_hits
+        # every miss timed one render span
+        assert rec.timer("tiles.render").calls == 4
+        assert rec.phase_seconds("tiles.render") > 0.0
+
+    def test_no_recorder_still_tracks_attributes(self, points):
+        renderer = TileRenderer(points, tile_size=8, bandwidth=60.0, cache_tiles=2)
+        renderer.tile(1, 0, 0)
+        renderer.tile(1, 1, 0)
+        renderer.tile(1, 0, 1)
+        assert renderer.cache_evictions == 2
