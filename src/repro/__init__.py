@@ -50,7 +50,7 @@ from .viz.explore import ExplorationSession, random_pan_regions
 from .viz.region import Raster, Region
 
 # subpackages kept importable without a separate import statement
-from . import analysis, extensions, network  # noqa: E402  (re-export)
+from . import analysis, extensions, network, serve  # noqa: E402  (re-export)
 
 __version__ = "1.0.0"
 
@@ -91,5 +91,6 @@ __all__ = [
     "analysis",
     "extensions",
     "network",
+    "serve",
     "__version__",
 ]

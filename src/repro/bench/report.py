@@ -53,6 +53,10 @@ _ENV_KNOBS = (
     "REPRO_BENCH_PARALLEL_RESOLUTION",
     "REPRO_BENCH_PARALLEL_N",
     "REPRO_BENCH_PARALLEL_BACKEND",
+    "REPRO_BENCH_SERVE_N",
+    "REPRO_BENCH_SERVE_REQUESTS",
+    "REPRO_BENCH_SERVE_CLIENTS",
+    "REPRO_BENCH_SERVE_TILE",
 )
 
 

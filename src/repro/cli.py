@@ -20,6 +20,10 @@ Subcommands
 ``bench``
     Run one benchmark module from ``benchmarks/`` and write its text table
     plus the machine-readable ``BENCH_<name>.json`` report.
+``serve``
+    Run the concurrent KDV tile server (``repro.serve``) over a CSV or
+    built-in dataset: ``GET /tiles/{z}/{tx}/{ty}[.npy|.png]``,
+    ``POST /ingest``, ``GET /healthz``, ``GET /metricz``.
 
 Examples
 --------
@@ -32,6 +36,7 @@ Examples
         --method slam_bucket_rao --preview
     python -m repro compute --dataset seattle --stats
     python -m repro bench table7_default --json benchmarks/out
+    python -m repro serve --dataset seattle --port 8711 --workers 4
 """
 
 from __future__ import annotations
@@ -172,6 +177,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_net.add_argument("--bandwidth", type=float, default=400.0,
                        help="network-distance bandwidth in meters")
     p_net.add_argument("-o", "--output", default="nkdv.ppm")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the concurrent KDV tile server (repro.serve)"
+    )
+    p_serve.add_argument("csv", nargs="?", help="input CSV with x,y[,t] columns")
+    p_serve.add_argument("--dataset", choices=dataset_names(),
+                         help="use a built-in synthetic dataset")
+    p_serve.add_argument("--scale", type=float, default=0.01,
+                         help="built-in dataset scale (default 0.01)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8711,
+                         help="TCP port (default 8711; 0 picks a free port)")
+    p_serve.add_argument("--tile-size", type=int, default=256,
+                         help="tile resolution in pixels (default 256)")
+    p_serve.add_argument("--kernel", default="epanechnikov",
+                         choices=("uniform", "epanechnikov", "quartic"))
+    p_serve.add_argument("--bandwidth", default="scott",
+                         help="bandwidth in meters, or 'scott' (default)")
+    p_serve.add_argument("--method", default="slam_bucket_rao",
+                         choices=method_names())
+    p_serve.add_argument("--max-zoom", type=int, default=8,
+                         help="deepest zoom level served (default 8)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="render pool threads (default 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=None,
+                         help="max in-flight renders before 503 "
+                              "(default 4x workers)")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         help="per-request render deadline in seconds "
+                              "(504 when exceeded; default: wait)")
+    p_serve.add_argument("--cache-tiles", type=int, default=256,
+                         help="tile cache capacity (default 256)")
+    p_serve.add_argument("--cache-ttl", type=float, default=None,
+                         help="tile cache TTL in seconds (default: no expiry)")
+    p_serve.add_argument("--allow-shutdown", action="store_true",
+                         help="enable POST /shutdown (for smoke tests/CI)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log each HTTP request to stderr")
 
     p_bench = sub.add_parser(
         "bench", help="run one benchmark module and write its reports"
@@ -359,6 +402,68 @@ def _cmd_nkdv(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import TileService, start_server
+    from .viz.bandwidth import scott_bandwidth
+
+    points = _load_points(args)
+    if points is None:
+        return 2
+    if args.bandwidth == "scott":
+        bandwidth = scott_bandwidth(points.xy)
+    else:
+        try:
+            bandwidth = float(args.bandwidth)
+        except ValueError:
+            print(f"error: bad bandwidth {args.bandwidth!r}", file=sys.stderr)
+            return 2
+    try:
+        service = TileService(
+            points,
+            tile_size=args.tile_size,
+            bandwidth=bandwidth,
+            kernel=args.kernel,
+            method=args.method,
+            max_zoom=args.max_zoom,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            deadline_s=args.deadline,
+            cache_tiles=args.cache_tiles,
+            cache_ttl_s=args.cache_ttl,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = start_server(
+        service,
+        host=args.host,
+        port=args.port,
+        allow_shutdown=args.allow_shutdown,
+        quiet=not args.verbose,
+        background=True,
+    )
+    print(
+        f"serving {len(points):,} events at {server.url}  "
+        f"(b={bandwidth:,.1f} m, {args.tile_size}px tiles, "
+        f"method={args.method}, {args.workers} worker(s))",
+        flush=True,
+    )
+    print(
+        f"endpoints: {server.url}/tiles/{{z}}/{{tx}}/{{ty}}[.npy|.png]  "
+        f"/ingest  /healthz  /metricz — Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        # park until the accept loop ends (Ctrl-C here, or POST /shutdown)
+        while server._serve_thread is not None and server._serve_thread.is_alive():
+            server._serve_thread.join(timeout=0.5)
+    except KeyboardInterrupt:
+        print("\nshutting down (draining in-flight renders)...", flush=True)
+    server.shutdown_gracefully()
+    print("server stopped", flush=True)
+    return 0
+
+
 def _benchmarks_dir():
     """Locate the repository's ``benchmarks/`` directory (source checkouts
     only — the modules are not shipped inside the package)."""
@@ -424,6 +529,7 @@ def main(argv: list[str] | None = None) -> int:
         "hotspots": _cmd_hotspots,
         "stkdv": _cmd_stkdv,
         "nkdv": _cmd_nkdv,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

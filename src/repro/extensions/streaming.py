@@ -103,6 +103,19 @@ class StreamingKDV:
             return np.empty((0, 2))
         return np.concatenate([b[0] for b in self._batches])
 
+    def affected_tiles(self, scheme, zoom: int, batch: np.ndarray) -> set:
+        """Tile keys at ``zoom`` that inserting/deleting ``batch`` can change.
+
+        A finite-support kernel reaches at most one bandwidth from each
+        event, so only tiles intersecting the batch MBR inflated by
+        ``self.bandwidth`` are affected — the targeted-invalidation set a
+        tile cache must drop (everything else is provably byte-identical).
+        Delegates to :func:`repro.serve.invalidate.affected_tiles`.
+        """
+        from ..serve.invalidate import affected_tiles
+
+        return affected_tiles(scheme, zoom, batch, self.bandwidth)
+
     # -- updates ----------------------------------------------------------------
 
     def _delta(self, xy: np.ndarray) -> np.ndarray:

@@ -10,6 +10,7 @@ from .recorder import (
     NULL_RECORDER,
     RECORDER_SCHEMA,
     Counter,
+    Gauge,
     NullRecorder,
     PhaseTimer,
     Recorder,
@@ -23,6 +24,7 @@ __all__ = [
     "NullRecorder",
     "NULL_RECORDER",
     "Counter",
+    "Gauge",
     "PhaseTimer",
     "Span",
     "active",

@@ -29,6 +29,9 @@ Vocabulary
 counter
     A named monotonically increasing integer (``sweep.rows``,
     ``tiles.cache.hits``).
+gauge
+    A named last-written value (``serve.queue_depth``, ``serve.cache_size``)
+    for quantities that go up *and* down; merging keeps the donor's reading.
 phase timer
     A named ``(total_seconds, calls)`` accumulator for code regions entered
     many times (per pixel row) where recording every instance would cost
@@ -52,6 +55,7 @@ __all__ = [
     "NullRecorder",
     "NULL_RECORDER",
     "Counter",
+    "Gauge",
     "PhaseTimer",
     "Span",
     "active",
@@ -79,6 +83,30 @@ class Counter:
 
     @property
     def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A named last-value instrument owned by a :class:`Recorder`.
+
+    Unlike a :class:`Counter`, a gauge moves in both directions — it reports
+    the most recently written value (a queue depth, a cache size), not an
+    accumulation.
+    """
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._value: "int | float" = 0
+        self._lock = lock
+
+    def set(self, value: "int | float") -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> "int | float":
         return self._value
 
 
@@ -144,6 +172,7 @@ class Recorder:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, PhaseTimer] = {}
         self._spans: list[dict] = []
         self._epoch = perf_counter()
@@ -166,6 +195,24 @@ class Recorder:
     def counter_value(self, name: str) -> int:
         c = self._counters.get(name)
         return 0 if c is None else c.value
+
+    # -- gauges ------------------------------------------------------------
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name, self._lock))
+
+    def set_gauge(self, name: str, value: "int | float") -> None:
+        """Shorthand for ``recorder.gauge(name).set(value)``."""
+        self.gauge(name).set(value)
+
+    def gauge_value(self, name: str) -> "int | float":
+        g = self._gauges.get(name)
+        return 0 if g is None else g.value
 
     # -- phase timers ------------------------------------------------------
 
@@ -214,6 +261,7 @@ class Recorder:
             return {
                 "schema": RECORDER_SCHEMA,
                 "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
                 "phases": {
                     n: {"total_s": t.total_seconds, "calls": t.calls}
                     for n, t in self._timers.items()
@@ -232,6 +280,9 @@ class Recorder:
         snap = other.snapshot() if isinstance(other, Recorder) else other
         for name, value in snap.get("counters", {}).items():
             self.counter(name).add(value)
+        # gauges are last-value instruments: the donor's reading wins
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
         for name, phase in snap.get("phases", {}).items():
             self.timer(name).add(phase["total_s"], phase["calls"])
         spans = snap.get("spans", [])
@@ -266,6 +317,15 @@ class _NullCounter:
         return None
 
 
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def set(self, value) -> None:
+        return None
+
+
 class _NullTimer:
     __slots__ = ()
     name = ""
@@ -278,6 +338,7 @@ class _NullTimer:
 
 _NULL_SPAN = _NullSpan()
 _NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
 _NULL_TIMER = _NullTimer()
 
 
@@ -301,6 +362,15 @@ class NullRecorder:
     def counter_value(self, name: str) -> int:
         return 0
 
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def set_gauge(self, name: str, value) -> None:
+        return None
+
+    def gauge_value(self, name: str) -> int:
+        return 0
+
     def timer(self, name: str) -> _NullTimer:
         return _NULL_TIMER
 
@@ -314,6 +384,7 @@ class NullRecorder:
         return {
             "schema": RECORDER_SCHEMA,
             "counters": {},
+            "gauges": {},
             "phases": {},
             "spans": [],
         }
@@ -365,6 +436,12 @@ def format_summary(snapshot: dict) -> str:
         width = max(len(n) for n in counters)
         for name in sorted(counters):
             lines.append(f"  {name:<{width}}  {counters[name]:,}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {gauges[name]:,}")
     if not lines:
         return "(nothing recorded)"
     return "\n".join(lines)

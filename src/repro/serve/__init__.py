@@ -1,0 +1,37 @@
+"""Concurrent KDV tile serving: the paper's "real-time KDV system" shape.
+
+SLAM makes a single tile cheap; this package makes *many clients* cheap.
+:class:`TileService` wraps the exact tile pyramid (:mod:`repro.viz.tiles`)
+and the incremental streaming engine
+(:mod:`repro.extensions.streaming`) behind a thread-safe façade with
+single-flight render coalescing, a TTL+LRU cache with targeted
+invalidation, a bounded render pool with explicit backpressure, and
+graceful shutdown.  :mod:`repro.serve.http` exposes it over stdlib HTTP
+(``repro serve`` on the command line); every decision is observable through
+a wired-in :class:`repro.obs.Recorder` (``GET /metricz``).
+
+See ``docs/serving.md`` for endpoint semantics, the metrics name table, and
+operational knobs.
+"""
+
+from .cache import TTLCache
+from .http import TileHTTPServer, start_server
+from .invalidate import affected_tiles, batch_mbr
+from .service import (
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceTimeout,
+    TileService,
+)
+
+__all__ = [
+    "TileService",
+    "TTLCache",
+    "TileHTTPServer",
+    "start_server",
+    "affected_tiles",
+    "batch_mbr",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "ServiceTimeout",
+]

@@ -1,0 +1,432 @@
+"""`TileService`: the concurrent heart of the KDV tile server.
+
+The paper positions SLAM as the engine behind interactive web KDV tools
+(KDV-Explorer); serving that workload means many clients hammering the same
+small set of visible tiles while a live feed appends events.  The service
+composes four mechanisms, each individually simple:
+
+**Single-flight coalescing.**
+    N concurrent requests for the same cold ``(zoom, tx, ty)`` trigger
+    exactly one SLAM render; the leader submits a future and the other N-1
+    join it.  With a pan/zoom crowd the render rate is bounded by the number
+    of *distinct* visible tiles, not the request rate.
+
+**Bounded render pool with backpressure.**
+    Renders run on a fixed :class:`~concurrent.futures.ThreadPoolExecutor`.
+    When the number of in-flight renders reaches ``queue_limit`` the service
+    refuses new *distinct* tiles with :class:`ServiceOverloaded` (HTTP 503 +
+    ``Retry-After``) instead of queueing unboundedly — joining an existing
+    render is always allowed, since it adds no work.  A per-request deadline
+    turns slow renders into :class:`ServiceTimeout` (HTTP 504) for the
+    waiter; the render itself completes and warms the cache.
+
+**TTL + LRU tile cache with targeted invalidation.**
+    Rendered tiles live in a :class:`~repro.serve.cache.TTLCache`.  Ingest
+    drops exactly the tiles whose region intersects the batch MBR inflated
+    by one bandwidth (:func:`~repro.serve.invalidate.affected_tiles`) —
+    everything else is provably unchanged, because finite-support kernels
+    reach at most one bandwidth.
+
+**Live ingest through the streaming engine.**
+    Inserts route through :class:`~repro.extensions.streaming.StreamingKDV`,
+    which maintains an always-fresh overview grid incrementally (the
+    additive decomposition the paper's real-time plans rest on); the
+    overview's peak anchors a stable color scale for ``.png`` tiles.
+    A version counter keeps renders that started before an ingest from
+    polluting the cache afterwards.
+
+Everything is observable: the wired-in :class:`~repro.obs.Recorder` carries
+request/coalescing/backpressure counters, render/ingest phases, and
+queue-depth gauges (see ``docs/serving.md`` for the metric name table).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from time import monotonic
+from typing import Callable
+
+import numpy as np
+
+from ..extensions.streaming import StreamingKDV
+from ..obs import Recorder
+from ..viz.tiles import TileScheme, render_tile
+from .cache import TTLCache
+from .invalidate import affected_tiles
+
+__all__ = [
+    "TileService",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "ServiceTimeout",
+]
+
+
+class ServiceClosed(RuntimeError):
+    """The service is shutting down and accepts no new work."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """The render queue is full; retry after :attr:`retry_after_s` seconds."""
+
+    def __init__(self, message: str, retry_after_s: float):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceTimeout(TimeoutError):
+    """The per-request deadline elapsed before the render finished."""
+
+
+class TileService:
+    """Concurrent, cache-coherent KDV tile serving over a live dataset.
+
+    Parameters
+    ----------
+    points:
+        Initial dataset: an ``(n, 2)`` array or :class:`~repro.data.points.PointSet`.
+    scheme:
+        Tile addressing; defaults to the initial dataset's squared MBR.
+        Live ingest outside the level-0 world still works (tiles are exact
+        for whatever falls inside their region), the pyramid just does not
+        grow to cover it.
+    tile_size, bandwidth, kernel, method:
+        Render parameters, shared by every tile (fixed per service, as in a
+        deployed map layer).
+    max_zoom:
+        Deepest zoom level served (``zoom > max_zoom`` raises ``ValueError``,
+        the HTTP layer's 404).
+    workers:
+        Render pool size.
+    queue_limit:
+        Maximum in-flight renders (running + queued) before new distinct
+        tiles are refused with :class:`ServiceOverloaded`.  Defaults to
+        ``4 * workers``.
+    deadline_s:
+        Default per-request wait bound (``None`` = wait indefinitely).
+    cache_tiles, cache_ttl_s:
+        Tile cache capacity and optional expiry.
+    recorder:
+        The metrics sink; a fresh :class:`~repro.obs.Recorder` by default.
+    clock:
+        Monotonic time source (injectable for TTL tests).
+    render_fn:
+        Render override with the signature of
+        :func:`~repro.viz.tiles.render_tile` (tests inject slow/controlled
+        renders; production uses the default).
+    """
+
+    def __init__(
+        self,
+        points,
+        scheme: "TileScheme | None" = None,
+        *,
+        tile_size: int = 256,
+        bandwidth: float = 500.0,
+        kernel: str = "epanechnikov",
+        method: str = "slam_bucket_rao",
+        max_zoom: int = 8,
+        workers: int = 2,
+        queue_limit: "int | None" = None,
+        deadline_s: "float | None" = None,
+        cache_tiles: int = 256,
+        cache_ttl_s: "float | None" = None,
+        recorder: "Recorder | None" = None,
+        clock: Callable[[], float] = monotonic,
+        render_fn=None,
+    ):
+        from ..data.points import PointSet
+
+        xy = points.xy if isinstance(points, PointSet) else np.asarray(points, float)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) coordinates, got shape {xy.shape}")
+        if len(xy) == 0:
+            raise ValueError("cannot serve tiles for an empty dataset")
+        if tile_size < 1:
+            raise ValueError("tile_size must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_zoom < 0:
+            raise ValueError("max_zoom must be >= 0")
+        if queue_limit is None:
+            queue_limit = 4 * workers
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive or None")
+
+        self.scheme = scheme or TileScheme.for_points(xy)
+        self.tile_size = int(tile_size)
+        self.bandwidth = float(bandwidth)
+        self.kernel = kernel
+        self.method = method
+        self.max_zoom = int(max_zoom)
+        self.workers = int(workers)
+        self.queue_limit = int(queue_limit)
+        self.deadline_s = deadline_s
+        self.recorder: Recorder = recorder if recorder is not None else Recorder()
+        self._clock = clock
+        self._render_fn = render_fn if render_fn is not None else render_tile
+
+        # live dataset: the streaming engine owns the point batches and keeps
+        # an incrementally-maintained overview grid (level-0 resolution) whose
+        # peak anchors the png color scale
+        self._stream = StreamingKDV(
+            region=self.scheme.world,
+            size=(min(self.tile_size, 256), min(self.tile_size, 256)),
+            kernel=kernel,
+            bandwidth=self.bandwidth,
+            method=method,
+        )
+        self._stream.insert(xy)
+        self._points = self._stream.points()
+        self._version = 0
+
+        self._cache = TTLCache(cache_tiles, ttl_s=cache_ttl_s, clock=clock)
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple[int, int, int], object] = {}
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="kdv-render"
+        )
+        self._started = clock()
+
+    # -- request path ------------------------------------------------------
+
+    def check_key(self, zoom: int, tx: int, ty: int) -> None:
+        """Raise ``ValueError`` unless ``(zoom, tx, ty)`` is a servable tile."""
+        if zoom > self.max_zoom:
+            raise ValueError(
+                f"zoom {zoom} beyond the served pyramid (max_zoom={self.max_zoom})"
+            )
+        # delegates range checks (including zoom >= 0) to the scheme
+        self.scheme.tile_region(zoom, tx, ty)
+
+    def get_tile(
+        self,
+        zoom: int,
+        tx: int,
+        ty: int,
+        deadline_s: "float | None | type[Ellipsis]" = ...,
+    ) -> np.ndarray:
+        """The density grid of one tile, rendered at most once concurrently.
+
+        Raises ``ValueError`` for out-of-pyramid keys,
+        :class:`ServiceOverloaded` when the render queue is full,
+        :class:`ServiceTimeout` when the deadline elapses first, and
+        :class:`ServiceClosed` during shutdown.  ``deadline_s`` overrides the
+        service default for this request (``...`` keeps the default).
+        """
+        rec = self.recorder
+        self.check_key(zoom, tx, ty)
+        key = (zoom, tx, ty)
+        rec.count("serve.tile_requests")
+
+        grid = self._cache.get(key)
+        if grid is not None:
+            rec.count("tiles.cache.hits")
+            return grid
+        rec.count("tiles.cache.misses")
+
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shutting down")
+            future = self._inflight.get(key)
+            if future is None:
+                # the render may have landed between the cache probe and here
+                # (count=False: this request's miss is already tallied)
+                grid = self._cache.get(key, count=False)
+                if grid is not None:
+                    rec.count("tiles.cache.hits")
+                    return grid
+                if len(self._inflight) >= self.queue_limit:
+                    rec.count("serve.rejected.overload")
+                    raise ServiceOverloaded(
+                        f"render queue full ({self.queue_limit} in flight)",
+                        retry_after_s=self._retry_after(),
+                    )
+                rec.count("serve.coalesce.leaders")
+                future = self._pool.submit(
+                    self._render_into_cache, key, self._version, self._points
+                )
+                self._inflight[key] = future
+                rec.set_gauge("serve.queue_depth", len(self._inflight))
+            else:
+                rec.count("serve.coalesce.joined")
+
+        timeout = self.deadline_s if deadline_s is ... else deadline_s
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            rec.count("serve.rejected.deadline")
+            raise ServiceTimeout(
+                f"tile {key} not rendered within {timeout:.3f}s"
+            ) from None
+        except CancelledError:
+            # a queued render cancelled by shutdown before it started
+            raise ServiceClosed("service shut down before the render ran") from None
+
+    def tile_image(
+        self, zoom: int, tx: int, ty: int, colormap: str = "heat", **kwargs
+    ) -> np.ndarray:
+        """RGB tile (north-up) on the live overview's color scale."""
+        from ..viz.colormap import colorize
+
+        grid = self.get_tile(zoom, tx, ty, **kwargs)
+        peak = float(self._stream.grid.max()) or 1.0
+        return colorize((grid / peak)[::-1], colormap)
+
+    def _render_into_cache(
+        self, key: tuple[int, int, int], version: int, points: np.ndarray
+    ) -> np.ndarray:
+        rec = self.recorder
+        try:
+            with rec.span("tiles.render"):
+                grid = self._render_fn(
+                    points,
+                    self.scheme,
+                    *key,
+                    tile_size=self.tile_size,
+                    bandwidth=self.bandwidth,
+                    kernel=self.kernel,
+                    method=self.method,
+                )
+            grid = np.asarray(grid)
+            grid.setflags(write=False)  # shared across waiters and the cache
+            with self._lock:
+                if version == self._version:
+                    evicted = self._cache.put(key, grid)
+                    if evicted:
+                        rec.count("tiles.cache.evictions", evicted)
+                else:
+                    # an ingest landed mid-render: hand the grid to the
+                    # waiters (it answers the request they made) but do not
+                    # cache the now-stale tile
+                    rec.count("serve.render.stale")
+            return grid
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+                rec.set_gauge("serve.queue_depth", len(self._inflight))
+
+    def _retry_after(self) -> float:
+        """503 Retry-After estimate: one average render, floored at 100 ms."""
+        timer = self.recorder.timer("tiles.render")
+        if timer.calls:
+            return max(timer.total_seconds / timer.calls, 0.1)
+        return 1.0
+
+    # -- live ingest -------------------------------------------------------
+
+    def ingest(self, xy, t=None) -> dict:
+        """Insert a batch of events and invalidate exactly the tiles it touches.
+
+        Returns ``{"inserted", "invalidated", "points"}``.  Raises
+        ``ValueError`` for malformed batches (before any state changes) and
+        :class:`ServiceClosed` during shutdown.
+        """
+        rec = self.recorder
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) coordinates, got shape {xy.shape}")
+        if not np.all(np.isfinite(xy)):
+            raise ValueError("batch coordinates must be finite")
+        rec.count("serve.ingest_requests")
+        invalidated = 0
+        with rec.span("serve.ingest"):
+            with self._lock:
+                if self._closed:
+                    raise ServiceClosed("service is shutting down")
+                self._stream.insert(xy, t)
+                if len(xy):
+                    self._points = self._stream.points()
+                    self._version += 1
+                    invalidated = self._invalidate_affected(xy)
+        rec.count("serve.ingested_points", len(xy))
+        rec.count("serve.invalidated_tiles", invalidated)
+        return {
+            "inserted": int(len(xy)),
+            "invalidated": int(invalidated),
+            "points": len(self._stream),
+        }
+
+    def _invalidate_affected(self, batch: np.ndarray) -> int:
+        """Drop cached tiles intersecting the batch MBR + one bandwidth.
+        Caller holds ``self._lock``; in-flight renders are version-guarded."""
+        cached = self._cache.keys()
+        zooms = {key[0] for key in cached}
+        affected: set = set()
+        for zoom in zooms:
+            affected |= affected_tiles(self.scheme, zoom, batch, self.bandwidth)
+        return self._cache.invalidate(affected & set(cached))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def points_count(self) -> int:
+        """Number of live events."""
+        return len(self._stream)
+
+    @property
+    def queue_depth(self) -> int:
+        """In-flight renders (running + queued)."""
+        return len(self._inflight)
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload."""
+        with self._lock:
+            status = "closing" if self._closed else "ok"
+            inflight = len(self._inflight)
+        return {
+            "status": status,
+            "points": self.points_count,
+            "tiles_cached": len(self._cache),
+            "inflight": inflight,
+            "uptime_s": self._clock() - self._started,
+        }
+
+    def stats(self) -> dict:
+        """The ``/metricz`` payload: recorder dump + live cache/queue state."""
+        self.recorder.set_gauge("serve.queue_depth", self.queue_depth)
+        self.recorder.set_gauge("serve.cache_size", len(self._cache))
+        return {
+            "recorder": self.recorder.snapshot(),
+            "cache": {
+                "size": len(self._cache),
+                "capacity": self._cache.capacity,
+                "ttl_s": self._cache.ttl_s,
+                "hits": self._cache.hits,
+                "misses": self._cache.misses,
+                "evictions": self._cache.evictions,
+                "expirations": self._cache.expirations,
+            },
+            "queue": {"depth": self.queue_depth, "limit": self.queue_limit},
+            "points": self.points_count,
+            "uptime_s": self._clock() - self._started,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work and shut the render pool down.
+
+        With ``drain=True`` (the default, and what SIGINT does) in-flight
+        renders finish and their waiters get answers; queued-but-unstarted
+        renders are cancelled either way.  Afterwards no pool thread is left
+        alive.  Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=drain, cancel_futures=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "TileService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["COLORMAPS", "apply_colormap", "normalize_grid"]
+__all__ = ["COLORMAPS", "apply_colormap", "colorize", "normalize_grid"]
 
 # Control points as (position in [0, 1], (r, g, b)) with 0..255 channels.
 _HEAT = [
@@ -49,18 +49,28 @@ def normalize_grid(grid: np.ndarray, clip_quantile: float = 0.995) -> np.ndarray
     return np.clip(grid / top, 0.0, 1.0)
 
 
-def apply_colormap(grid: np.ndarray, colormap: str = "heat") -> np.ndarray:
-    """Map a density grid to an ``(H, W, 3)`` uint8 RGB image."""
+def colorize(norm: np.ndarray, colormap: str = "heat") -> np.ndarray:
+    """Map already-normalized ``[0, 1]`` values to ``(H, W, 3)`` uint8 RGB.
+
+    Callers that normalize across a *set* of grids (the tile pyramid's shared
+    color scale, the server's live peak) use this directly;
+    :func:`apply_colormap` wraps it with per-grid normalization.
+    """
     try:
         stops = COLORMAPS[colormap]
     except KeyError:
         raise ValueError(
             f"unknown colormap {colormap!r}; available: {sorted(COLORMAPS)}"
         ) from None
-    norm = normalize_grid(grid)
+    norm = np.clip(np.asarray(norm, dtype=np.float64), 0.0, 1.0)
     positions = np.array([s[0] for s in stops])
     colors = np.array([s[1] for s in stops], dtype=np.float64)
     rgb = np.empty(norm.shape + (3,), dtype=np.float64)
     for c in range(3):
         rgb[..., c] = np.interp(norm, positions, colors[:, c])
     return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+
+
+def apply_colormap(grid: np.ndarray, colormap: str = "heat") -> np.ndarray:
+    """Map a density grid to an ``(H, W, 3)`` uint8 RGB image."""
+    return colorize(normalize_grid(grid), colormap)

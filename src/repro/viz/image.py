@@ -1,17 +1,22 @@
-"""Minimal image output: binary PPM/PGM writers and an ASCII preview.
+"""Minimal image output: binary PPM/PGM/PNG writers and an ASCII preview.
 
 No imaging dependency is available offline, so heat maps are written as
 Netpbm files (viewable by virtually every image tool) and terminal previews
-use a density character ramp.
+use a density character ramp.  :func:`encode_png` produces a standard 8-bit
+truecolor PNG from the stdlib alone (``zlib`` + ``struct``) — browsers do not
+render PPM, and the tile server (:mod:`repro.serve`) must hand web maps a
+format they decode natively.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["write_ppm", "write_pgm", "ascii_preview"]
+__all__ = ["write_ppm", "write_pgm", "encode_png", "write_png", "ascii_preview"]
 
 _ASCII_RAMP = " .:-=+*#%@"
 
@@ -36,6 +41,49 @@ def write_pgm(path: "str | Path", gray: np.ndarray) -> None:
     with open(path, "wb") as f:
         f.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
         f.write(gray.tobytes())
+
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _png_chunk(tag: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack(">I", len(payload))
+        + tag
+        + payload
+        + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+    )
+
+
+def encode_png(rgb: np.ndarray, compress_level: int = 6) -> bytes:
+    """Encode an ``(H, W, 3)`` uint8 array as PNG bytes (8-bit truecolor).
+
+    Pure stdlib: one IHDR/IDAT/IEND chunk each, filter type 0 on every
+    scanline.  Lossless, so ``.png`` tile responses decode to exactly the
+    colormapped grid.
+    """
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3 or rgb.dtype != np.uint8:
+        raise ValueError(f"expected (H, W, 3) uint8 image, got {rgb.shape} {rgb.dtype}")
+    height, width = rgb.shape[:2]
+    # prepend the per-scanline filter byte (0 = None) to each row
+    raw = np.empty((height, 1 + width * 3), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = rgb.reshape(height, width * 3)
+    ihdr = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
+    idat = zlib.compress(raw.tobytes(), compress_level)
+    return (
+        _PNG_SIGNATURE
+        + _png_chunk(b"IHDR", ihdr)
+        + _png_chunk(b"IDAT", idat)
+        + _png_chunk(b"IEND", b"")
+    )
+
+
+def write_png(path: "str | Path", rgb: np.ndarray) -> None:
+    """Write an ``(H, W, 3)`` uint8 array as a PNG file."""
+    with open(path, "wb") as f:
+        f.write(encode_png(rgb))
 
 
 def ascii_preview(grid: np.ndarray, width: int = 72, height: int = 24) -> str:

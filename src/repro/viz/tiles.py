@@ -16,6 +16,8 @@ builds on) draw raster layers as a pyramid of fixed-size tiles addressed by
 
 from __future__ import annotations
 
+import math
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -36,6 +38,7 @@ class TileScheme:
     """
 
     def __init__(self, world: Region):
+        _check_world(world)
         self.world = world
 
     @classmethod
@@ -64,12 +67,27 @@ class TileScheme:
 
     def tile_of_point(self, zoom: int, x: float, y: float) -> tuple[int, int]:
         """The tile containing a world point (clamped to the pyramid)."""
+        _check_world(self.world)
         per_axis = self.tiles_per_axis(zoom)
         tx = int((x - self.world.xmin) / self.world.width * per_axis)
         ty = int((y - self.world.ymin) / self.world.height * per_axis)
         return (
             min(max(tx, 0), per_axis - 1),
             min(max(ty, 0), per_axis - 1),
+        )
+
+
+def _check_world(world: Region) -> None:
+    """Reject zero-extent / non-finite world bounds with a clear error
+    instead of the downstream ``ZeroDivisionError`` or silent NaN tiles."""
+    width = float(world.width)
+    height = float(world.height)
+    if not (
+        math.isfinite(width) and math.isfinite(height) and width > 0 and height > 0
+    ):
+        raise ValueError(
+            f"degenerate world region: width={width!r}, height={height!r} "
+            "(both must be finite and positive)"
         )
 
 
@@ -153,6 +171,11 @@ class TileRenderer:
             raise ValueError("cache_tiles must be >= 1")
         self._cache: OrderedDict[tuple[int, int, int], np.ndarray] = OrderedDict()
         self._cache_capacity = cache_tiles
+        #: Guards the LRU and serializes renders so concurrent ``tile()``
+        #: calls neither corrupt the OrderedDict nor double-render a key.
+        #: :class:`repro.serve.TileService` shares this lock when it drives
+        #: a renderer directly.
+        self.lock = threading.RLock()
         self.recorder = active(recorder)
         self.cache_hits = 0
         self.cache_misses = 0
@@ -162,51 +185,63 @@ class TileRenderer:
         self._color_peak = float(overview.max()) or 1.0
 
     def tile(self, zoom: int, tx: int, ty: int) -> np.ndarray:
-        """Density grid of a tile (cached)."""
+        """Density grid of a tile (cached; thread-safe).
+
+        The whole lookup-render-store path holds :attr:`lock`, so concurrent
+        callers can never observe the LRU mid-mutation or render the same key
+        twice — the second caller blocks and then hits the cache.
+        """
         rec = self.recorder
         key = (zoom, tx, ty)
-        if key in self._cache:
-            self.cache_hits += 1
+        with self.lock:
+            if key in self._cache:
+                self.cache_hits += 1
+                if rec is not None:
+                    rec.count("tiles.cache.hits")
+                self._cache.move_to_end(key)
+                return self._cache[key]
+            self.cache_misses += 1
             if rec is not None:
-                rec.count("tiles.cache.hits")
-            self._cache.move_to_end(key)
-            return self._cache[key]
-        self.cache_misses += 1
-        if rec is not None:
-            rec.count("tiles.cache.misses")
-        with (rec or NULL_RECORDER).span("tiles.render"):
-            grid = render_tile(
-                self.points,
-                self.scheme,
-                zoom,
-                tx,
-                ty,
-                tile_size=self.tile_size,
-                bandwidth=self.bandwidth,
-                kernel=self.kernel,
-                method=self.method,
-            )
-        self._cache[key] = grid
-        if len(self._cache) > self._cache_capacity:
-            self._cache.popitem(last=False)
-            self.cache_evictions += 1
-            if rec is not None:
-                rec.count("tiles.cache.evictions")
-        return grid
+                rec.count("tiles.cache.misses")
+            with (rec or NULL_RECORDER).span("tiles.render"):
+                grid = render_tile(
+                    self.points,
+                    self.scheme,
+                    zoom,
+                    tx,
+                    ty,
+                    tile_size=self.tile_size,
+                    bandwidth=self.bandwidth,
+                    kernel=self.kernel,
+                    method=self.method,
+                )
+            self._cache[key] = grid
+            if len(self._cache) > self._cache_capacity:
+                self._cache.popitem(last=False)
+                self.cache_evictions += 1
+                if rec is not None:
+                    rec.count("tiles.cache.evictions")
+            return grid
+
+    def invalidate(self, keys) -> int:
+        """Drop the given ``(zoom, tx, ty)`` keys from the cache; returns how
+        many were actually cached.  Used after the underlying dataset changes
+        (see :mod:`repro.serve.invalidate` for computing the affected set)."""
+        dropped = 0
+        with self.lock:
+            for key in keys:
+                if self._cache.pop(tuple(key), None) is not None:
+                    dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        """Empty the tile cache."""
+        with self.lock:
+            self._cache.clear()
 
     def tile_image(self, zoom: int, tx: int, ty: int, colormap: str = "heat"):
         """RGB tile (north-up) colored on the pyramid-wide scale."""
-        from ..viz.colormap import COLORMAPS
+        from ..viz.colormap import colorize
 
-        try:
-            stops = COLORMAPS[colormap]
-        except KeyError:
-            raise ValueError(f"unknown colormap {colormap!r}") from None
         grid = self.tile(zoom, tx, ty)
-        norm = np.clip(grid / self._color_peak, 0.0, 1.0)[::-1]
-        positions = np.array([s[0] for s in stops])
-        colors = np.array([s[1] for s in stops], dtype=np.float64)
-        rgb = np.empty(norm.shape + (3,), dtype=np.float64)
-        for c in range(3):
-            rgb[..., c] = np.interp(norm, positions, colors[:, c])
-        return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+        return colorize((grid / self._color_peak)[::-1], colormap)

@@ -151,3 +151,48 @@ class TestValidateReport:
         with pytest.raises(ValueError):
             report.write(tmp_path)
         assert not (tmp_path / "BENCH_bad.json").exists()
+
+
+class TestServingBench:
+    def test_emits_valid_report(self, tmp_path):
+        """benchmarks/bench_serving.py end to end, tiny knobs: the emitted
+        BENCH_serving.json passes validate_report and carries the serving
+        metrics as cells."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo / "src"), str(repo / "benchmarks")]
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, str(repo / "benchmarks" / "bench_serving.py"),
+                "--points", "400", "--requests", "60", "--clients", "4",
+                "--tile-size", "8", "--workers", "2",
+                "--json", str(tmp_path),
+            ],
+            capture_output=True, text=True, timeout=300, cwd=str(tmp_path),
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = load_report(tmp_path / "BENCH_serving.json")
+        assert report["name"] == "serving"
+        assert report["key_fields"] == ["metric"]
+        cells = {tuple(c["key"]): c["value"] for c in report["cells"]}
+        for metric in (
+            "throughput_rps", "latency_p50_ms", "latency_p99_ms",
+            "coalescing_ratio", "cache_hit_rate", "requests", "renders",
+        ):
+            assert (metric,) in cells, metric
+        assert cells[("requests",)] == 60
+        assert cells[("throughput_rps",)] > 0
+        assert 0.0 <= cells[("coalescing_ratio",)] < 1.0
+        assert 0.0 <= cells[("cache_hit_rate",)] <= 1.0
+        # every request was answered: renders bounded by distinct tiles (85)
+        assert cells[("renders",)] <= 85
+        assert report["meta"]["clients"] == 4
+        assert report["recorder"] is not None

@@ -186,3 +186,67 @@ class TestNkdvCommand:
         code = main(["nkdv", csv_path, "--grid", "4x4", "--lixel", "50",
                      "--bandwidth", "200", "-o", out])
         assert code == 0
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        ns = build_parser().parse_args(["serve", "--dataset", "seattle"])
+        assert ns.port == 8711
+        assert ns.workers == 2
+        assert ns.bandwidth == "scott"
+        assert ns.max_zoom == 8
+        assert not ns.allow_shutdown
+
+    def test_bad_bandwidth_rejected(self, csv_path, capsys):
+        code = main(["serve", csv_path, "--bandwidth", "nope"])
+        assert code == 2
+        assert "bandwidth" in capsys.readouterr().err
+
+    def test_bad_service_config_rejected(self, csv_path, capsys):
+        code = main(["serve", csv_path, "--workers", "0"])
+        assert code == 2
+
+    def test_end_to_end_over_http(self, csv_path):
+        """`repro serve` binds, serves tiles and metrics, and exits cleanly
+        on POST /shutdown."""
+        import json
+        import socket
+        import threading
+        import time
+        import urllib.request
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        url = f"http://127.0.0.1:{port}"
+        holder = {}
+        thread = threading.Thread(
+            target=lambda: holder.setdefault("code", main([
+                "serve", csv_path, "--port", str(port), "--tile-size", "8",
+                "--max-zoom", "1", "--bandwidth", "50", "--workers", "1",
+                "--allow-shutdown",
+            ])),
+        )
+        thread.start()
+        try:
+            deadline = time.monotonic() + 20.0
+            health = None
+            while time.monotonic() < deadline:
+                try:
+                    with urllib.request.urlopen(url + "/healthz", timeout=2.0) as r:
+                        health = json.load(r)
+                    break
+                except OSError:
+                    time.sleep(0.1)
+            assert health is not None and health["status"] == "ok"
+            with urllib.request.urlopen(url + "/tiles/1/0/0", timeout=30.0) as r:
+                assert r.status == 200
+            request = urllib.request.Request(
+                url + "/shutdown", data=b"{}", method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=10.0) as r:
+                assert r.status == 200
+        finally:
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert holder["code"] == 0

@@ -113,6 +113,69 @@ class TestSnapshot:
         assert snap["counters"]["c"] == 1
 
 
+class TestGauge:
+    def test_set_and_read(self):
+        rec = Recorder()
+        rec.set_gauge("queue_depth", 3)
+        assert rec.gauge_value("queue_depth") == 3
+        rec.set_gauge("queue_depth", 0)
+        assert rec.gauge_value("queue_depth") == 0
+        assert rec.gauge("queue_depth").value == 0
+
+    def test_unknown_gauge_reads_zero(self):
+        assert Recorder().gauge_value("never") == 0
+
+    def test_moves_both_directions(self):
+        rec = Recorder()
+        for value in (5, 2, 7.5, 1):
+            rec.set_gauge("g", value)
+            assert rec.gauge_value("g") == value
+
+    def test_snapshot_carries_gauges(self):
+        rec = Recorder()
+        rec.set_gauge("cache_size", 12)
+        snap = rec.snapshot()
+        assert snap["gauges"] == {"cache_size": 12}
+        json.dumps(snap)  # stays JSON-safe
+
+    def test_merge_takes_donor_last_value(self):
+        a, b = Recorder(), Recorder()
+        a.set_gauge("depth", 4)
+        b.set_gauge("depth", 9)
+        b.set_gauge("only_b", 1)
+        a.merge(b)
+        # last value wins — gauges are levels, not accumulations
+        assert a.gauge_value("depth") == 9
+        assert a.gauge_value("only_b") == 1
+
+    def test_null_recorder_gauges_are_noops(self):
+        NULL_RECORDER.set_gauge("g", 5)
+        assert NULL_RECORDER.gauge_value("g") == 0
+        assert NULL_RECORDER.gauge("g") is NULL_RECORDER.gauge("other")
+        assert NULL_RECORDER.snapshot()["gauges"] == {}
+
+    def test_summary_lists_gauges(self):
+        rec = Recorder()
+        rec.set_gauge("serve.queue_depth", 2)
+        text = rec.summary()
+        assert "gauges:" in text
+        assert "serve.queue_depth" in text
+
+    def test_thread_safety(self):
+        rec = Recorder()
+
+        def writer(value):
+            for _ in range(500):
+                rec.set_gauge("g", value)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.gauge_value("g") in (0, 1, 2, 3)
+
+
 class TestMerge:
     def test_merge_recorder_adds_exactly(self):
         a, b = Recorder(), Recorder()

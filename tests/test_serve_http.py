@@ -1,0 +1,290 @@
+"""HTTP contract tests for ``repro.serve.http`` against a live server.
+
+Every test talks to a real :class:`~repro.serve.TileHTTPServer` bound to an
+ephemeral port, so the status mapping (400/404/503/504), the payload
+formats, and the graceful-shutdown behavior are exercised end to end —
+including that ``/metricz`` counters reconcile with what the client
+actually observed.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import Region
+from repro.obs import Recorder
+from repro.serve import TileService, start_server
+from repro.viz.tiles import TileScheme, render_tile
+
+TILE = 8
+BANDWIDTH = 60.0
+
+
+def fetch(url, data=None, method=None, timeout=30.0):
+    """(status, headers, body) without raising on HTTP error statuses."""
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def make_points():
+    rng = np.random.default_rng(31)
+    return rng.uniform((0.0, 0.0), (1000.0, 1000.0), (200, 2))
+
+
+def make_server(**service_kwargs):
+    allow_shutdown = service_kwargs.pop("allow_shutdown", False)
+    service_kwargs.setdefault("tile_size", TILE)
+    service_kwargs.setdefault("bandwidth", BANDWIDTH)
+    service_kwargs.setdefault("max_zoom", 2)
+    service_kwargs.setdefault("recorder", Recorder())
+    service = TileService(
+        make_points(),
+        TileScheme(Region(0.0, 0.0, 1000.0, 1000.0)),
+        **service_kwargs,
+    )
+    return start_server(service, port=0, allow_shutdown=allow_shutdown)
+
+
+@pytest.fixture()
+def server():
+    srv = make_server()
+    yield srv
+    srv.shutdown_gracefully()
+
+
+class TestTileEndpoint:
+    def test_npy_round_trip_matches_direct_render(self, server):
+        status, headers, body = fetch(server.url + "/tiles/1/0/0")
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-npy"
+        grid = np.load(io.BytesIO(body))
+        service = server.service
+        direct = render_tile(
+            service._points, service.scheme, 1, 0, 0,
+            tile_size=TILE, bandwidth=BANDWIDTH,
+        )
+        np.testing.assert_array_equal(grid, direct)
+        # explicit .npy suffix is the same resource
+        status2, _, body2 = fetch(server.url + "/tiles/1/0/0.npy")
+        assert status2 == 200 and body2 == body
+
+    def test_png_magic_and_colormap_param(self, server):
+        status, headers, body = fetch(server.url + "/tiles/1/0/0.png")
+        assert status == 200
+        assert headers["Content-Type"] == "image/png"
+        assert body[:8] == b"\x89PNG\r\n\x1a\n"
+        status2, _, body2 = fetch(
+            server.url + "/tiles/1/0/0.png?colormap=viridis"
+        )
+        assert status2 == 200 and body2 != body
+
+    def test_unknown_colormap_is_404(self, server):
+        status, _, _ = fetch(server.url + "/tiles/1/0/0.png?colormap=jet")
+        assert status == 404
+
+    def test_malformed_coordinates_are_400(self, server):
+        for path in ["/tiles/a/0/0", "/tiles/1/0.5/0", "/tiles/1/0", "/tiles"]:
+            status, _, body = fetch(server.url + path)
+            assert status == 400, path
+            assert "error" in json.loads(body)
+
+    def test_out_of_pyramid_is_404(self, server):
+        for path in ["/tiles/9/0/0", "/tiles/1/2/0", "/tiles/1/0/-1"]:
+            status, _, _ = fetch(server.url + path)
+            assert status == 404, path
+
+    def test_unknown_path_is_404(self, server):
+        assert fetch(server.url + "/nope")[0] == 404
+        assert fetch(server.url + "/ingest")[0] == 404  # GET on a POST route
+
+
+class TestOpsEndpoints:
+    def test_healthz(self, server):
+        status, _, body = fetch(server.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["points"] == 200
+
+    def test_metricz_shows_cache_hit_and_reconciles(self, server):
+        fetch(server.url + "/tiles/1/1/1")
+        fetch(server.url + "/tiles/1/1/1")
+        status, _, body = fetch(server.url + "/metricz")
+        assert status == 200
+        payload = json.loads(body)
+        counters = payload["recorder"]["counters"]
+        # the client made exactly these requests: 2 tiles + this /metricz
+        assert counters["serve.tile_requests"] == 2
+        assert counters["tiles.cache.hits"] == 1
+        assert counters["tiles.cache.misses"] == 1
+        assert counters["serve.http.status.200"] >= 2
+        assert payload["cache"]["hits"] == 1
+        assert payload["queue"]["limit"] == server.service.queue_limit
+
+    def test_http_counters_match_observed_statuses(self, server):
+        observed = []
+        observed.append(fetch(server.url + "/tiles/1/0/0")[0])   # 200
+        observed.append(fetch(server.url + "/tiles/bad/0/0")[0])  # 400
+        observed.append(fetch(server.url + "/tiles/9/0/0")[0])    # 404
+        _, _, body = fetch(server.url + "/metricz")
+        counters = json.loads(body)["recorder"]["counters"]
+        for status in set(observed):
+            assert counters[f"serve.http.status.{status}"] == observed.count(
+                status
+            ), status
+        # the /metricz snapshot is taken before its own response is tallied,
+        # so the count covers exactly the requests observed so far
+        assert counters["serve.http.requests"] == len(observed)
+
+
+class TestIngestEndpoint:
+    def test_ingest_inserts_and_invalidates(self, server):
+        fetch(server.url + "/tiles/2/0/0")
+        status, _, body = fetch(
+            server.url + "/ingest",
+            data=json.dumps({"points": [[10.0, 10.0], [20.0, 15.0]]}).encode(),
+        )
+        assert status == 200
+        outcome = json.loads(body)
+        assert outcome["inserted"] == 2
+        assert outcome["invalidated"] >= 1
+        assert outcome["points"] == 202
+        # the next fetch re-renders against the grown dataset
+        status2, _, body2 = fetch(server.url + "/tiles/2/0/0")
+        assert status2 == 200
+        grid = np.load(io.BytesIO(body2))
+        assert grid.max() > 0.0
+
+    def test_ingest_with_timestamps(self, server):
+        status, _, body = fetch(
+            server.url + "/ingest",
+            data=json.dumps(
+                {"points": [[500.0, 500.0]], "t": [42.0]}
+            ).encode(),
+        )
+        assert status == 200
+        assert json.loads(body)["inserted"] == 1
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",  # no body
+            b"not json",
+            json.dumps({"nope": []}).encode(),
+            json.dumps({"points": [[1.0, 2.0, 3.0]]}).encode(),
+            json.dumps({"points": [[None, 2.0]]}).encode(),
+            json.dumps({"points": "strings"}).encode(),
+        ],
+    )
+    def test_malformed_ingest_is_400(self, server, data):
+        status, _, body = fetch(server.url + "/ingest", data=data)
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_malformed_ingest_changes_nothing(self, server):
+        before = server.service.points_count
+        fetch(server.url + "/ingest", data=b'{"points": [[1, 2, 3]]}')
+        assert server.service.points_count == before
+
+
+class TestBackpressureOverHTTP:
+    def test_saturated_queue_is_503_with_retry_after(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow_render(points, scheme, zoom, tx, ty, **kwargs):
+            started.set()
+            release.wait(timeout=30.0)
+            return render_tile(points, scheme, zoom, tx, ty, **kwargs)
+
+        server = make_server(workers=1, queue_limit=1, render_fn=slow_render)
+        try:
+            leader = threading.Thread(
+                target=fetch, args=(server.url + "/tiles/1/0/0",)
+            )
+            leader.start()
+            assert started.wait(timeout=10.0)
+            status, headers, body = fetch(server.url + "/tiles/1/1/0")
+            assert status == 503
+            assert float(headers["Retry-After"]) > 0.0
+            assert "error" in json.loads(body)
+            release.set()
+            leader.join(timeout=30.0)
+        finally:
+            release.set()
+            server.shutdown_gracefully()
+
+    def test_deadline_is_504(self):
+        release = threading.Event()
+
+        def slow_render(points, scheme, zoom, tx, ty, **kwargs):
+            release.wait(timeout=30.0)
+            return render_tile(points, scheme, zoom, tx, ty, **kwargs)
+
+        server = make_server(workers=1, deadline_s=0.05, render_fn=slow_render)
+        try:
+            status, _, body = fetch(server.url + "/tiles/1/0/0")
+            assert status == 504
+            assert "error" in json.loads(body)
+        finally:
+            release.set()
+            server.shutdown_gracefully()
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_disabled_by_default(self, server):
+        status, _, _ = fetch(server.url + "/shutdown", data=b"{}")
+        assert status == 404
+
+    def test_shutdown_endpoint_stops_server_cleanly(self):
+        before = {t for t in threading.enumerate() if not t.daemon}
+        server = make_server(allow_shutdown=True)
+        fetch(server.url + "/tiles/1/0/0")
+        status, _, body = fetch(server.url + "/shutdown", data=b"{}")
+        assert status == 200
+        assert json.loads(body)["status"] == "shutting down"
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            alive = {t for t in threading.enumerate() if not t.daemon}
+            if server.service.closed and alive <= before:
+                break
+            time.sleep(0.05)
+        assert server.service.closed
+        assert {t for t in threading.enumerate() if not t.daemon} <= before
+        # the socket is released: connecting now fails
+        with pytest.raises(OSError):
+            urllib.request.urlopen(server.url + "/healthz", timeout=2.0)
+
+    def test_requests_after_close_are_503(self):
+        server = make_server()
+        try:
+            server.service.close()
+            status, headers, _ = fetch(server.url + "/tiles/1/0/0")
+            assert status == 503
+            assert headers["Retry-After"] == "1"
+            status2, _, _ = fetch(
+                server.url + "/ingest", data=b'{"points": [[1.0, 1.0]]}'
+            )
+            assert status2 == 503
+        finally:
+            server.shutdown_gracefully()
+
+    def test_shutdown_gracefully_is_idempotent(self):
+        server = make_server()
+        server.shutdown_gracefully()
+        server.shutdown_gracefully()
+        assert server.service.closed

@@ -168,3 +168,25 @@ class TestAPI:
         engine.rebuild()
         full_time = time.perf_counter() - start
         assert tick_time < full_time / 3
+
+
+class TestAffectedTiles:
+    def test_delegates_to_serve_invalidate(self, engine, rng):
+        from repro.serve import affected_tiles
+        from repro.viz.tiles import TileScheme
+
+        engine.insert(rng.uniform((0, 0), (1000, 800), (50, 2)))
+        scheme = TileScheme.for_points(engine.points())
+        batch = np.array([[120.0, 340.0], [150.0, 360.0]])
+        keys = engine.affected_tiles(scheme, 2, batch)
+        assert keys == affected_tiles(scheme, 2, batch, engine.bandwidth)
+        assert keys  # an in-world batch touches at least one tile
+        for key in keys:
+            assert key[0] == 2
+
+    def test_empty_batch_affects_nothing(self, engine):
+        from repro.viz.tiles import TileScheme
+
+        engine.insert(np.array([[1.0, 1.0], [999.0, 799.0]]))
+        scheme = TileScheme.for_points(engine.points())
+        assert engine.affected_tiles(scheme, 1, np.empty((0, 2))) == set()

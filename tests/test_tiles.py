@@ -184,3 +184,105 @@ class TestTileRenderer:
         renderer.tile(1, 1, 0)
         renderer.tile(1, 0, 1)
         assert renderer.cache_evictions == 2
+
+    def test_concurrent_same_key_renders_once(self, points):
+        """Regression: unsynchronized tile() used to double-render a key and
+        corrupt the LRU under threads.  Hammering one cold key from many
+        threads must produce exactly one render (one miss, the rest hits)."""
+        import threading
+
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        renderer = TileRenderer(
+            points, tile_size=8, bandwidth=60.0, cache_tiles=8, recorder=rec
+        )
+        renders_after_init = rec.timer("tiles.render").calls
+        n_threads = 12
+        barrier = threading.Barrier(n_threads)
+        grids = [None] * n_threads
+
+        def hammer(i):
+            barrier.wait(timeout=10.0)
+            grids[i] = renderer.tile(2, 1, 1)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert rec.timer("tiles.render").calls == renders_after_init + 1
+        assert renderer.cache_misses == renders_after_init + 1
+        assert renderer.cache_hits == n_threads - 1
+        for grid in grids[1:]:
+            assert grid is grids[0]  # everyone got the cached array
+
+    def test_concurrent_distinct_keys_consistent_counters(self, points):
+        import threading
+
+        renderer = TileRenderer(points, tile_size=8, bandwidth=60.0, cache_tiles=16)
+        keys = [(2, tx, ty) for tx in range(3) for ty in range(2)]
+        misses_after_init = renderer.cache_misses
+
+        def worker():
+            for key in keys:
+                renderer.tile(*key)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert renderer.cache_misses == misses_after_init + len(keys)
+        assert renderer.cache_hits >= 5 * len(keys)
+
+    def test_invalidate_and_clear(self, points):
+        renderer = TileRenderer(points, tile_size=8, bandwidth=60.0, cache_tiles=8)
+        renderer.tile(1, 0, 0)
+        renderer.tile(1, 1, 0)
+        assert renderer.invalidate([(1, 0, 0), (1, 7, 7)]) == 1
+        misses = renderer.cache_misses
+        renderer.tile(1, 1, 0)  # untouched key still cached
+        assert renderer.cache_misses == misses
+        renderer.tile(1, 0, 0)  # invalidated key re-renders
+        assert renderer.cache_misses == misses + 1
+        renderer.clear()
+        renderer.tile(1, 1, 0)
+        assert renderer.cache_misses == misses + 2
+
+
+class TestDegenerateWorld:
+    """A zero-extent or non-finite world must fail loudly at construction
+    (and in tile_of_point, which divides by the extents) instead of
+    surfacing as ZeroDivisionError or silent NaN tiles downstream."""
+
+    class _FlatWorld:
+        # Region itself refuses degenerate rectangles, so the guard can only
+        # be probed with a duck-typed stand-in
+        def __init__(self, width, height):
+            self.xmin = 0.0
+            self.ymin = 0.0
+            self.width = width
+            self.height = height
+
+    @pytest.mark.parametrize(
+        "width,height",
+        [(0.0, 10.0), (10.0, 0.0), (-5.0, 10.0), (float("nan"), 10.0),
+         (float("inf"), 10.0)],
+    )
+    def test_constructor_rejects_degenerate_world(self, width, height):
+        with pytest.raises(ValueError, match="degenerate world region"):
+            TileScheme(self._FlatWorld(width, height))
+
+    def test_tile_of_point_rechecks_the_world(self):
+        # a scheme whose world degenerated after construction (e.g. a
+        # mutated duck-typed region) fails with the same clear error
+        scheme = TileScheme.__new__(TileScheme)
+        scheme.world = self._FlatWorld(0.0, 10.0)
+        with pytest.raises(ValueError, match="degenerate world region"):
+            scheme.tile_of_point(1, 5.0, 5.0)
+
+    def test_valid_world_unaffected(self, scheme):
+        assert scheme.tile_of_point(0, 1.0, 1.0) == (0, 0)

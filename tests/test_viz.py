@@ -140,3 +140,78 @@ class TestAsciiPreview:
 
     def test_empty(self):
         assert ascii_preview(np.zeros((0, 0))) == ""
+
+
+class TestPNG:
+    @staticmethod
+    def _decode(data):
+        """Minimal PNG reader (filter-0 truecolor only) for round-tripping."""
+        import struct
+        import zlib
+
+        assert data[:8] == b"\x89PNG\r\n\x1a\n"
+        pos, idat, dims = 8, b"", None
+        while pos < len(data):
+            (length,) = struct.unpack(">I", data[pos:pos + 4])
+            tag = data[pos + 4:pos + 8]
+            payload = data[pos + 8:pos + 8 + length]
+            if tag == b"IHDR":
+                width, height, depth, color = struct.unpack(">IIBB", payload[:10])
+                assert (depth, color) == (8, 2)  # 8-bit truecolor
+                dims = (height, width)
+            elif tag == b"IDAT":
+                idat += payload
+            pos += 12 + length
+        height, width = dims
+        raw = zlib.decompress(idat)
+        stride = 1 + width * 3
+        rows = []
+        for y in range(height):
+            row = raw[y * stride:(y + 1) * stride]
+            assert row[0] == 0  # filter 0 scanlines
+            rows.append(np.frombuffer(row[1:], np.uint8).reshape(width, 3))
+        return np.stack(rows)
+
+    def test_round_trip(self, rng):
+        from repro.viz.image import encode_png
+
+        rgb = rng.integers(0, 256, (13, 7, 3), dtype=np.uint8)
+        np.testing.assert_array_equal(self._decode(encode_png(rgb)), rgb)
+
+    def test_write_png(self, tmp_path, rng):
+        from repro.viz.image import write_png
+
+        rgb = rng.integers(0, 256, (4, 6, 3), dtype=np.uint8)
+        path = tmp_path / "tile.png"
+        write_png(path, rgb)
+        np.testing.assert_array_equal(self._decode(path.read_bytes()), rgb)
+
+    def test_rejects_bad_input(self):
+        from repro.viz.image import encode_png
+
+        with pytest.raises(ValueError):
+            encode_png(np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            encode_png(np.zeros((4, 4, 3), dtype=np.float64))
+
+
+class TestColorize:
+    def test_matches_apply_colormap(self, rng):
+        from repro.viz.colormap import colorize
+
+        grid = rng.uniform(0.0, 5.0, (10, 8))
+        via_colorize = colorize(normalize_grid(grid), "heat")
+        np.testing.assert_array_equal(via_colorize, apply_colormap(grid, "heat"))
+
+    def test_accepts_prenormalized_values(self):
+        from repro.viz.colormap import colorize
+
+        img = colorize(np.array([[0.0, 0.5, 1.0]]), "gray")
+        assert img.shape == (1, 3, 3)
+        assert img[0, 0, 0] < img[0, 1, 0] < img[0, 2, 0]
+
+    def test_unknown_colormap(self):
+        from repro.viz.colormap import colorize
+
+        with pytest.raises(ValueError):
+            colorize(np.zeros((2, 2)), "jet")
