@@ -1,0 +1,267 @@
+"""SLAM row-engine shootout: python vs numpy vs numpy_batch.
+
+Measures the three ``slam_bucket`` engines over a grid of resolutions and
+dataset sizes on the clustered benchmark workload, serial, with the y-sorted
+index prebuilt outside the timed region — so each cell times exactly the
+sweep the engine owns.  Every cell reports min-of-repeats wall clock and
+rows/sec; the numpy-relative speedup column quantifies what the
+block-vectorized engine buys.
+
+The headline acceptance cell is ``numpy_batch`` vs ``numpy`` at 1280x960,
+n = 100k, Epanechnikov, bandwidth 15 (a sharp-hotspot bandwidth, ~4 px —
+the per-row-overhead-dominated regime the batch engine targets), which
+should reach >= 3x.  Larger bandwidths shrink the ratio — by ~200 px-scale
+bandwidths both engines are DRAM-bound on the same pair stream and the
+speedup approaches 1x; ``docs/benchmarks.md`` documents that crossover.
+
+The per-engine timings are directly comparable because the engines are
+bit-identical (numpy vs numpy_batch) or float-close (python): they do the
+same work, only dispatched differently.
+
+Knobs (environment variables, all optional):
+
+``REPRO_BENCH_ENGINES_RESOLUTIONS``
+    Comma-separated base resolutions ``X`` (default ``320,1280``;
+    ``Y = 3 X / 4``).
+``REPRO_BENCH_ENGINES_N``
+    Comma-separated point counts (default ``10000,100000``).
+``REPRO_BENCH_ENGINES_BANDWIDTH``
+    Bandwidth in world units (default ``15``).
+``REPRO_BENCH_ENGINES_REPEATS``
+    Timing repeats per cell; the minimum is reported (default ``3``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engines.py -q -s
+
+or script mode (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py --json out/
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _common import MAX_CELL_COST, emit_json, write_report
+from repro.bench.harness import format_table
+from repro.core.envelope import YSortedIndex
+from repro.core.kernels import get_kernel
+from repro.core.slam_bucket import slam_bucket_grid
+from repro.viz.region import Raster, Region
+
+ENGINES = ("python", "numpy", "numpy_batch")
+
+#: Interpreter-overhead multiplier for the python engine's cost estimate
+#: (pure-Python per-point loops vs vectorized passes), used only for the
+#: budget skip that stands in for the paper's timeout.
+_PYTHON_OVERHEAD = 50.0
+
+_cells: dict[tuple[str, int, int], float] = {}
+_rows_per_sec: dict[tuple[str, int, int], float] = {}
+_STARTED = time.perf_counter()
+
+
+def _resolutions() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_ENGINES_RESOLUTIONS", "320,1280")
+    return tuple(int(x) for x in raw.split(","))
+
+
+def _point_counts() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_ENGINES_N", "10000,100000")
+    return tuple(int(n) for n in raw.split(","))
+
+
+def _bandwidth() -> float:
+    return float(os.environ.get("REPRO_BENCH_ENGINES_BANDWIDTH", "15"))
+
+
+def _repeats() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_ENGINES_REPEATS", "3")))
+
+
+def _engine_cost(engine: str, width: int, height: int, n: int) -> float:
+    cost = height * (width + n)
+    return cost * _PYTHON_OVERHEAD if engine == "python" else cost
+
+
+def build_workload(width: int, n: int):
+    """Clustered points over the paper-shaped region, index prebuilt."""
+    height = max(1, (width * 3) // 4)
+    rng = np.random.default_rng(20220613)
+    centers = rng.uniform((0.0, 0.0), (10_000.0, 7_500.0), (32, 2))
+    xy = centers[rng.integers(0, 32, n)] + rng.normal(0.0, 400.0, (n, 2))
+    raster = Raster(Region(0.0, 0.0, 10_000.0, 7_500.0), width, height)
+    return xy, raster, YSortedIndex(xy)
+
+
+def timed_cell(engine: str, width: int, n: int, repeats: int) -> tuple[float, float]:
+    """(min wall seconds, rows/sec) for one engine cell, serial sweep."""
+    xy, raster, ysorted = build_workload(width, n)
+    kernel = get_kernel("epanechnikov")
+    fn = slam_bucket_grid[engine]
+    bandwidth = _bandwidth()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(xy, raster, kernel, bandwidth, ysorted=ysorted)
+        best = min(best, time.perf_counter() - t0)
+    return best, raster.height / best
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _cells:
+        return
+    headers = ["X x Y", "n", "engine", "seconds", "rows/s", "vs numpy"]
+    rows = []
+    for width in _resolutions():
+        height = max(1, (width * 3) // 4)
+        for n in _point_counts():
+            numpy_t = _cells.get(("numpy", width, n))
+            for engine in ENGINES:
+                t = _cells.get((engine, width, n))
+                if t is None:
+                    continue
+                rel = f"{numpy_t / t:.2f}x" if numpy_t else "-"
+                rows.append([
+                    f"{width}x{height}", f"{n:,}", engine, f"{t:.3f}",
+                    f"{_rows_per_sec[(engine, width, n)]:,.0f}", rel,
+                ])
+    title = (
+        f"SLAM row-engine comparison (slam_bucket, serial, epanechnikov, "
+        f"b={_bandwidth():g}, min of {_repeats()})"
+    )
+    write_report("engines", format_table(headers, rows, title=title))
+    emit_json(
+        "engines",
+        _cells,
+        title=title,
+        key_fields=["engine", "resolution", "n"],
+        meta=_report_meta(),
+        started=_STARTED,
+    )
+
+
+def _report_meta() -> dict:
+    meta = {
+        "bandwidth": _bandwidth(),
+        "repeats": _repeats(),
+        "resolutions": list(_resolutions()),
+        "n_points": list(_point_counts()),
+        "rows_per_sec": {
+            f"{e}@{w}x{max(1, (w * 3) // 4)},n={n}": rps
+            for (e, w, n), rps in sorted(_rows_per_sec.items())
+        },
+    }
+    # headline speedup: numpy_batch vs per-row numpy at the largest cell
+    width, n = max(_resolutions()), max(_point_counts())
+    numpy_t = _cells.get(("numpy", width, n))
+    batch_t = _cells.get(("numpy_batch", width, n))
+    if numpy_t and batch_t:
+        meta["headline_cell"] = {
+            "resolution": width, "n": n,
+            "speedup_numpy_batch_vs_numpy": numpy_t / batch_t,
+        }
+    return meta
+
+
+@pytest.mark.parametrize("n", _point_counts())
+@pytest.mark.parametrize("width", _resolutions())
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engine_cell(benchmark, engine, width, n):
+    height = max(1, (width * 3) // 4)
+    if _engine_cost(engine, width, height, n) > MAX_CELL_COST:
+        pytest.skip(
+            f"{engine} at {width}x{height}, n={n}: predicted cost exceeds "
+            "the bench budget (the paper's timeout analog)"
+        )
+    result = {}
+
+    def call():
+        result["cell"] = timed_cell(engine, width, n, _repeats())
+
+    benchmark.pedantic(call, rounds=1, iterations=1, warmup_rounds=0)
+    seconds, rps = result["cell"]
+    _cells[(engine, width, n)] = seconds
+    _rows_per_sec[(engine, width, n)] = rps
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Script mode: run the engine grid directly (no pytest) and write
+    ``BENCH_engines.json``::
+
+        PYTHONPATH=src python benchmarks/bench_engines.py --json out/
+    """
+    import argparse
+
+    from _common import json_dir
+    from repro.bench.report import BenchReport
+    from repro.obs import Recorder
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="output directory for BENCH_engines.json (default: benchmarks/out)",
+    )
+    parser.add_argument(
+        "--engines",
+        default=None,
+        help="comma-separated engines (default: python,numpy,numpy_batch)",
+    )
+    ns = parser.parse_args(argv)
+    if ns.json:
+        os.environ["REPRO_BENCH_JSON"] = ns.json
+    engines = tuple(ns.engines.split(",")) if ns.engines else ENGINES
+    for engine in engines:
+        if engine not in slam_bucket_grid:
+            parser.error(f"unknown engine {engine!r}")
+
+    title = (
+        f"SLAM row-engine comparison (slam_bucket, serial, epanechnikov, "
+        f"b={_bandwidth():g}, min of {_repeats()})"
+    )
+    report = BenchReport("engines", title=title,
+                         key_fields=["engine", "resolution", "n"])
+    for width in _resolutions():
+        height = max(1, (width * 3) // 4)
+        for n in _point_counts():
+            for engine in engines:
+                if _engine_cost(engine, width, height, n) > MAX_CELL_COST:
+                    print(f"{engine:12s} {width}x{height} n={n:,}: skipped "
+                          "(over budget)")
+                    continue
+                seconds, rps = timed_cell(engine, width, n, _repeats())
+                _cells[(engine, width, n)] = seconds
+                _rows_per_sec[(engine, width, n)] = rps
+                report.add_cell((engine, width, n), seconds, rows_per_sec=rps)
+                print(f"{engine:12s} {width}x{height} n={n:,}: "
+                      f"{seconds:7.3f}s  {rps:,.0f} rows/s")
+    report.meta.update(_report_meta())
+    headline = report.meta.get("headline_cell")
+    if headline:
+        print(f"\nnumpy_batch speedup at the headline cell: "
+              f"{headline['speedup_numpy_batch_vs_numpy']:.2f}x")
+    # one instrumented numpy_batch run so the report carries a phase profile
+    recorder = Recorder()
+    width, n = max(_resolutions()), max(_point_counts())
+    xy, raster, ysorted = build_workload(width, n)
+    slam_bucket_grid["numpy_batch"](
+        xy, raster, get_kernel("epanechnikov"), _bandwidth(),
+        ysorted=ysorted, recorder=recorder,
+    )
+    report.attach_recorder(recorder)
+    path = report.write(json_dir())
+    print(f"[bench report: {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

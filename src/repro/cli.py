@@ -124,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="bandwidth in meters, or 'scott' (default)")
     p_compute.add_argument("--method", default="slam_bucket_rao",
                            choices=method_names())
+    p_compute.add_argument("--engine", default="numpy",
+                           choices=("python", "numpy", "numpy_batch"),
+                           help="SLAM row engine: python (pseudocode), numpy "
+                                "(per-row, default), or numpy_batch "
+                                "(block-vectorized; fastest)")
     p_compute.add_argument("--workers", type=_parse_workers, default=1,
                            help="row-sweep workers for SLAM methods: a count "
                                 "or 'auto' (default 1, serial)")
@@ -263,6 +268,7 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         bandwidth=bandwidth,
         method=args.method,
+        engine=args.engine,
         workers=args.workers,
         collect_stats=args.stats,
     )

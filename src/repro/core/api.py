@@ -45,6 +45,7 @@ from ..data.points import PointSet
 from ..obs import Recorder, active
 from ..viz.bandwidth import scott_bandwidth
 from ..viz.region import Raster, Region
+from .envelope import YSortedIndex
 from .kernels import Kernel, get_kernel
 from .parallel import resolve_workers
 from .rao import with_rao
@@ -137,6 +138,7 @@ def compute_kdv(
     normalization: str = "count",
     weights: np.ndarray | None = None,
     workers: "int | str" = 1,
+    ysorted: "YSortedIndex | None" = None,
     collect_stats: bool = False,
     recorder: "Recorder | None" = None,
     **method_kwargs,
@@ -160,8 +162,11 @@ def compute_kdv(
     method:
         One of :func:`method_names`.
     engine:
-        ``"numpy"`` (vectorized, default) or ``"python"`` (literal
-        transcription of the published pseudocode) where available.
+        ``"numpy"`` (vectorized per row, default), ``"python"`` (literal
+        transcription of the published pseudocode), or ``"numpy_batch"``
+        (whole row blocks in O(1) array calls; bit-identical to ``"numpy"``
+        under the bucket methods — see :mod:`repro.core.batch`) where
+        available.
     normalization:
         ``"none"`` (raw kernel sums, w = 1), ``"count"`` (w = 1/n, default;
         1/total-weight for weighted datasets), or ``"density"`` (proper 2-D
@@ -178,7 +183,14 @@ def compute_kdv(
         blocks; results are bit-identical for every setting.  Other methods
         run serially regardless.  Pass ``backend="thread"`` as a method
         kwarg to use threads instead of processes (effective for the numpy
-        engine, whose array ops release the GIL).
+        engines, whose array ops release the GIL).
+    ysorted:
+        Optional pre-built :class:`~repro.core.envelope.YSortedIndex` over
+        exactly these points, letting repeated calls on the same dataset
+        (e.g. tile rendering) skip the O(n log n) sort.  Only the SLAM
+        methods (:data:`PARALLEL_METHODS`) consume the index; passing one
+        with any other method raises.  RAO methods reuse it in both
+        orientations via its cached transposed twin.
     collect_stats:
         ``True`` attaches a fresh :class:`~repro.obs.Recorder` to the
         computation and returns it on :attr:`KDVResult.recorder`.  SLAM
@@ -194,7 +206,8 @@ def compute_kdv(
     method_kwargs:
         Extra options forwarded to the method (e.g. ``tolerance`` for aKDE,
         ``sample_size`` for Z-order, ``leaf_size`` for tree methods,
-        ``backend`` for the SLAM methods).
+        ``backend`` for the SLAM methods, ``max_block_bytes`` for the
+        ``numpy_batch`` engine).
 
     Returns
     -------
@@ -248,6 +261,23 @@ def compute_kdv(
             raise ValueError("weights must be finite and non-negative")
         method_kwargs = {**method_kwargs, "weights": weights}
 
+    if ysorted is not None:
+        if method not in PARALLEL_METHODS:
+            raise ValueError(
+                f"ysorted is only consumed by the SLAM methods "
+                f"{PARALLEL_METHODS}; method {method!r} would silently "
+                f"ignore it"
+            )
+        if not isinstance(ysorted, YSortedIndex):
+            raise TypeError(
+                f"ysorted must be a YSortedIndex, got {type(ysorted).__name__}"
+            )
+        if len(ysorted) != n:
+            raise ValueError(
+                f"ysorted was built over {len(ysorted)} points but the "
+                f"dataset has {n}; the index must cover exactly these points"
+            )
+
     if recorder is None and collect_stats:
         recorder = Recorder()
     rec = active(recorder)
@@ -271,6 +301,8 @@ def compute_kdv(
     sweep_stats: dict = {}
     if method in PARALLEL_METHODS:
         method_kwargs = {**method_kwargs, "workers": workers, "stats": sweep_stats}
+        if ysorted is not None:
+            method_kwargs["ysorted"] = ysorted
         if rec is not None:
             method_kwargs["recorder"] = rec
         grid = grid_fn(

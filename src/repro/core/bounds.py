@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["row_bounds"]
+__all__ = ["row_bounds", "bucket_indices"]
 
 
 def row_bounds(
@@ -53,3 +53,41 @@ def row_bounds(
     half_width = np.sqrt(radicand)
     px = envelope_xy[:, 0]
     return px - half_width, px + half_width
+
+
+def bucket_indices(
+    xs: np.ndarray, lb: np.ndarray, ub: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized O(1)-per-point bucket assignment (paper Equations 19-20).
+
+    Returns ``(enter, leave)`` int64 arrays: the point contributes to pixel
+    ``i`` exactly when ``enter[p] <= i < leave[p]``.  Index ``X`` means
+    "past the end of the row".  Semantics match ``searchsorted`` exactly:
+    ``enter`` is the smallest ``i`` with ``xs[i] >= lb``, ``leave`` the
+    smallest ``i`` with ``xs[i] > ub`` (strict, so a pixel exactly on the
+    upper bound still counts the point — Lemma 2's closed interval).
+
+    The arithmetic index ``ceil((lb - xs[0]) / gx)`` can be off by one when
+    an endpoint coincides with a pixel center (or within one ulp of it), so
+    each index gets a one-step correction against the actual pixel
+    coordinates; rounding error is far below one pixel gap, so a single
+    step suffices.  The corrections add boolean masks directly (False adds
+    0), which is equivalent to masked assignment but avoids the fancy-index
+    round trip on the hot path.
+    """
+    num_pixels = len(xs)
+    x0 = xs[0]
+    gx = xs[1] - xs[0] if num_pixels > 1 else 1.0
+
+    enter = np.ceil((lb - x0) / gx).astype(np.int64)
+    np.clip(enter, 0, num_pixels, out=enter)
+    leave = np.floor((ub - x0) / gx).astype(np.int64)
+    leave += 1
+    np.clip(leave, 0, num_pixels, out=leave)
+
+    enter += (enter < num_pixels) & (xs[np.minimum(enter, num_pixels - 1)] < lb)
+    enter -= (enter > 0) & (xs[np.maximum(enter - 1, 0)] >= lb)
+
+    leave += (leave < num_pixels) & (xs[np.minimum(leave, num_pixels - 1)] <= ub)
+    leave -= (leave > 0) & (xs[np.maximum(leave - 1, 0)] > ub)
+    return enter, leave

@@ -55,6 +55,8 @@ class YSortedIndex:
 
     def __init__(self, xy: np.ndarray):
         xy = np.asarray(xy, dtype=np.float64)
+        #: the original-order coordinates the index was built over
+        self.xy = xy
         order = np.argsort(xy[:, 1], kind="stable")
         #: points re-ordered by ascending y, shape (n, 2)
         self.sorted_xy = xy[order]
@@ -62,9 +64,28 @@ class YSortedIndex:
         self.sorted_y = self.sorted_xy[:, 1]
         #: original dataset index of each sorted position
         self.order = order
+        self._transposed: "YSortedIndex | None" = None
 
     def __len__(self) -> int:
         return len(self.sorted_xy)
+
+    def transposed(self) -> "YSortedIndex":
+        """The index over the coordinate-swapped points, built lazily and
+        cached.
+
+        RAO column sweeps run the row sweep on the transposed problem
+        (:func:`repro.core.rao.with_rao`), which sorts by the *other*
+        coordinate; caching the twin here means a caller-supplied index
+        still saves the O(n log n) re-sort in that orientation.  The twin is
+        built from the original-order coordinates (not the sorted ones) so
+        its stable argsort breaks ties exactly as a fresh
+        ``YSortedIndex(xy[:, ::-1])`` would, and it back-links to this index
+        so ``idx.transposed().transposed() is idx``.
+        """
+        if self._transposed is None:
+            self._transposed = YSortedIndex(self.xy[:, ::-1])
+            self._transposed._transposed = self
+        return self._transposed
 
     def envelope_slice(self, k: float, bandwidth: float) -> slice:
         """The contiguous slice of :attr:`sorted_xy` that forms ``E(k)``."""

@@ -164,6 +164,30 @@ class Kernel(ABC):
             The kernel bandwidth ``b``.
         """
 
+    def density_from_channel_map(
+        self,
+        qx: np.ndarray,
+        qy: np.ndarray,
+        channels: "dict[int, np.ndarray]",
+        bandwidth: float,
+    ) -> np.ndarray:
+        """Recombine *standalone* channel arrays into the density.
+
+        Same contract as :meth:`density_from_aggregates` but the aggregates
+        arrive as a mapping from channel index to a broadcastable array
+        instead of a stacked ``(..., num_channels)`` tensor, so callers that
+        hold per-channel arrays (the batch sweep engine) need not copy them
+        into one.  A missing key asserts that the channel's aggregate is an
+        exact zero the recombination may skip; the SLAM kernels only ever
+        exercise this with scalar ``qy == 0.0``, where every term weighted by
+        ``qy`` is ``±0.0`` and skipping it preserves values under ``==``.
+        ``density_from_aggregates`` routes through this method, so both entry
+        points evaluate one formula body and agree bit for bit.
+        """
+        raise NotImplementedError(
+            f"kernel {self.name!r} has no aggregate recombination"
+        )
+
     def normalizer(self, bandwidth: float) -> float:
         """The constant that makes the 2-D kernel integrate to one.
 
@@ -189,8 +213,17 @@ class UniformKernel(Kernel):
     def density_from_aggregates(
         self, qx: np.ndarray, qy: np.ndarray, agg: np.ndarray, bandwidth: float
     ) -> np.ndarray:
+        return self.density_from_channel_map(qx, qy, {0: agg[..., 0]}, bandwidth)
+
+    def density_from_channel_map(
+        self,
+        qx: np.ndarray,
+        qy: np.ndarray,
+        channels: "dict[int, np.ndarray]",
+        bandwidth: float,
+    ) -> np.ndarray:
         # F = (1/b) * |R(q)|   (paper Section 3.7)
-        return agg[..., 0] / bandwidth
+        return channels[0] / bandwidth
 
     def rescale_factor(self, bandwidth: float) -> float:
         # K_b = 1/b inside the disc while K_1 evaluates to 1 in the scaled frame.
@@ -215,15 +248,39 @@ class EpanechnikovKernel(Kernel):
     def density_from_aggregates(
         self, qx: np.ndarray, qy: np.ndarray, agg: np.ndarray, bandwidth: float
     ) -> np.ndarray:
+        channels = {0: agg[..., 0], 1: agg[..., 1], 2: agg[..., 2], 3: agg[..., 3]}
+        return self.density_from_channel_map(qx, qy, channels, bandwidth)
+
+    def density_from_channel_map(
+        self,
+        qx: np.ndarray,
+        qy: np.ndarray,
+        channels: "dict[int, np.ndarray]",
+        bandwidth: float,
+    ) -> np.ndarray:
         # F = |R| - (|R| * ||q||^2 - 2 q . A + S) / b^2      (paper Equation 5)
         qx = np.asarray(qx, dtype=np.float64)
+        cnt = channels[0]
+        ax = channels[1]
+        s = channels[3]
+        b2 = bandwidth * bandwidth
+        if np.ndim(qy) == 0 and float(qy) == 0.0:
+            # Row-local frame fast path: every qy-weighted term is exactly
+            # +-0.0, so A.y (channel 2) need not exist — the batch engine
+            # omits it — and the result equals the general branch under
+            # ``==`` (only the signs of zeros can differ).  ``2.0 * x`` and
+            # ``x / 1.0`` are exact, so the reassociations below are bitwise
+            # neutral.
+            inner = cnt * (qx * qx)
+            inner -= (2.0 * qx) * ax
+            inner += s
+            if b2 != 1.0:
+                inner /= b2
+            return cnt - inner
         qy = np.asarray(qy, dtype=np.float64)
-        cnt = agg[..., 0]
-        ax = agg[..., 1]
-        ay = agg[..., 2]
-        s = agg[..., 3]
+        ay = channels[2]
         q2 = qx * qx + qy * qy
-        return cnt - (cnt * q2 - 2.0 * (qx * ax + qy * ay) + s) / (bandwidth * bandwidth)
+        return cnt - (cnt * q2 - 2.0 * (qx * ax + qy * ay) + s) / b2
 
     def normalizer(self, bandwidth: float) -> float:
         # Integral of (1 - d^2/b^2) over the disc is pi * b^2 / 2.
@@ -257,16 +314,48 @@ class QuarticKernel(Kernel):
     def density_from_aggregates(
         self, qx: np.ndarray, qy: np.ndarray, agg: np.ndarray, bandwidth: float
     ) -> np.ndarray:
+        channels = {c: agg[..., c] for c in range(self.num_channels)}
+        return self.density_from_channel_map(qx, qy, channels, bandwidth)
+
+    def density_from_channel_map(
+        self,
+        qx: np.ndarray,
+        qy: np.ndarray,
+        channels: "dict[int, np.ndarray]",
+        bandwidth: float,
+    ) -> np.ndarray:
         qx = np.asarray(qx, dtype=np.float64)
-        qy = np.asarray(qy, dtype=np.float64)
         b2 = bandwidth * bandwidth
         b4 = b2 * b2
-        cnt = agg[..., 0]
-        ax, ay = agg[..., 1], agg[..., 2]
-        s = agg[..., 3]
-        cx, cy = agg[..., 4], agg[..., 5]
-        qq = agg[..., 6]
-        mxx, mxy, myy = agg[..., 7], agg[..., 8], agg[..., 9]
+        cnt = channels[0]
+        ax = channels[1]
+        s = channels[3]
+        cx = channels[4]
+        qq = channels[6]
+        mxx = channels[7]
+        if np.ndim(qy) == 0 and float(qy) == 0.0:
+            # Row-local frame fast path (see EpanechnikovKernel): the
+            # qy-weighted aggregates A.y, C.y, M.xy, M.yy (channels 2, 5,
+            # 8, 9) contribute exactly +-0.0 and need not exist; values
+            # equal the general branch under ``==``.
+            qx2 = qx * qx
+            q_dot_a = qx * ax
+            sum_d2 = cnt * qx2 - 2.0 * q_dot_a + s
+            sum_d4 = (
+                cnt * qx2 * qx2
+                + 4.0 * (qx2 * mxx)
+                + qq
+                + 2.0 * qx2 * s
+                - 4.0 * qx2 * q_dot_a
+                - 4.0 * (qx * cx)
+            )
+            if b2 != 1.0:
+                return cnt - 2.0 * sum_d2 / b2 + sum_d4 / b4
+            return cnt - 2.0 * sum_d2 + sum_d4
+        qy = np.asarray(qy, dtype=np.float64)
+        ay = channels[2]
+        cy = channels[5]
+        mxy, myy = channels[8], channels[9]
         q2 = qx * qx + qy * qy
         q_dot_a = qx * ax + qy * ay
         sum_d2 = cnt * q2 - 2.0 * q_dot_a + s

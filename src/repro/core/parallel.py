@@ -13,6 +13,12 @@ This module owns the dispatch mechanics:
 * :func:`run_blocks` executes a block function over the partition with a
   ``concurrent.futures`` executor and assembles the full grid.
 
+The block function is opaque to the dispatcher: per-row engines hand it
+:func:`repro.core.sweep.sweep_rows` (a Python loop over the block's rows)
+while whole-block engines hand it :func:`repro.core.sweep.sweep_rows_batched`
+(the block computed in a handful of array calls); partitioning, submission,
+and assembly are identical either way.
+
 Backends
 --------
 ``"process"`` (default)

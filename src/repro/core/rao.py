@@ -36,10 +36,13 @@ def with_rao(grid_fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
     """Wrap a row-sweeping grid function with the RAO orientation choice.
 
     The wrapped function has the same signature as the base grid functions
-    (``xy, raster, kernel, bandwidth``).  Note that the pre-built
-    ``ysorted`` index of the base functions cannot be forwarded, because the
-    transposed problem sorts by the other coordinate; RAO rebuilds it, which
-    is within the stated complexity.
+    (``xy, raster, kernel, bandwidth``); extra keyword arguments (e.g. the
+    batch engine's ``max_block_bytes``) pass through untouched.  A
+    caller-supplied ``ysorted`` index is honored in *both* orientations: a
+    column sweep runs on the transposed problem, which sorts by the other
+    coordinate, so the wrapper forwards the index's cached coordinate-swapped
+    twin (:meth:`repro.core.envelope.YSortedIndex.transposed`) instead of
+    silently dropping the index and re-sorting.
     """
 
     def rao_grid(
@@ -53,6 +56,7 @@ def with_rao(grid_fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
         backend: str = "process",
         stats: dict | None = None,
         recorder: "Recorder | None" = None,
+        **kwargs,
     ) -> np.ndarray:
         orientation = rao_orientation(raster)
         if stats is not None:
@@ -72,6 +76,7 @@ def with_rao(grid_fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
                 backend=backend,
                 stats=stats,
                 recorder=recorder,
+                **kwargs,
             )
         xy_swapped = np.asarray(xy, dtype=np.float64)[:, ::-1]
         transposed = grid_fn(
@@ -79,11 +84,13 @@ def with_rao(grid_fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
             raster.transposed(),
             kernel,
             bandwidth,
+            ysorted=None if ysorted is None else ysorted.transposed(),
             weights=weights,
             workers=workers,
             backend=backend,
             stats=stats,
             recorder=recorder,
+            **kwargs,
         )
         return np.ascontiguousarray(transposed.T)
 

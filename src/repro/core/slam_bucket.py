@@ -31,9 +31,10 @@ from time import perf_counter
 import numpy as np
 
 from ..obs import Recorder
+from .batch import numpy_batch_grid
+from .bounds import bucket_indices
 from .kernels import Kernel
-from .slam_sort import PHASE_PREFIX_SWEEP
-from .sweep import make_grid_function
+from .sweep import PHASE_ENDPOINT_BUCKET, PHASE_PREFIX_SWEEP, make_grid_function
 
 __all__ = [
     "slam_bucket_row_python",
@@ -42,42 +43,6 @@ __all__ = [
     "bucket_indices",
     "PHASE_ENDPOINT_BUCKET",
 ]
-
-#: Observability phase name for the O(1) arithmetic bucket assignment —
-#: SLAM_BUCKET's replacement for SLAM_SORT's ``sweep.endpoint_sort`` phase.
-PHASE_ENDPOINT_BUCKET = "sweep.endpoint_bucket"
-
-
-def bucket_indices(
-    xs: np.ndarray, lb: np.ndarray, ub: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized O(1)-per-point bucket assignment (Equations 19-20).
-
-    Returns ``(enter, leave)`` integer arrays: the point contributes to pixel
-    ``i`` exactly when ``enter[p] <= i < leave[p]``.  Index ``X`` means
-    "past the end of the row".
-    """
-    num_pixels = len(xs)
-    x0 = xs[0]
-    gx = xs[1] - xs[0] if num_pixels > 1 else 1.0
-
-    enter = np.ceil((lb - x0) / gx).astype(np.int64)
-    np.clip(enter, 0, num_pixels, out=enter)
-    leave = np.floor((ub - x0) / gx).astype(np.int64) + 1
-    np.clip(leave, 0, num_pixels, out=leave)
-
-    # One-step float correction: enter must be the smallest i with
-    # xs[i] >= lb, leave the smallest i with xs[i] > ub.
-    too_small = (enter < num_pixels) & (xs[np.minimum(enter, num_pixels - 1)] < lb)
-    enter[too_small] += 1
-    too_large = (enter > 0) & (xs[np.maximum(enter - 1, 0)] >= lb)
-    enter[too_large] -= 1
-
-    too_small = (leave < num_pixels) & (xs[np.minimum(leave, num_pixels - 1)] <= ub)
-    leave[too_small] += 1
-    too_large = (leave > 0) & (xs[np.maximum(leave - 1, 0)] > ub)
-    leave[too_large] -= 1
-    return enter, leave
 
 
 def slam_bucket_row_python(
@@ -166,8 +131,11 @@ def slam_bucket_row_numpy(
     return out
 
 
-#: Grid-level SLAM_BUCKET, engine selected by the caller.
+#: Grid-level SLAM_BUCKET, engine selected by the caller.  ``numpy_batch``
+#: computes whole row blocks in O(1) NumPy calls (see repro.core.batch) and
+#: is bit-identical to the per-row ``numpy`` engine.
 slam_bucket_grid = {
     "python": make_grid_function(slam_bucket_row_python),
     "numpy": make_grid_function(slam_bucket_row_numpy),
+    "numpy_batch": numpy_batch_grid,
 }

@@ -33,8 +33,9 @@ from time import perf_counter
 import numpy as np
 
 from ..obs import Recorder
+from .batch import numpy_batch_grid
 from .kernels import Kernel
-from .sweep import make_grid_function
+from .sweep import PHASE_ENDPOINT_SORT, PHASE_PREFIX_SWEEP, make_grid_function
 
 __all__ = [
     "slam_sort_row_python",
@@ -43,12 +44,6 @@ __all__ = [
     "PHASE_ENDPOINT_SORT",
     "PHASE_PREFIX_SWEEP",
 ]
-
-# Observability phase names recorded by the engines below (per row, timer
-# accumulation): ordering interval endpoints, then evaluating pixels from
-# running aggregates.  See docs/observability.md.
-PHASE_ENDPOINT_SORT = "sweep.endpoint_sort"
-PHASE_PREFIX_SWEEP = "sweep.prefix_sweep"
 
 # Event type codes; the sort key is (x, type) so that at equal x the order is
 # "enter L" -> "evaluate pixel" -> "enter U", implementing the closed interval.
@@ -134,8 +129,13 @@ def slam_sort_row_numpy(
     return out
 
 
-#: Grid-level SLAM_SORT, engine selected by the caller.
+#: Grid-level SLAM_SORT, engine selected by the caller.  ``numpy_batch`` is
+#: registered here too so the engine choice is uniform across the SLAM
+#: methods; it always buckets (Algorithm 2 semantics, see repro.core.batch),
+#: so under slam_sort it agrees with the sort engines to float tolerance and
+#: with the slam_bucket numpy engine bit-for-bit.
 slam_sort_grid = {
     "python": make_grid_function(slam_sort_row_python),
     "numpy": make_grid_function(slam_sort_row_numpy),
+    "numpy_batch": numpy_batch_grid,
 }

@@ -43,7 +43,27 @@ from .envelope import YSortedIndex
 from .kernels import Kernel, channel_values
 from .parallel import resolve_workers, run_blocks, validate_backend
 
-__all__ = ["RowEngine", "sweep_kdv", "sweep_rows", "row_frame"]
+__all__ = [
+    "RowEngine",
+    "sweep_kdv",
+    "sweep_rows",
+    "sweep_rows_batched",
+    "row_frame",
+    "PHASE_ENVELOPE_UPDATE",
+    "PHASE_ENDPOINT_SORT",
+    "PHASE_ENDPOINT_BUCKET",
+    "PHASE_PREFIX_SWEEP",
+]
+
+# Observability phase names shared by the sweep driver and the engines
+# (see docs/observability.md).  They live here — the one module every
+# engine already imports — so the engines and the block-batched engine in
+# :mod:`repro.core.batch` can share them without circular imports;
+# ``slam_sort`` / ``slam_bucket`` re-export them for compatibility.
+PHASE_ENVELOPE_UPDATE = "sweep.envelope_update"
+PHASE_ENDPOINT_SORT = "sweep.endpoint_sort"
+PHASE_ENDPOINT_BUCKET = "sweep.endpoint_bucket"
+PHASE_PREFIX_SWEEP = "sweep.prefix_sweep"
 
 
 class RowEngine(Protocol):
@@ -165,8 +185,46 @@ def sweep_rows(
     rec.count("sweep.rows", rows)
     rec.count("sweep.empty_rows", empty_rows)
     rec.count("sweep.envelope_points", envelope_points)
-    rec.timer("sweep.envelope_update").add(envelope_seconds, rows)
+    rec.timer(PHASE_ENVELOPE_UPDATE).add(envelope_seconds, rows)
     return block
+
+
+def sweep_rows_batched(
+    start: int,
+    stop: int,
+    y_centers: np.ndarray,
+    xs_scaled: np.ndarray,
+    ysorted: YSortedIndex,
+    cx: float,
+    bandwidth: float,
+    kernel: Kernel,
+    row_engine,
+    sorted_weights: np.ndarray | None = None,
+    recorder: "Recorder | None" = None,
+) -> np.ndarray:
+    """Block-batched twin of :func:`sweep_rows` for whole-block engines.
+
+    Same signature and same contract — a pure function of read-only shared
+    state returning the ``(stop - start, X)`` unscaled block — but instead of
+    looping over rows in Python it hands the *entire block* to the engine's
+    ``sweep_block`` method (see :class:`repro.core.batch.NumpyBatchEngine`),
+    which computes all rows in a handful of whole-block array operations.
+    Because the batch engine emits (row, point) pairs in exactly the per-row
+    order of the serial loop, the result is bit-identical to
+    :func:`sweep_rows` with ``slam_bucket_row_numpy``.
+    """
+    return row_engine.sweep_block(
+        start,
+        stop,
+        y_centers,
+        xs_scaled,
+        ysorted,
+        cx,
+        bandwidth,
+        kernel,
+        sorted_weights=sorted_weights,
+        recorder=active(recorder),
+    )
 
 
 def _sweep_rows_recorded(start: int, stop: int, *args, **kwargs):
@@ -179,6 +237,13 @@ def _sweep_rows_recorded(start: int, stop: int, *args, **kwargs):
     """
     recorder = Recorder()
     block = sweep_rows(start, stop, *args, recorder=recorder, **kwargs)
+    return block, recorder.snapshot()
+
+
+def _sweep_rows_batched_recorded(start: int, stop: int, *args, **kwargs):
+    """Per-block recorder wrapper for :func:`sweep_rows_batched` (picklable)."""
+    recorder = Recorder()
+    block = sweep_rows_batched(start, stop, *args, recorder=recorder, **kwargs)
     return block, recorder.snapshot()
 
 
@@ -208,7 +273,11 @@ def sweep_kdv(
     bandwidth:
         The kernel bandwidth ``b`` in world units.
     row_engine:
-        One of the SLAM row implementations.
+        One of the SLAM per-row implementations (a :class:`RowEngine`
+        callable), or a whole-block engine exposing a ``sweep_block`` method
+        (e.g. :class:`repro.core.batch.NumpyBatchEngine`), which is handed
+        entire row blocks via :func:`sweep_rows_batched` instead of being
+        called once per row.
     ysorted:
         Optional pre-built y-sorted index (reused across exploratory calls).
     weights:
@@ -274,19 +343,26 @@ def sweep_kdv(
     t0 = time.perf_counter()
     row_args = (y_centers, xs_scaled, ysorted, cx, bandwidth, kernel, row_engine)
     row_kwargs = {"sorted_weights": sorted_weights}
+    # Whole-block engines (duck-typed on `sweep_block`, e.g. the numpy_batch
+    # engine) replace the per-row Python loop with the batched driver; the
+    # block partitioning, worker dispatch, and recorder merging are shared.
+    if hasattr(row_engine, "sweep_block"):
+        block_fn, block_fn_recorded = sweep_rows_batched, _sweep_rows_batched_recorded
+    else:
+        block_fn, block_fn_recorded = sweep_rows, _sweep_rows_recorded
     with (rec or NULL_RECORDER).span("sweep"):
         if num_workers == 1:
-            grid = sweep_rows(0, height, *row_args, recorder=rec, **row_kwargs)
+            grid = block_fn(0, height, *row_args, recorder=rec, **row_kwargs)
             num_blocks = 1
         elif rec is None:
             num_blocks, grid, _aux = run_blocks(
-                sweep_rows, row_args, row_kwargs, height, num_workers, backend
+                block_fn, row_args, row_kwargs, height, num_workers, backend
             )
         else:
             # Each block records into a private recorder; merging the
             # returned snapshots reproduces the serial counts exactly.
             num_blocks, grid, snapshots = run_blocks(
-                _sweep_rows_recorded, row_args, row_kwargs,
+                block_fn_recorded, row_args, row_kwargs,
                 height, num_workers, backend,
             )
             for snap in snapshots:

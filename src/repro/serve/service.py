@@ -33,7 +33,9 @@ composes four mechanisms, each individually simple:
     additive decomposition the paper's real-time plans rest on); the
     overview's peak anchors a stable color scale for ``.png`` tiles.
     A version counter keeps renders that started before an ingest from
-    polluting the cache afterwards.
+    polluting the cache afterwards, and the generation's shared y-sorted
+    index (one O(n log n) sort serving every tile render of that
+    generation) is dropped and lazily rebuilt.
 
 Everything is observable: the wired-in :class:`~repro.obs.Recorder` carries
 request/coalescing/backpressure counters, render/ingest phases, and
@@ -50,6 +52,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..core.api import PARALLEL_METHODS
+from ..core.envelope import YSortedIndex
 from ..extensions.streaming import StreamingKDV
 from ..obs import Recorder
 from ..viz.tiles import TileScheme, render_tile
@@ -183,6 +187,12 @@ class TileService:
         self._stream.insert(xy)
         self._points = self._stream.points()
         self._version = 0
+        # One y-sorted index per ingest generation, shared by every render of
+        # that generation (the pyramid's tiles all sweep the same dataset).
+        # Built lazily by the first SLAM render, dropped on ingest; the
+        # ``tiles.ysorted_builds`` counter pins "exactly one build per
+        # generation" in the tests.
+        self._ysorted: "YSortedIndex | None" = None
 
         self._cache = TTLCache(cache_tiles, ttl_s=cache_ttl_s, clock=clock)
         self._lock = threading.Lock()
@@ -283,6 +293,10 @@ class TileService:
     ) -> np.ndarray:
         rec = self.recorder
         try:
+            extra = {}
+            ysorted = self._ysorted_for(version)
+            if ysorted is not None:
+                extra["ysorted"] = ysorted
             with rec.span("tiles.render"):
                 grid = self._render_fn(
                     points,
@@ -292,6 +306,7 @@ class TileService:
                     bandwidth=self.bandwidth,
                     kernel=self.kernel,
                     method=self.method,
+                    **extra,
                 )
             grid = np.asarray(grid)
             grid.setflags(write=False)  # shared across waiters and the cache
@@ -310,6 +325,27 @@ class TileService:
             with self._lock:
                 self._inflight.pop(key, None)
                 rec.set_gauge("serve.queue_depth", len(self._inflight))
+
+    def _ysorted_for(self, version: int) -> "YSortedIndex | None":
+        """The current generation's shared y-sorted index, built at most once.
+
+        ``None`` for non-SLAM methods (which cannot consume an index) and for
+        stale renders (``version`` behind :attr:`_version`): building an
+        index for a dead generation would waste the sort *and* break the
+        one-build-per-generation accounting, so a stale render just lets
+        ``compute_kdv`` sort its own snapshot.  The build runs under
+        :attr:`_lock`, so concurrent cold renders of one generation still
+        produce exactly one build (one ``tiles.ysorted_builds`` count).
+        """
+        if self.method not in PARALLEL_METHODS:
+            return None
+        with self._lock:
+            if version != self._version:
+                return None
+            if self._ysorted is None:
+                self._ysorted = YSortedIndex(self._points)
+                self.recorder.count("tiles.ysorted_builds")
+            return self._ysorted
 
     def _retry_after(self) -> float:
         """503 Retry-After estimate: one average render, floored at 100 ms."""
@@ -343,6 +379,7 @@ class TileService:
                 if len(xy):
                     self._points = self._stream.points()
                     self._version += 1
+                    self._ysorted = None  # next generation re-sorts lazily
                     invalidated = self._invalidate_affected(xy)
         rec.count("serve.ingested_points", len(xy))
         rec.count("serve.invalidated_tiles", invalidated)

@@ -22,7 +22,8 @@ from collections import OrderedDict
 
 import numpy as np
 
-from ..core.api import compute_kdv
+from ..core.api import PARALLEL_METHODS, compute_kdv
+from ..core.envelope import YSortedIndex
 from ..obs import NULL_RECORDER, Recorder, active
 from ..viz.region import Region
 
@@ -102,16 +103,24 @@ def render_tile(
     kernel: str = "epanechnikov",
     method: str = "slam_bucket_rao",
     weights: np.ndarray | None = None,
+    ysorted: "YSortedIndex | None" = None,
 ) -> np.ndarray:
     """Exact KDV density grid for one tile, shape ``(tile_size, tile_size)``.
 
     The computation uses the full dataset (SLAM's per-row envelope already
     skips everything farther than ``b`` from each row), so tile edges carry
     the correct contribution from neighbors and the pyramid is seamless.
+    Pass a pre-built ``ysorted`` index over the same points to skip the
+    per-tile O(n log n) sort — every tile of a pyramid shares one dataset,
+    so one index serves them all (:class:`TileRenderer` does this
+    automatically).
     """
     if tile_size < 1:
         raise ValueError("tile_size must be >= 1")
     region = scheme.tile_region(zoom, tx, ty)
+    kwargs = {}
+    if ysorted is not None:
+        kwargs["ysorted"] = ysorted
     result = compute_kdv(
         points,
         region=region,
@@ -121,6 +130,7 @@ def render_tile(
         method=method,
         weights=weights,
         normalization="none",
+        **kwargs,
     )
     return result.grid
 
@@ -162,6 +172,10 @@ class TileRenderer:
         xy = points.xy if isinstance(points, PointSet) else np.asarray(points, float)
         if len(xy) == 0:
             raise ValueError("cannot render tiles for an empty dataset")
+        self._xy = xy
+        #: y-sorted index shared by every tile render (the dataset is fixed
+        #: for the renderer's lifetime); built lazily on the first SLAM render
+        self._ysorted: "YSortedIndex | None" = None
         self.scheme = scheme or TileScheme.for_points(xy)
         self.tile_size = tile_size
         self.bandwidth = float(bandwidth)
@@ -214,6 +228,7 @@ class TileRenderer:
                     bandwidth=self.bandwidth,
                     kernel=self.kernel,
                     method=self.method,
+                    ysorted=self._ysorted_index(),
                 )
             self._cache[key] = grid
             if len(self._cache) > self._cache_capacity:
@@ -222,6 +237,19 @@ class TileRenderer:
                 if rec is not None:
                     rec.count("tiles.cache.evictions")
             return grid
+
+    def _ysorted_index(self) -> "YSortedIndex | None":
+        """The shared y-sorted index, built at most once (caller holds
+        :attr:`lock`).  ``None`` for non-SLAM methods, which cannot consume
+        it.  Each build bumps the ``tiles.ysorted_builds`` counter — the
+        tests pin this to exactly one per dataset."""
+        if self.method not in PARALLEL_METHODS:
+            return None
+        if self._ysorted is None:
+            self._ysorted = YSortedIndex(self._xy)
+            if self.recorder is not None:
+                self.recorder.count("tiles.ysorted_builds")
+        return self._ysorted
 
     def invalidate(self, keys) -> int:
         """Drop the given ``(zoom, tx, ty)`` keys from the cache; returns how

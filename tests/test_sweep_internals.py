@@ -89,8 +89,8 @@ class TestEngineParity:
         from repro.core.slam_bucket import slam_bucket_grid
         from repro.core.slam_sort import slam_sort_grid
 
-        assert set(slam_sort_grid) == {"python", "numpy"}
-        assert set(slam_bucket_grid) == {"python", "numpy"}
+        assert set(slam_sort_grid) == {"python", "numpy", "numpy_batch"}
+        assert set(slam_bucket_grid) == {"python", "numpy", "numpy_batch"}
 
     def test_unknown_engine_raises_valueerror_via_api(self, small_xy):
         from repro import compute_kdv

@@ -178,6 +178,60 @@ class TestTileRenderer:
         assert rec.timer("tiles.render").calls == 4
         assert rec.phase_seconds("tiles.render") > 0.0
 
+    def test_one_ysorted_build_for_all_tiles(self, points):
+        """Every tile render shares one y-sorted index: exactly one
+        ``tiles.ysorted_builds`` however many distinct tiles are rendered,
+        and the grids match index-free renders bit for bit."""
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        renderer = TileRenderer(
+            points, tile_size=8, bandwidth=60.0, cache_tiles=16, recorder=rec
+        )
+        keys = [(1, 0, 0), (1, 1, 0), (1, 0, 1), (2, 2, 2), (2, 3, 1)]
+        for key in keys:
+            renderer.tile(*key)
+        assert rec.counter_value("tiles.ysorted_builds") == 1
+        for key in keys:
+            direct = render_tile(
+                points, renderer.scheme, *key, tile_size=8, bandwidth=60.0
+            )
+            assert np.array_equal(renderer.tile(*key), direct)
+
+    def test_non_slam_method_skips_index(self, points):
+        from repro.obs import Recorder
+
+        rec = Recorder()
+        renderer = TileRenderer(
+            points[:80], tile_size=8, bandwidth=200.0, method="scan",
+            recorder=rec,
+        )
+        renderer.tile(1, 0, 0)
+        assert rec.counter_value("tiles.ysorted_builds") == 0
+
+    def test_service_rebuilds_index_once_per_ingest_generation(self, points):
+        """Acceptance: the serving render path performs exactly one
+        YSortedIndex build per ingest generation."""
+        from repro.obs import Recorder
+        from repro.serve import TileService
+
+        rec = Recorder()
+        with TileService(
+            points, tile_size=8, bandwidth=60.0, workers=2, max_zoom=3,
+            recorder=rec,
+        ) as service:
+            for key in ((0, 0, 0), (1, 0, 0), (1, 1, 1), (2, 3, 3)):
+                service.get_tile(*key)
+            assert rec.counter_value("tiles.ysorted_builds") == 1
+            service.ingest(np.array([[500.0, 500.0], [100.0, 900.0]]))
+            for key in ((1, 0, 0), (2, 1, 1), (0, 0, 0)):
+                service.get_tile(*key)
+            assert rec.counter_value("tiles.ysorted_builds") == 2
+            # ingest of nothing is not a new generation
+            service.ingest(np.zeros((0, 2)))
+            service.get_tile(2, 0, 0)
+            assert rec.counter_value("tiles.ysorted_builds") == 2
+
     def test_no_recorder_still_tracks_attributes(self, points):
         renderer = TileRenderer(points, tile_size=8, bandwidth=60.0, cache_tiles=2)
         renderer.tile(1, 0, 0)
