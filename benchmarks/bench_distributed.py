@@ -1,0 +1,250 @@
+"""Distributed sweep benchmark: speedup vs workers, merge overhead, and
+recovery latency after an injected worker kill.
+
+Each distributed cell spawns real worker processes
+(:func:`repro.dist.launch_local_workers`), renders the workload through a
+:class:`repro.dist.Coordinator`, and tears the pool down again, so the
+numbers include connection setup and result shipping — the honest cost of
+the socket path.  Three question the report answers:
+
+* **speedup** — wall time at 1/2/4 workers against the in-process serial
+  sweep (the ``serial`` row);
+* **merge overhead** — the coordinator's ``dist.plan`` + ``dist.merge``
+  phase seconds as a fraction of the render, i.e. what sharding itself
+  costs beyond the sweeps;
+* **recovery latency** — extra wall time when one of two workers is
+  SIGKILLed mid-render versus the same throttled render undisturbed.
+
+Knobs (environment variables, all optional):
+
+``REPRO_BENCH_DIST_RESOLUTION``
+    Base resolution ``X`` (default 640; ``Y = 3 X / 4`` -> 640x480).
+``REPRO_BENCH_DIST_N``
+    Point count (default 50_000).
+``REPRO_BENCH_DIST_WORKERS``
+    Comma-separated worker counts (default ``1,2,4``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_distributed.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from _common import emit_json, write_report
+from repro.bench.harness import format_table
+from repro.core.api import compute_kdv
+from repro.dist import Coordinator, launch_local_workers
+from repro.viz.region import Region
+
+_cells: dict[tuple[str, ...], float] = {}
+_meta: dict[str, dict] = {}
+_STARTED = time.perf_counter()
+
+METHOD = "slam_bucket"
+ENGINE = "numpy_batch"
+BANDWIDTH = 250.0
+
+
+def _resolution() -> tuple[int, int]:
+    x = int(os.environ.get("REPRO_BENCH_DIST_RESOLUTION", "640"))
+    return x, max(1, (x * 3) // 4)
+
+
+def _num_points() -> int:
+    return int(os.environ.get("REPRO_BENCH_DIST_N", "50000"))
+
+
+def _worker_counts() -> tuple[int, ...]:
+    spec = os.environ.get("REPRO_BENCH_DIST_WORKERS", "1,2,4")
+    return tuple(int(w) for w in spec.split(","))
+
+
+def _build_workload() -> np.ndarray:
+    n = _num_points()
+    rng = np.random.default_rng(20220613)
+    centers = rng.uniform((0.0, 0.0), (10_000.0, 7_500.0), (32, 2))
+    assignments = rng.integers(0, len(centers), n)
+    return centers[assignments] + rng.normal(0.0, 400.0, (n, 2))
+
+
+def _kdv_kwargs() -> dict:
+    width, height = _resolution()
+    return dict(
+        region=Region(0.0, 0.0, 10_000.0, 7_500.0),
+        size=(width, height),
+        kernel="epanechnikov",
+        bandwidth=BANDWIDTH,
+        method=METHOD,
+        engine=ENGINE,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _build_workload()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    if not _cells:
+        return
+    width, height = _resolution()
+    serial = _cells.get(("serial",))
+    headers = ["cell", "seconds", "speedup", "plan+merge overhead"]
+    rows = []
+    for key in sorted(_cells):
+        elapsed = _cells[key]
+        label = ":".join(str(k) for k in key)
+        meta = _meta.get(label, {})
+        speedup = f"{serial / elapsed:.2f}x" if serial and elapsed else "-"
+        overhead = meta.get("overhead_fraction")
+        rows.append([
+            label,
+            f"{elapsed:.3f}",
+            speedup if key != ("serial",) else "1.00x",
+            f"{overhead * 100:.1f}%" if overhead is not None else "-",
+        ])
+    title = (
+        f"Distributed sweep, {width}x{height}, n={_num_points():,}, "
+        f"method={METHOD}/{ENGINE}, cpus={os.cpu_count()}"
+    )
+    text = format_table(headers, rows, title=title)
+    recovery = _meta.get("recovery", {})
+    lines = [
+        f"{label}: " + ", ".join(f"{k}={v}" for k, v in sorted(info.items()))
+        for label, info in sorted(_meta.items())
+        if info
+    ]
+    if recovery:
+        lines.append(
+            "recovery latency (killed vs throttled baseline): "
+            f"{recovery.get('latency_s', float('nan')):.3f}s"
+        )
+    write_report("distributed", text + "\n\n" + "\n".join(lines))
+    emit_json(
+        "distributed",
+        _cells,
+        title=title,
+        key_fields=["cell"],
+        meta={
+            "resolution": list(_resolution()),
+            "n_points": _num_points(),
+            "method": METHOD,
+            "engine": ENGINE,
+            "worker_counts": list(_worker_counts()),
+            "cpu_count": os.cpu_count(),
+            "cells": _meta,
+        },
+        started=_STARTED,
+    )
+
+
+def _overhead_fraction(snapshot: dict, elapsed: float) -> "float | None":
+    phases = snapshot.get("phases", {})
+    cost = sum(
+        phases.get(name, {}).get("total_s", 0.0)
+        for name in ("dist.plan", "dist.merge")
+    )
+    return cost / elapsed if elapsed > 0 else None
+
+
+def test_serial_baseline(benchmark, workload):
+    benchmark.pedantic(
+        lambda: compute_kdv(workload, **_kdv_kwargs()),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    _cells[("serial",)] = float(benchmark.stats.stats.mean)
+
+
+@pytest.mark.parametrize("workers", _worker_counts())
+def test_speedup_vs_workers(benchmark, workload, workers):
+    pool = launch_local_workers(workers)
+    try:
+        with Coordinator(pool.addrs) as coord:
+            assert coord.connect() == workers
+
+            def call():
+                return compute_kdv(
+                    workload, backend="dist", coordinator=coord,
+                    **_kdv_kwargs(),
+                )
+
+            benchmark.pedantic(call, rounds=1, iterations=1, warmup_rounds=0)
+            elapsed = float(benchmark.stats.stats.mean)
+            snapshot = coord.recorder.snapshot()
+    finally:
+        pool.shutdown()
+    label = f"dist:w={workers}"
+    _cells[("dist", f"w={workers}")] = elapsed
+    counters = snapshot.get("counters", {})
+    _meta[label] = {
+        "shards": counters.get("dist.shards"),
+        "bytes_tx": counters.get("dist.bytes_tx"),
+        "bytes_rx": counters.get("dist.bytes_rx"),
+        "overhead_fraction": _overhead_fraction(snapshot, elapsed),
+    }
+
+
+def test_recovery_after_kill(benchmark, workload):
+    """Two throttled workers; one is SIGKILLed mid-render.  The extra wall
+    time over the undisturbed throttled render is the recovery latency
+    (detection + resubmission to the survivor)."""
+    delay_s = 0.2
+
+    def throttled_render(kill: bool) -> float:
+        pool = launch_local_workers(2, delay_s=delay_s)
+        try:
+            with Coordinator(pool.addrs) as coord:
+                assert coord.connect() == 2
+                killer = threading.Timer(delay_s / 2, pool[0].kill)
+                if kill:
+                    killer.start()
+                start = time.perf_counter()
+                try:
+                    compute_kdv(
+                        workload, backend="dist", coordinator=coord,
+                        **_kdv_kwargs(),
+                    )
+                finally:
+                    killer.cancel()
+                elapsed = time.perf_counter() - start
+                if kill:
+                    counters = coord.recorder.snapshot()["counters"]
+                    assert counters.get("dist.worker_deaths", 0) >= 1
+        finally:
+            pool.shutdown()
+        return elapsed
+
+    baseline = throttled_render(kill=False)
+
+    def call():
+        return throttled_render(kill=True)
+
+    benchmark.pedantic(call, rounds=1, iterations=1, warmup_rounds=0)
+    killed = float(benchmark.stats.stats.mean)
+    _cells[("recovery", "killed")] = killed
+    _cells[("recovery", "baseline")] = baseline
+    _meta["recovery"] = {"latency_s": max(killed - baseline, 0.0)}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Script mode (delegates to pytest so the report fixture runs)::
+
+        PYTHONPATH=src python benchmarks/bench_distributed.py --json out/
+    """
+    from _common import pytest_script_main
+
+    return pytest_script_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,15 @@ Subcommands
     Run the concurrent KDV tile server (``repro.serve``) over a CSV or
     built-in dataset: ``GET /tiles/{z}/{tx}/{ty}[.npy|.png]``,
     ``POST /ingest``, ``GET /healthz``, ``GET /metricz``.
+``dist-worker``
+    Run one distributed-rendering worker process (``repro.dist``): binds a
+    TCP port, prints a machine-readable ready line, and serves shard
+    computations until stopped.
+``dist``
+    Render a KDV across a pool of distributed workers — connect to running
+    ``dist-worker`` processes (``--connect``) and/or spawn local ones
+    (``--spawn``), then compute with ``backend="dist"`` and report the
+    distributed counters.
 
 Examples
 --------
@@ -37,6 +46,9 @@ Examples
     python -m repro compute --dataset seattle --stats
     python -m repro bench table7_default --json benchmarks/out
     python -m repro serve --dataset seattle --port 8711 --workers 4
+    python -m repro dist-worker --port 8801
+    python -m repro dist --dataset seattle --connect 127.0.0.1:8801 --stats
+    python -m repro dist --dataset seattle --spawn 2 --shards 8 -o out.ppm
 """
 
 from __future__ import annotations
@@ -46,7 +58,8 @@ import sys
 import time
 
 from . import __version__
-from .core.api import METHODS, compute_kdv, method_names
+from .core.api import METHODS, PARALLEL_METHODS, compute_kdv, method_names
+from .core.parallel import BACKENDS
 from .data.datasets import DATASETS, dataset_names, full_size, load_dataset
 from .data.io import load_csv, save_csv
 from .viz.image import ascii_preview
@@ -132,6 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_compute.add_argument("--workers", type=_parse_workers, default=1,
                            help="row-sweep workers for SLAM methods: a count "
                                 "or 'auto' (default 1, serial)")
+    p_compute.add_argument("--backend", default=None, choices=BACKENDS,
+                           help="parallel backend for SLAM methods: process "
+                                "(default), thread, or dist (distributed "
+                                "worker pool; see --dist-workers)")
+    p_compute.add_argument("--dist-workers", default=None, metavar="ADDRS",
+                           help="comma-separated host:port worker addresses "
+                                "for --backend dist (default: the "
+                                "REPRO_DIST_WORKERS environment variable, "
+                                "else in-process shards)")
     p_compute.add_argument("--colormap", default="heat",
                            choices=("heat", "viridis", "gray"))
     p_compute.add_argument("--preview", action="store_true",
@@ -221,6 +243,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--verbose", action="store_true",
                          help="log each HTTP request to stderr")
 
+    p_serve.add_argument("--dist-workers", default=None, metavar="ADDRS",
+                         help="comma-separated host:port addresses of "
+                              "dist-worker processes; cold-tile renders fan "
+                              "out to this pool (repro.dist coordinator)")
+
+    p_worker = sub.add_parser(
+        "dist-worker", help="run one distributed-rendering worker (repro.dist)"
+    )
+    p_worker.add_argument("--host", default="127.0.0.1",
+                          help="interface to bind (default 127.0.0.1)")
+    p_worker.add_argument("--port", type=int, default=0,
+                          help="TCP port (default 0: OS-assigned, reported "
+                               "on the ready line)")
+    p_worker.add_argument("--heartbeat", type=float, default=0.5,
+                          help="heartbeat interval while computing, seconds "
+                               "(default 0.5; 0 disables)")
+    p_worker.add_argument("--delay-s", type=float, default=0.0,
+                          help="artificial pre-compute delay per shard "
+                               "(testing knob for fault injection)")
+    p_worker.add_argument("--verbose", action="store_true",
+                          help="log connections and shards to stderr")
+
+    p_dist = sub.add_parser(
+        "dist", help="render a KDV across a distributed worker pool"
+    )
+    p_dist.add_argument("csv", nargs="?", help="input CSV with x,y columns")
+    p_dist.add_argument("--dataset", choices=dataset_names(),
+                        help="use a built-in synthetic dataset")
+    p_dist.add_argument("--scale", type=float, default=0.01,
+                        help="built-in dataset scale (default 0.01)")
+    p_dist.add_argument("--connect", default=None, metavar="ADDRS",
+                        help="comma-separated host:port addresses of running "
+                             "dist-worker processes")
+    p_dist.add_argument("--spawn", type=int, default=0, metavar="N",
+                        help="spawn N local worker processes for this render "
+                             "(shut down afterwards)")
+    p_dist.add_argument("--shards", type=int, default=None,
+                        help="shard count (default: 2 per connected worker)")
+    p_dist.add_argument("--deadline", type=float, default=None,
+                        help="per-shard deadline in seconds (straggler "
+                             "detection; default: wait)")
+    p_dist.add_argument("-o", "--output", default="kdv.ppm",
+                        help="output PPM path (default kdv.ppm)")
+    p_dist.add_argument("--size", type=_parse_size, default=(640, 480),
+                        help="resolution XxY (default 640x480)")
+    p_dist.add_argument("--kernel", default="epanechnikov",
+                        choices=("uniform", "epanechnikov", "quartic"))
+    p_dist.add_argument("--bandwidth", default="scott",
+                        help="bandwidth in meters, or 'scott' (default)")
+    p_dist.add_argument("--method", default="slam_bucket_rao",
+                        choices=PARALLEL_METHODS,
+                        help="SLAM method (the distributable ones)")
+    p_dist.add_argument("--engine", default="numpy",
+                        choices=("python", "numpy", "numpy_batch"))
+    p_dist.add_argument("--colormap", default="heat",
+                        choices=("heat", "viridis", "gray"))
+    p_dist.add_argument("--stats", action="store_true",
+                        help="print the merged distributed counters and "
+                             "phase timings")
+
     p_bench = sub.add_parser(
         "bench", help="run one benchmark module and write its reports"
     )
@@ -261,6 +343,21 @@ def _cmd_compute(args: argparse.Namespace) -> int:
             print(f"error: bad bandwidth {args.bandwidth!r}", file=sys.stderr)
             return 2
 
+    extra: dict = {}
+    if args.backend is not None:
+        if args.method not in PARALLEL_METHODS:
+            print(f"error: --backend applies to the SLAM methods "
+                  f"{PARALLEL_METHODS}, not {args.method!r}", file=sys.stderr)
+            return 2
+        extra["backend"] = args.backend
+        if args.backend == "dist" and args.dist_workers:
+            from .dist import Coordinator
+
+            extra["coordinator"] = Coordinator(args.dist_workers)
+    elif args.dist_workers:
+        print("error: --dist-workers requires --backend dist", file=sys.stderr)
+        return 2
+
     start = time.perf_counter()
     result = compute_kdv(
         points,
@@ -271,8 +368,12 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         engine=args.engine,
         workers=args.workers,
         collect_stats=args.stats,
+        **extra,
     )
     elapsed = time.perf_counter() - start
+    coordinator = extra.get("coordinator")
+    if coordinator is not None:
+        coordinator.close()
     result.save_ppm(args.output, colormap=args.colormap)
     print(
         f"n={len(points):,}  {args.size[0]}x{args.size[1]}  "
@@ -423,6 +524,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ValueError:
             print(f"error: bad bandwidth {args.bandwidth!r}", file=sys.stderr)
             return 2
+    coordinator = None
+    if args.dist_workers:
+        from .dist import Coordinator
+
+        coordinator = Coordinator(args.dist_workers)
+        alive = coordinator.connect()
+        print(f"distributed rendering: {alive} worker(s) reachable "
+              f"of {args.dist_workers}", flush=True)
     try:
         service = TileService(
             points,
@@ -436,6 +545,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             deadline_s=args.deadline,
             cache_tiles=args.cache_tiles,
             cache_ttl_s=args.cache_ttl,
+            coordinator=coordinator,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -466,8 +576,97 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nshutting down (draining in-flight renders)...", flush=True)
     server.shutdown_gracefully()
+    if coordinator is not None:
+        coordinator.close()
     print("server stopped", flush=True)
     return 0
+
+
+def _cmd_dist_worker(args: argparse.Namespace) -> int:
+    from .dist.worker import WorkerServer, format_ready_line
+
+    server = WorkerServer(
+        host=args.host,
+        port=args.port,
+        heartbeat_s=args.heartbeat,
+        delay_s=args.delay_s,
+        verbose=args.verbose,
+    )
+    # Machine-readable ready line first: launchers block on it to learn the
+    # OS-assigned port (see repro.dist.launch).
+    print(format_ready_line(server.host, server.port), flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print(f"worker stopped after {server.tasks_done} shard(s)", flush=True)
+    return 0
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from .dist import Coordinator, launch_local_workers, parse_worker_addrs
+
+    points = _load_points(args)
+    if points is None:
+        return 2
+    bandwidth: "float | str" = args.bandwidth
+    if bandwidth != "scott":
+        try:
+            bandwidth = float(bandwidth)
+        except ValueError:
+            print(f"error: bad bandwidth {args.bandwidth!r}", file=sys.stderr)
+            return 2
+    addrs: list = []
+    if args.connect:
+        try:
+            addrs.extend(parse_worker_addrs(args.connect))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    pool = None
+    try:
+        if args.spawn > 0:
+            pool = launch_local_workers(args.spawn)
+            addrs.extend(pool.addrs)
+        coordinator = Coordinator(
+            addrs, deadline_s=args.deadline, shards=args.shards
+        )
+        alive = coordinator.connect()
+        print(f"{alive}/{len(addrs)} worker(s) reachable"
+              + ("" if alive else "; rendering in-process"), flush=True)
+        start = time.perf_counter()
+        result = compute_kdv(
+            points,
+            size=args.size,
+            kernel=args.kernel,
+            bandwidth=bandwidth,
+            method=args.method,
+            engine=args.engine,
+            backend="dist",
+            coordinator=coordinator,
+            collect_stats=True,
+        )
+        elapsed = time.perf_counter() - start
+        result.save_ppm(args.output, colormap=args.colormap)
+        snap = result.recorder.snapshot()
+        shards = snap["counters"].get("dist.shards", 0)
+        print(
+            f"n={len(points):,}  {args.size[0]}x{args.size[1]}  "
+            f"kernel={result.kernel}  b={result.bandwidth:,.1f}  "
+            f"method={result.method}  {shards} shard(s)  {elapsed:.3f}s"
+        )
+        if args.stats:
+            print(result.recorder.summary())
+        print(f"wrote {args.output}")
+        if pool is not None:
+            coordinator.shutdown_workers()
+        coordinator.close()
+        return 0
+    finally:
+        if pool is not None:
+            pool.shutdown()
 
 
 def _benchmarks_dir():
@@ -536,6 +735,8 @@ def main(argv: list[str] | None = None) -> int:
         "stkdv": _cmd_stkdv,
         "nkdv": _cmd_nkdv,
         "serve": _cmd_serve,
+        "dist-worker": _cmd_dist_worker,
+        "dist": _cmd_dist,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

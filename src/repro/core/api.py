@@ -47,7 +47,7 @@ from ..viz.bandwidth import scott_bandwidth
 from ..viz.region import Raster, Region
 from .envelope import YSortedIndex
 from .kernels import Kernel, get_kernel
-from .parallel import resolve_workers
+from .parallel import resolve_workers, validate_backend
 from .rao import with_rao
 from .result import KDVResult, SweepStats
 from .slam_bucket import slam_bucket_grid
@@ -183,7 +183,13 @@ def compute_kdv(
         blocks; results are bit-identical for every setting.  Other methods
         run serially regardless.  Pass ``backend="thread"`` as a method
         kwarg to use threads instead of processes (effective for the numpy
-        engines, whose array ops release the GIL).
+        engines, whose array ops release the GIL), or ``backend="dist"`` to
+        fan the sweep out to external worker processes via a
+        :class:`repro.dist.Coordinator` (pass one as the ``coordinator``
+        method kwarg, or let :func:`repro.dist.resolve_coordinator` find
+        one; see ``docs/distributed.md``).  Backend names are validated up
+        front via :func:`repro.core.parallel.validate_backend` for every
+        method that accepts one.
     ysorted:
         Optional pre-built :class:`~repro.core.envelope.YSortedIndex` over
         exactly these points, letting repeated calls on the same dataset
@@ -229,6 +235,10 @@ def compute_kdv(
         )
     kernel_obj = get_kernel(kernel)
     resolve_workers(workers)  # reject bad values up front, for every method
+    if "backend" in method_kwargs:
+        # Same up-front treatment for the backend name: one shared
+        # validation path (sorted availability list) for every layer.
+        validate_backend(method_kwargs["backend"])
     if region is None:
         if len(xy) == 0:
             raise ValueError("region is required for an empty dataset")

@@ -349,6 +349,7 @@ def numpy_batch_grid(
     backend: str = "process",
     stats: dict | None = None,
     recorder: "Recorder | None" = None,
+    coordinator=None,
     max_block_bytes: int = DEFAULT_MAX_BLOCK_BYTES,
 ) -> np.ndarray:
     """Grid-level ``numpy_batch`` compute function (engine-table entry).
@@ -369,4 +370,5 @@ def numpy_batch_grid(
         backend=backend,
         stats=stats,
         recorder=recorder,
+        coordinator=coordinator,
     )

@@ -30,6 +30,12 @@ Backends
     A :class:`~concurrent.futures.ThreadPoolExecutor`.  No pickling and no
     process startup; worthwhile for the NumPy engine whose heavy array ops
     release the GIL.
+``"dist"``
+    The distributed tier: row *shards* dispatched to external worker
+    processes by a :class:`repro.dist.coordinator.Coordinator`.  Listed here
+    so one validation path covers every backend a compute can name, but the
+    dispatch lives in :func:`repro.core.sweep.sweep_kdv` (the shard planner
+    needs the sweep's geometry), not in :func:`run_blocks`.
 
 Determinism: blocks are assembled by row position, each row is computed by
 the same code in the same floating-point order regardless of blocking, and
@@ -54,8 +60,10 @@ __all__ = [
     "run_blocks",
 ]
 
-#: Valid executor backends.
-BACKENDS = ("process", "thread")
+#: Valid execution backends.  ``process`` and ``thread`` are in-process
+#: executors handled by :func:`run_blocks`; ``dist`` routes to the
+#: :mod:`repro.dist` coordinator (dispatched in ``sweep_kdv``).
+BACKENDS = ("process", "thread", "dist")
 
 #: Target number of blocks per worker.  Over-partitioning by this factor lets
 #: the executor balance rows whose envelopes (and therefore costs) differ.
@@ -89,8 +97,17 @@ def resolve_workers(workers: "int | str | None") -> int:
 
 
 def validate_backend(backend: str) -> None:
+    """Reject unknown backend names with a stable, sorted availability list.
+
+    The single validation path for every layer that accepts a ``backend``
+    (``sweep_kdv``, ``compute_kdv``, the CLI), so new backends appear in
+    every error message consistently.
+    """
     if backend not in BACKENDS:
-        raise ValueError(f"unknown parallel backend {backend!r}; available: {BACKENDS}")
+        raise ValueError(
+            f"unknown parallel backend {backend!r}; "
+            f"available: {', '.join(sorted(BACKENDS))}"
+        )
 
 
 def partition_rows(num_rows: int, num_blocks: int) -> list[tuple[int, int]]:
@@ -149,6 +166,14 @@ def run_blocks(
     order.
     """
     validate_backend(backend)
+    if backend == "dist":
+        # The distributed backend is dispatched by sweep_kdv (the shard
+        # planner needs the sweep geometry, not just row bounds); reaching
+        # this executor with it means a caller skipped that layer.
+        raise ValueError(
+            "backend 'dist' is handled by repro.core.sweep.sweep_kdv / "
+            "repro.dist.Coordinator, not by run_blocks"
+        )
     blocks = partition_rows(num_rows, workers * BLOCKS_PER_WORKER)
     if not blocks:
         return 0, np.zeros((0, 0), dtype=np.float64), []

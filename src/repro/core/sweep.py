@@ -259,6 +259,7 @@ def sweep_kdv(
     backend: str = "process",
     stats: dict | None = None,
     recorder: "Recorder | None" = None,
+    coordinator=None,
 ) -> np.ndarray:
     """Compute the raw KDV grid ``sum_p w_p K(q, p)`` with a row-sweep engine.
 
@@ -289,9 +290,14 @@ def sweep_kdv(
         blocks to that many workers; ``"auto"`` uses the CPU count.  Any
         setting produces a bit-identical grid.
     backend:
-        ``"process"`` (default; sidesteps the GIL for the python engine) or
+        ``"process"`` (default; sidesteps the GIL for the python engine),
         ``"thread"`` (cheaper startup; effective for the numpy engine, whose
-        heavy array ops release the GIL).  Ignored when one worker resolves.
+        heavy array ops release the GIL), or ``"dist"`` (shards dispatched
+        to external worker processes via a :mod:`repro.dist` coordinator —
+        see the ``coordinator`` parameter).  ``process``/``thread`` are
+        ignored when one worker resolves; ``dist`` always routes through the
+        coordinator, sharding by ``workers`` when it is > 1 and by the
+        coordinator's own default otherwise.
     stats:
         Optional dict that receives lightweight instrumentation: ``rows``,
         ``blocks``, ``workers``, ``backend``, ``elapsed_seconds``,
@@ -304,6 +310,13 @@ def sweep_kdv(
         each block records into a private recorder whose snapshot is merged
         back here, so counts equal the serial sweep's.  ``None`` (default)
         disables all instrumentation at zero cost.
+    coordinator:
+        Optional :class:`repro.dist.Coordinator` used when
+        ``backend="dist"``.  ``None`` resolves one via
+        :func:`repro.dist.coordinator.resolve_coordinator` (process default,
+        then the ``REPRO_DIST_WORKERS`` environment variable, then a
+        worker-less coordinator computing shards in-process).  Ignored for
+        the in-process backends.
 
     Returns
     -------
@@ -351,7 +364,32 @@ def sweep_kdv(
     else:
         block_fn, block_fn_recorded = sweep_rows, _sweep_rows_recorded
     with (rec or NULL_RECORDER).span("sweep"):
-        if num_workers == 1:
+        if backend == "dist":
+            # Distributed dispatch: the coordinator plans row shards over
+            # the same precomputed geometry and merges worker blocks by row
+            # band, so the result is bit-identical to the serial branch
+            # below (see repro.dist.plan for the argument).  Imported lazily
+            # so the core sweep has no hard dependency on the dist tier.
+            from ..dist.coordinator import resolve_coordinator
+            from ..dist.worker import engine_spec
+
+            coord = resolve_coordinator(coordinator)
+            num_blocks, grid, snapshots = coord.render_sweep(
+                ysorted=ysorted,
+                y_centers=y_centers,
+                xs_scaled=xs_scaled,
+                cx=cx,
+                bandwidth=bandwidth,
+                kernel=kernel,
+                engine=engine_spec(row_engine),
+                sorted_weights=sorted_weights,
+                shards=num_workers if num_workers > 1 else None,
+                collect=rec is not None,
+            )
+            if rec is not None:
+                for snap in snapshots:
+                    rec.merge(snap)
+        elif num_workers == 1:
             grid = block_fn(0, height, *row_args, recorder=rec, **row_kwargs)
             num_blocks = 1
         elif rec is None:
@@ -381,7 +419,9 @@ def sweep_kdv(
             rows=height,
             blocks=num_blocks,
             workers=num_workers,
-            backend="serial" if num_workers == 1 else backend,
+            backend=backend
+            if backend == "dist"
+            else ("serial" if num_workers == 1 else backend),
             elapsed_seconds=elapsed,
             rows_per_sec=height / elapsed if elapsed > 0 else float("inf"),
         )
@@ -402,6 +442,7 @@ def make_grid_function(row_engine: RowEngine) -> Callable[..., np.ndarray]:
         backend: str = "process",
         stats: dict | None = None,
         recorder: "Recorder | None" = None,
+        coordinator=None,
     ) -> np.ndarray:
         return sweep_kdv(
             xy,
@@ -415,6 +456,7 @@ def make_grid_function(row_engine: RowEngine) -> Callable[..., np.ndarray]:
             backend=backend,
             stats=stats,
             recorder=recorder,
+            coordinator=coordinator,
         )
 
     return grid_fn

@@ -1,0 +1,560 @@
+"""Coordinator: dispatches shard plans to a worker pool and merges results.
+
+The coordinator owns the fault-tolerance policy; the workers stay dumb:
+
+* **Deterministic merge.**  Shard results are written into the output grid
+  at their planned row band, so the assembled grid is a pure row
+  concatenation — bit-identical to the serial sweep for every shard count
+  and every arrival order (see :mod:`repro.dist.plan` for the argument).
+* **Worker deaths.**  A connection that breaks mid-shard (EOF, reset,
+  protocol corruption) marks that worker dead and resubmits the shard to a
+  survivor.  Deaths do not consume the retry budget — a shard can migrate
+  across any number of dying workers as long as somebody (ultimately the
+  coordinator itself) remains to run it.
+* **Stragglers.**  Each dispatch attempt gets ``deadline_s`` of wall clock,
+  measured from the last sign of life (result, heartbeat); a worker that
+  heartbeats is slow, not dead.  An expired attempt is retried elsewhere
+  with exponential backoff, up to ``max_retries`` times; exhaustion raises
+  :class:`~repro.dist.errors.DistTimeout` rather than hanging the render.
+* **Graceful degradation.**  When no workers are reachable — or every one
+  of them dies mid-render — remaining shards are computed in-process with
+  the same :func:`~repro.dist.worker.compute_shard` code path, so a
+  coordinator with an empty worker list is just a sharded serial sweep.
+
+Observability: each render merges per-shard worker recorders plus the
+coordinator's own counters (``dist.shards``, ``dist.retries``,
+``dist.worker_deaths``, ``dist.bytes_rx``/``tx``, ``dist.local_shards``,
+``dist.heartbeats``) and phase timers (``dist.plan``, ``dist.dispatch``,
+``dist.merge``) into the recorder handed to :meth:`Coordinator.render_sweep`
+and the coordinator's own long-lived recorder (the one ``/metricz`` sees).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+
+from ..obs import Recorder, active
+from . import proto
+from .errors import ConnectionClosed, DistError, DistTimeout, ProtocolError
+from .plan import ShardPlan, plan_shards
+from .worker import compute_shard
+
+__all__ = [
+    "Coordinator",
+    "WorkerAddress",
+    "parse_worker_addrs",
+    "set_default_coordinator",
+    "get_default_coordinator",
+    "resolve_coordinator",
+]
+
+#: Environment variable listing worker addresses (``host:port,host:port``)
+#: that ``backend="dist"`` uses when no coordinator is passed explicitly.
+WORKERS_ENV = "REPRO_DIST_WORKERS"
+
+
+def parse_worker_addrs(spec: str) -> "list[tuple[str, int]]":
+    """Parse ``"host:port,host:port"`` (whitespace tolerated) into pairs."""
+    addrs: list[tuple[str, int]] = []
+    for item in spec.replace(",", " ").split():
+        host, _, port = item.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"bad worker address {item!r}; expected host:port"
+            )
+        addrs.append((host, int(port)))
+    return addrs
+
+
+class WorkerAddress:
+    """One configured worker endpoint and its connection state."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = int(port)
+        self.sock: "socket.socket | None" = None
+        self.hello: "dict | None" = None
+        #: Set when a send/recv on this worker failed; cleared on reconnect.
+        self.dead = False
+        #: Checked out by a dispatcher thread (one in-flight shard per worker).
+        self.busy = False
+
+    @property
+    def addr(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "dead" if self.dead else ("up" if self.sock else "down")
+        return f"WorkerAddress({self.addr}, {state})"
+
+
+class Coordinator:
+    """Renders shard plans across a pool of worker processes.
+
+    Parameters
+    ----------
+    workers:
+        ``(host, port)`` pairs, ``"host:port"`` strings, or a single
+        comma-separated string.  May be empty: every shard then runs
+        in-process (the graceful-degradation path, and the cheapest way to
+        get a sharded render for tests).
+    deadline_s:
+        Per-attempt wall-clock budget for one shard, measured from the last
+        sign of life from its worker (heartbeats reset it).  ``None``
+        (default) disables straggler detection.
+    max_retries:
+        How many *timed-out* attempts a shard may burn before
+        :class:`DistTimeout`.  Worker deaths do not consume this budget.
+    backoff_base_s / backoff_max_s:
+        Exponential backoff between retry attempts:
+        ``min(base * 2**attempt, max)``.
+    shards:
+        Default shard count for renders that do not specify one; ``None``
+        means one shard per connected worker (times ``shards_per_worker``),
+        or 1 when running locally.
+    shards_per_worker:
+        Over-decomposition factor: more shards than workers lets survivors
+        absorb a dead worker's load in smaller pieces.
+    balance:
+        Shard planner balance mode (``"points"`` or ``"rows"``).
+    connect_timeout_s:
+        TCP connect + handshake budget per worker.
+    recorder:
+        Long-lived recorder accumulating across renders (e.g. the tile
+        service's).  Each render *also* gets its counters merged into the
+        per-call recorder passed to :meth:`render_sweep`.
+
+    Thread safety: multiple threads may call :meth:`render_sweep`
+    concurrently (the tile service's render pool does); workers are checked
+    out under a condition variable so one shard is in flight per worker.
+    """
+
+    def __init__(
+        self,
+        workers=(),
+        *,
+        deadline_s: "float | None" = None,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 1.0,
+        shards: "int | None" = None,
+        shards_per_worker: int = 2,
+        balance: str = "points",
+        connect_timeout_s: float = 5.0,
+        recorder: "Recorder | None" = None,
+    ):
+        if isinstance(workers, str):
+            workers = parse_worker_addrs(workers)
+        self._workers: list[WorkerAddress] = []
+        for w in workers:
+            if isinstance(w, str):
+                (pair,) = parse_worker_addrs(w)
+                self._workers.append(WorkerAddress(*pair))
+            else:
+                host, port = w
+                self._workers.append(WorkerAddress(host, port))
+        self.deadline_s = deadline_s
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.default_shards = shards
+        self.shards_per_worker = int(shards_per_worker)
+        self.balance = balance
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.recorder = recorder if recorder is not None else Recorder()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- connection management --------------------------------------------
+
+    def _connect_one(self, worker: WorkerAddress) -> bool:
+        """(Re)establish one worker connection; returns success."""
+        if worker.sock is not None and not worker.dead:
+            return True
+        if worker.sock is not None:
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+            worker.sock = None
+        try:
+            sock = socket.create_connection(
+                (worker.host, worker.port), timeout=self.connect_timeout_s
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            worker.hello = proto.client_handshake(
+                sock, timeout=self.connect_timeout_s
+            )
+        except (OSError, DistError):
+            return False
+        worker.sock = sock
+        worker.dead = False
+        return True
+
+    def connect(self) -> int:
+        """Connect (or reconnect) every configured worker; returns the number
+        alive.  Called automatically at the start of each render."""
+        with self._cond:
+            alive = 0
+            for worker in self._workers:
+                if worker.busy:
+                    alive += 1  # in use by another render; known-alive
+                elif self._connect_one(worker):
+                    alive += 1
+            return alive
+
+    def num_alive(self) -> int:
+        with self._cond:
+            return sum(
+                1 for w in self._workers if w.sock is not None and not w.dead
+            )
+
+    def _checkout(self) -> "WorkerAddress | None":
+        """Grab an idle live worker, or ``None`` when none can ever come:
+        blocks only while busy workers might free up."""
+        with self._cond:
+            while True:
+                for worker in self._workers:
+                    if worker.sock is not None and not worker.dead and not worker.busy:
+                        worker.busy = True
+                        return worker
+                if not any(
+                    w.busy for w in self._workers
+                ):  # nobody to wait for
+                    return None
+                self._cond.wait(timeout=0.1)
+
+    def _checkin(self, worker: WorkerAddress, dead: bool = False) -> None:
+        with self._cond:
+            worker.busy = False
+            if dead:
+                worker.dead = True
+                if worker.sock is not None:
+                    try:
+                        worker.sock.close()
+                    except OSError:
+                        pass
+                    worker.sock = None
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Politely shut down worker connections (not the workers themselves
+        — they return to their accept loops) and release every socket."""
+        with self._cond:
+            self._closed = True
+            for worker in self._workers:
+                if worker.sock is not None:
+                    try:
+                        proto.send_msg(worker.sock, proto.MSG_BYE)
+                    except OSError:
+                        pass
+                    try:
+                        worker.sock.close()
+                    except OSError:
+                        pass
+                    worker.sock = None
+
+    def shutdown_workers(self) -> None:
+        """Ask every connected worker process to exit (used by ``repro dist``
+        over workers it spawned itself)."""
+        with self._cond:
+            for worker in self._workers:
+                if worker.sock is None or worker.dead:
+                    continue
+                try:
+                    proto.send_msg(worker.sock, proto.MSG_SHUTDOWN)
+                    proto.recv_msg(worker.sock, timeout=2.0)
+                except (OSError, DistError):
+                    pass
+                try:
+                    worker.sock.close()
+                except OSError:
+                    pass
+                worker.sock = None
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_sweep(
+        self,
+        *,
+        ysorted,
+        y_centers: np.ndarray,
+        xs_scaled: np.ndarray,
+        cx: float,
+        bandwidth: float,
+        kernel,
+        engine: dict,
+        sorted_weights: "np.ndarray | None" = None,
+        shards: "int | None" = None,
+        collect: bool = False,
+    ) -> "tuple[int, np.ndarray, list[dict]]":
+        """Render one sweep across the pool; the distributed twin of the
+        ``run_blocks`` call inside :func:`repro.core.sweep.sweep_kdv`.
+
+        All geometry arguments are exactly the precomputed state ``sweep_kdv``
+        holds at dispatch time; ``engine`` is a wire spec from
+        :func:`repro.dist.worker.engine_spec`.  Returns ``(num_shards,
+        unscaled_grid, snapshots)`` where ``snapshots`` (populated when
+        ``collect``) are per-shard recorder dumps for the caller to merge —
+        mirroring ``run_blocks``'s ``(num_blocks, grid, aux)`` contract.
+
+        Raises :class:`DistTimeout` when a shard exhausts its retry budget on
+        expired deadlines, and :class:`DistError` if the render cannot
+        complete at all.
+        """
+        if self._closed:
+            raise DistError("coordinator is closed")
+        render_rec = Recorder()
+        t_plan = time.perf_counter()
+        if shards is None:
+            shards = self.default_shards
+        if shards is None:
+            alive = self.connect()
+            shards = max(alive * self.shards_per_worker, 1)
+        else:
+            self.connect()
+        plan = plan_shards(
+            ysorted, y_centers, bandwidth, shards, balance=self.balance
+        )
+        render_rec.timer("dist.plan").add(time.perf_counter() - t_plan)
+        render_rec.count("dist.shards", len(plan))
+
+        grid = np.empty((plan.height, len(xs_scaled)), dtype=np.float64)
+        snapshots: "list[dict]" = [None] * len(plan)
+        errors: "list[BaseException]" = []
+        errors_lock = threading.Lock()
+
+        def make_task(shard) -> dict:
+            halo = slice(shard.halo_start, shard.halo_stop)
+            return {
+                "shard_id": shard.shard_id,
+                "row_start": shard.row_start,
+                "row_stop": shard.row_stop,
+                "halo_xy": ysorted.sorted_xy[halo],
+                "halo_weights": None
+                if sorted_weights is None
+                else sorted_weights[halo],
+                "y_centers": y_centers[shard.row_start : shard.row_stop],
+                "xs_scaled": xs_scaled,
+                "cx": cx,
+                "bandwidth": bandwidth,
+                "kernel": kernel.name if hasattr(kernel, "name") else str(kernel),
+                "engine": engine,
+                "collect": collect,
+            }
+
+        def run_shard(shard) -> None:
+            try:
+                block, snapshot = self._run_shard(make_task(shard), render_rec)
+            except BaseException as exc:
+                with errors_lock:
+                    errors.append(exc)
+                return
+            # Disjoint row bands: concurrent writers never overlap.
+            grid[shard.row_start : shard.row_stop] = block
+            if snapshot is not None:
+                snapshots[shard.shard_id] = snapshot
+
+        with render_rec.span("dist.dispatch"):
+            work = [s for s in plan if s.rows > 0]
+            if len(work) <= 1 or self.num_alive() == 0:
+                # Nothing to overlap: run shards inline (covers the
+                # worker-less coordinator and the single-shard plan).
+                for shard in work:
+                    run_shard(shard)
+                    if errors:
+                        break
+            else:
+                threads = [
+                    threading.Thread(
+                        target=run_shard,
+                        name=f"dist-shard-{shard.shard_id}",
+                        args=(shard,),
+                        daemon=True,
+                    )
+                    for shard in work
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        if errors:
+            raise errors[0]
+
+        with render_rec.span("dist.merge"):
+            # The blocks were written straight into their row bands above, so
+            # the merge phase is just this (timed) validation that every band
+            # got filled — kept as a span so merge overhead is measurable.
+            covered = sum(s.rows for s in plan)
+            if covered != plan.height:
+                raise DistError(
+                    f"shard plan covers {covered}/{plan.height} rows"
+                )
+
+        self.recorder.merge(render_rec)
+        out_snapshots = [s for s in snapshots if s is not None]
+        out_snapshots.append(render_rec.snapshot())
+        return len(plan), grid, out_snapshots
+
+    # -- per-shard dispatch ------------------------------------------------
+
+    def _run_shard(
+        self, task: dict, render_rec: Recorder
+    ) -> "tuple[np.ndarray, dict | None]":
+        """Run one shard to completion: try workers, retry on death or
+        deadline, fall back to in-process compute when the pool is gone."""
+        timeouts = 0
+        attempt = 0
+        while True:
+            worker = self._checkout()
+            if worker is None:
+                render_rec.count("dist.local_shards", 1)
+                return compute_shard(task)
+            try:
+                block, snapshot = self._run_on(worker, task, render_rec)
+            except _WorkerDied:
+                render_rec.count("dist.worker_deaths", 1)
+                render_rec.count("dist.retries", 1)
+                self._checkin(worker, dead=True)
+                attempt += 1
+                continue  # deaths never exhaust the budget; the pool shrinks
+            except _AttemptTimedOut:
+                # The worker may still be computing the stale shard; its
+                # eventual result would desynchronize the stream, so the
+                # connection is abandoned like a death (the worker process
+                # itself survives and will accept a fresh connection).
+                render_rec.count("dist.retries", 1)
+                self._checkin(worker, dead=True)
+                timeouts += 1
+                attempt += 1
+                if timeouts > self.max_retries:
+                    raise DistTimeout(
+                        f"shard {task['shard_id']} timed out "
+                        f"{timeouts}x (deadline_s={self.deadline_s}, "
+                        f"max_retries={self.max_retries})"
+                    ) from None
+                time.sleep(
+                    min(
+                        self.backoff_base_s * (2.0 ** (attempt - 1)),
+                        self.backoff_max_s,
+                    )
+                )
+                continue
+            except BaseException:
+                # Task-level failure (the worker is healthy; the shard is
+                # poisoned, e.g. an unknown engine spec): release the worker
+                # before propagating.
+                self._checkin(worker)
+                raise
+            else:
+                self._checkin(worker)
+                return block, snapshot
+
+    def _run_on(
+        self, worker: WorkerAddress, task: dict, render_rec: Recorder
+    ) -> "tuple[np.ndarray, dict | None]":
+        """One dispatch attempt on one worker; raises the private control-flow
+        exceptions on death or deadline expiry."""
+        sock = worker.sock
+        try:
+            render_rec.count("dist.bytes_tx", proto.send_msg(sock, proto.MSG_TASK, task))
+        except OSError:
+            raise _WorkerDied() from None
+        last_alive = time.monotonic()
+        while True:
+            if self.deadline_s is not None:
+                remaining = self.deadline_s - (time.monotonic() - last_alive)
+                if remaining <= 0:
+                    raise _AttemptTimedOut()
+                slice_s = min(0.2, remaining)
+            else:
+                slice_s = 0.5
+            try:
+                msg_type, payload, nbytes = proto.recv_msg(sock, timeout=slice_s)
+            except socket.timeout:
+                continue
+            except (ConnectionClosed, ProtocolError, OSError):
+                raise _WorkerDied() from None
+            render_rec.count("dist.bytes_rx", nbytes)
+            if msg_type == proto.MSG_HEARTBEAT:
+                render_rec.count("dist.heartbeats", 1)
+                last_alive = time.monotonic()
+            elif msg_type == proto.MSG_RESULT:
+                if payload.get("shard_id") != task["shard_id"]:
+                    # A stale result from a previous (timed-out) dispatch on
+                    # a reused connection — cannot happen because timed-out
+                    # connections are abandoned, so treat it as corruption.
+                    raise _WorkerDied()
+                return payload["block"], payload.get("snapshot")
+            elif msg_type == proto.MSG_ERROR:
+                raise DistError(
+                    f"worker {worker.addr} failed shard "
+                    f"{payload.get('shard_id')}: {payload.get('error')}"
+                )
+            # other frame types (PONG from an earlier probe) are ignored
+
+
+class _WorkerDied(Exception):
+    """Private control flow: the connection broke during an attempt."""
+
+
+class _AttemptTimedOut(Exception):
+    """Private control flow: one attempt exceeded ``deadline_s``."""
+
+
+# -- default-coordinator resolution ---------------------------------------
+
+_default_lock = threading.Lock()
+_default: "Coordinator | None" = None
+_env_coordinator: "Coordinator | None" = None
+_env_value: "str | None" = None
+
+
+def set_default_coordinator(coordinator: "Coordinator | None") -> None:
+    """Install the coordinator ``backend="dist"`` uses when none is passed."""
+    global _default
+    with _default_lock:
+        _default = coordinator
+
+
+def get_default_coordinator() -> "Coordinator | None":
+    with _default_lock:
+        return _default
+
+
+def resolve_coordinator(
+    coordinator: "Coordinator | None" = None,
+) -> Coordinator:
+    """The coordinator a ``backend="dist"`` compute should use.
+
+    Resolution order: the explicit argument, then the process default
+    (:func:`set_default_coordinator`), then a coordinator built from the
+    ``REPRO_DIST_WORKERS`` environment variable (cached per value), then a
+    fresh worker-less coordinator — so ``backend="dist"`` always works,
+    degrading to sharded in-process compute when no pool is configured.
+    """
+    global _env_coordinator, _env_value
+    if coordinator is not None:
+        return coordinator
+    with _default_lock:
+        if _default is not None:
+            return _default
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            if _env_coordinator is None or env != _env_value:
+                _env_coordinator = Coordinator(parse_worker_addrs(env))
+                _env_value = env
+            return _env_coordinator
+        return Coordinator()

@@ -1,0 +1,42 @@
+"""Typed error hierarchy for the distributed rendering subsystem.
+
+Kept in a leaf module so every layer (wire protocol, worker, coordinator,
+launch helpers) can raise and catch the same types without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DistError",
+    "ProtocolError",
+    "ConnectionClosed",
+    "DistTimeout",
+    "WorkerLaunchError",
+]
+
+
+class DistError(RuntimeError):
+    """Base class for every distributed-rendering failure."""
+
+
+class ProtocolError(DistError):
+    """A malformed, corrupted, or version-incompatible wire frame."""
+
+
+class ConnectionClosed(DistError):
+    """The peer closed the connection (EOF mid-frame or between frames).
+
+    The coordinator treats this as a worker death and resubmits the shard;
+    a worker treats it as the coordinator going away and returns to its
+    accept loop.
+    """
+
+
+class DistTimeout(DistError, TimeoutError):
+    """A shard's per-attempt ``deadline_s`` expired and the retry budget is
+    exhausted.  Subclasses :class:`TimeoutError` so generic timeout handling
+    catches it too."""
+
+
+class WorkerLaunchError(DistError):
+    """A locally spawned worker process failed to come up in time."""

@@ -1,0 +1,225 @@
+"""Deterministic shard planner for distributed KDV rendering.
+
+Because ``F_P(q) = sum_p w_p K(q, p)`` is additive over any partition of the
+point set, a KDV render decomposes exactly across disjoint shards.  This
+planner goes one step further and produces a decomposition whose merge is
+*bit-identical* to the serial sweep, not merely mathematically equal:
+
+* the **points** are split into K disjoint, contiguous ranges of the
+  y-sorted order (each shard *owns* ``sorted_xy[own_start:own_stop]``);
+* each shard is assigned the disjoint band of **pixel rows** whose centers
+  fall nearest its owned y-range, so the row bands partition ``range(Y)``;
+* the payload shipped to a worker is the owned range *inflated by one
+  bandwidth on each side* (the ``halo``, still one contiguous y-sorted
+  slice) — exactly the points that can influence any pixel of the shard's
+  rows, because a finite-support kernel reaches at most ``b``.
+
+A worker therefore computes its rows with *exactly* the same envelope point
+sequences, in the same order, as the serial sweep would (the halo slice of a
+y-sorted array is itself y-sorted, so rebuilding a
+:class:`~repro.core.envelope.YSortedIndex` over it is an identity
+permutation), and the coordinator's merge is pure row concatenation — no
+floating-point value is ever combined across shards.  That is the exactness
+argument in full; ``docs/distributed.md`` spells it out.
+
+The planner is a pure function of its inputs: same points, raster rows,
+bandwidth, and shard count always yield the same plan, on every host.  This
+is what makes resubmission after a worker death safe — a re-planned or
+re-shipped shard recomputes exactly the same block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.envelope import YSortedIndex
+
+__all__ = ["Shard", "ShardPlan", "plan_shards"]
+
+#: Valid ``balance`` modes for :func:`plan_shards`.
+BALANCE_MODES = ("points", "rows")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of distributable work.
+
+    ``row_start:row_stop`` is the disjoint band of pixel rows this shard
+    renders; ``own_start:own_stop`` the disjoint y-sorted point range it
+    accounts for; ``halo_start:halo_stop`` the contiguous y-sorted slice
+    actually shipped (owned range ± one bandwidth, clipped to the dataset).
+    """
+
+    shard_id: int
+    row_start: int
+    row_stop: int
+    own_start: int
+    own_stop: int
+    halo_start: int
+    halo_stop: int
+
+    @property
+    def rows(self) -> int:
+        return self.row_stop - self.row_start
+
+    @property
+    def owned_points(self) -> int:
+        return self.own_stop - self.own_start
+
+    @property
+    def halo_points(self) -> int:
+        return self.halo_stop - self.halo_start
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full deterministic decomposition of one render."""
+
+    shards: tuple[Shard, ...]
+    n_points: int
+    height: int
+    bandwidth: float
+    balance: str
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def describe(self) -> str:
+        """One line per shard, for logs and ``--stats`` output."""
+        lines = [
+            f"shard plan: {len(self.shards)} shard(s) over {self.height} rows, "
+            f"{self.n_points} points (balance={self.balance})"
+        ]
+        for s in self.shards:
+            lines.append(
+                f"  #{s.shard_id}: rows [{s.row_start}, {s.row_stop}) "
+                f"owns {s.owned_points} pts, ships {s.halo_points}"
+            )
+        return "\n".join(lines)
+
+
+def _near_equal_bounds(total: int, parts: int) -> list[int]:
+    """``parts + 1`` monotone boundaries splitting ``range(total)`` into
+    near-equal contiguous ranges (same arithmetic as
+    :func:`repro.core.parallel.partition_rows`)."""
+    base, extra = divmod(total, parts)
+    bounds = [0]
+    for i in range(parts):
+        bounds.append(bounds[-1] + base + (1 if i < extra else 0))
+    return bounds
+
+
+def plan_shards(
+    ysorted: YSortedIndex,
+    y_centers: np.ndarray,
+    bandwidth: float,
+    shards: int,
+    balance: str = "points",
+) -> ShardPlan:
+    """Split one render into ``shards`` deterministic shard descriptions.
+
+    Parameters
+    ----------
+    ysorted:
+        The y-sorted index over the full dataset (n >= 1 points).
+    y_centers:
+        Ascending pixel-row center y coordinates, shape ``(Y,)`` with
+        ``Y >= 1`` (``Raster.y_centers()``).
+    bandwidth:
+        Kernel bandwidth ``b`` in world units (> 0); sets the halo width.
+    shards:
+        Requested shard count ``K >= 1``.  Clamped to
+        ``min(K, n_points, Y)`` — more shards than points or rows would only
+        mint empty work units.
+    balance:
+        ``"points"`` (default) makes the owned point ranges near-equal, so
+        the per-shard envelope work — the term that scales with data — is
+        balanced; ``"rows"`` makes the row bands near-equal instead, which
+        balances the per-pixel term when the data is close to uniform.
+
+    Returns
+    -------
+    A :class:`ShardPlan` whose row bands partition ``range(Y)`` exactly and
+    whose owned ranges partition ``range(n)`` exactly.  Pure function: the
+    same inputs produce the same plan on every call and every host.
+    """
+    n = len(ysorted)
+    height = int(len(y_centers))
+    if n < 1:
+        raise ValueError("cannot plan shards over an empty dataset")
+    if height < 1:
+        raise ValueError("cannot plan shards over a zero-row raster")
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if balance not in BALANCE_MODES:
+        raise ValueError(
+            f"unknown balance mode {balance!r}; available: {BALANCE_MODES}"
+        )
+    k = min(int(shards), n, height)
+    y_centers = np.asarray(y_centers, dtype=np.float64)
+    sorted_y = ysorted.sorted_y
+
+    if balance == "points":
+        own_bounds = _near_equal_bounds(n, k)
+        # Row boundary between shard i and i+1: the first row whose center
+        # lies at or beyond the midpoint between the two boundary points.
+        row_bounds = [0]
+        for b_i in own_bounds[1:-1]:
+            split_y = 0.5 * (sorted_y[b_i - 1] + sorted_y[b_i])
+            r = int(np.searchsorted(y_centers, split_y, side="left"))
+            row_bounds.append(min(max(r, row_bounds[-1]), height))
+        row_bounds.append(height)
+    else:
+        row_bounds = _near_equal_bounds(height, k)
+        # Owned point boundary between bands: points below the midpoint of
+        # the two adjacent row centers belong to the lower shard.
+        own_bounds = [0]
+        for r_i in row_bounds[1:-1]:
+            split_y = 0.5 * (y_centers[r_i - 1] + y_centers[r_i])
+            b = int(np.searchsorted(sorted_y, split_y, side="left"))
+            own_bounds.append(min(max(b, own_bounds[-1]), n))
+        own_bounds.append(n)
+
+    shards_out: list[Shard] = []
+    for i in range(k):
+        row_start, row_stop = row_bounds[i], row_bounds[i + 1]
+        if row_stop > row_start:
+            halo_start = int(
+                np.searchsorted(
+                    sorted_y, y_centers[row_start] - bandwidth, side="left"
+                )
+            )
+            halo_stop = int(
+                np.searchsorted(
+                    sorted_y, y_centers[row_stop - 1] + bandwidth, side="right"
+                )
+            )
+        else:
+            # A rowless shard renders nothing and ships nothing; it exists
+            # only so the owned ranges still partition the dataset.
+            halo_start = halo_stop = own_bounds[i]
+        shards_out.append(
+            Shard(
+                shard_id=i,
+                row_start=row_start,
+                row_stop=row_stop,
+                own_start=own_bounds[i],
+                own_stop=own_bounds[i + 1],
+                halo_start=halo_start,
+                halo_stop=halo_stop,
+            )
+        )
+    return ShardPlan(
+        shards=tuple(shards_out),
+        n_points=n,
+        height=height,
+        bandwidth=float(bandwidth),
+        balance=balance,
+    )

@@ -1,0 +1,330 @@
+"""Shard-computing worker process for distributed KDV rendering.
+
+A worker is a small TCP server built on :mod:`repro.dist.proto`: it accepts
+one coordinator connection at a time, performs the version handshake, then
+loops — receive a TASK frame describing one shard (halo point slice, the row
+band's y-centers, sweep configuration), compute the partial grid with the
+requested engine via the *same* :func:`repro.core.sweep.sweep_rows` /
+:func:`~repro.core.sweep.sweep_rows_batched` drivers the serial sweep uses,
+and stream the block back as a RESULT frame.  While a shard is computing, a
+side thread emits HEARTBEAT frames so the coordinator can tell a slow shard
+from a dead worker.
+
+:func:`compute_shard` is deliberately a standalone pure function: the
+coordinator calls the identical code in-process for graceful degradation
+when no workers are reachable, so the local fallback is bit-identical to the
+remote path by construction.
+
+Engines cross the wire as small declarative *specs* (:func:`engine_spec` /
+:func:`resolve_row_engine`) rather than pickled callables, so a worker only
+ever executes code from its own installed package.
+
+The ``delay_s`` knob sleeps before computing each shard (heartbeats still
+flow) — a deterministic handle for fault-injection tests and the CI smoke
+job to widen the window in which a worker can be killed "mid-shard".
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+
+import numpy as np
+
+from ..core.batch import NumpyBatchEngine
+from ..core.envelope import YSortedIndex
+from ..core.kernels import get_kernel
+from ..core.slam_bucket import slam_bucket_row_numpy, slam_bucket_row_python
+from ..core.slam_sort import slam_sort_row_numpy, slam_sort_row_python
+from ..core.sweep import sweep_rows, sweep_rows_batched
+from ..obs import Recorder
+from . import proto
+from .errors import ConnectionClosed, DistError, ProtocolError
+
+__all__ = [
+    "ROW_ENGINES",
+    "engine_spec",
+    "resolve_row_engine",
+    "compute_shard",
+    "WorkerServer",
+    "format_ready_line",
+    "parse_ready_line",
+]
+
+#: Wire names for the per-row engines.  Only names in this table (plus the
+#: ``numpy_batch`` spec kind) can cross the wire — workers never unpickle
+#: callables, so a coordinator cannot make a worker run arbitrary code.
+ROW_ENGINES = {
+    "slam_sort.python": slam_sort_row_python,
+    "slam_sort.numpy": slam_sort_row_numpy,
+    "slam_bucket.python": slam_bucket_row_python,
+    "slam_bucket.numpy": slam_bucket_row_numpy,
+}
+
+
+def engine_spec(row_engine) -> dict:
+    """The wire spec for a sweep engine (reverse of :func:`resolve_row_engine`).
+
+    Row engines are matched by identity against :data:`ROW_ENGINES`;
+    :class:`~repro.core.batch.NumpyBatchEngine` instances serialize as a
+    ``batch`` spec carrying their chunking knob.
+    """
+    if isinstance(row_engine, NumpyBatchEngine):
+        return {"kind": "batch", "max_block_bytes": row_engine.max_block_bytes}
+    for name, fn in ROW_ENGINES.items():
+        if fn is row_engine:
+            return {"kind": "row", "name": name}
+    raise DistError(
+        f"engine {row_engine!r} has no wire name; distributable engines are "
+        f"{sorted(ROW_ENGINES)} and numpy_batch"
+    )
+
+
+def resolve_row_engine(spec: dict):
+    """Instantiate the engine a wire spec describes."""
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ProtocolError(f"malformed engine spec: {spec!r}")
+    if spec["kind"] == "batch":
+        max_block_bytes = spec.get("max_block_bytes")
+        if max_block_bytes:
+            return NumpyBatchEngine(max_block_bytes)
+        return NumpyBatchEngine()
+    if spec["kind"] == "row":
+        try:
+            return ROW_ENGINES[spec["name"]]
+        except KeyError:
+            raise ProtocolError(f"unknown row engine {spec['name']!r}") from None
+    raise ProtocolError(f"unknown engine spec kind {spec['kind']!r}")
+
+
+def compute_shard(task: dict) -> "tuple[np.ndarray, dict | None]":
+    """Compute one shard's row block; returns ``(block, snapshot_or_None)``.
+
+    ``task`` is the payload of a TASK frame (see
+    :meth:`repro.dist.coordinator.Coordinator.render_sweep` for the schema).
+    The halo slice arrives already in ascending-y order, so rebuilding the
+    :class:`YSortedIndex` here is an identity permutation — every row's
+    envelope slice has exactly the content and order the serial sweep would
+    see, which is what makes the merged grid bit-identical.
+    """
+    kernel = get_kernel(task["kernel"])
+    engine = resolve_row_engine(task["engine"])
+    ysorted = YSortedIndex(np.asarray(task["halo_xy"], dtype=np.float64))
+    y_centers = np.asarray(task["y_centers"], dtype=np.float64)
+    recorder = Recorder() if task.get("collect") else None
+    driver = (
+        sweep_rows_batched if hasattr(engine, "sweep_block") else sweep_rows
+    )
+    block = driver(
+        0,
+        len(y_centers),
+        y_centers,
+        np.asarray(task["xs_scaled"], dtype=np.float64),
+        ysorted,
+        float(task["cx"]),
+        float(task["bandwidth"]),
+        kernel,
+        engine,
+        sorted_weights=task.get("halo_weights"),
+        recorder=recorder,
+    )
+    if recorder is not None:
+        recorder.count("dist.shards_computed", 1)
+        return block, recorder.snapshot()
+    return block, None
+
+
+def format_ready_line(host: str, port: int) -> str:
+    """The machine-readable startup line ``repro dist-worker`` prints."""
+    return f"REPRO-DIST-WORKER READY {host}:{port} pid={os.getpid()} proto={proto.PROTO_VERSION}"
+
+
+def parse_ready_line(line: str) -> "tuple[str, int] | None":
+    """Parse :func:`format_ready_line` output; ``None`` if it is not one."""
+    parts = line.strip().split()
+    if len(parts) < 3 or parts[0] != "REPRO-DIST-WORKER" or parts[1] != "READY":
+        return None
+    host, _, port = parts[2].rpartition(":")
+    try:
+        return host, int(port)
+    except ValueError:
+        return None
+
+
+class WorkerServer:
+    """One worker process's serve loop.
+
+    Serves coordinator connections sequentially (a worker computes one shard
+    at a time by design — process-level parallelism comes from running more
+    workers).  The loop survives coordinator disconnects: a closed or broken
+    connection just returns it to ``accept``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_s: float = 0.5,
+        delay_s: float = 0.0,
+        verbose: bool = False,
+    ):
+        self.host = host
+        self.heartbeat_s = float(heartbeat_s)
+        self.delay_s = float(delay_s)
+        self.verbose = verbose
+        self._stop = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(4)
+        #: The bound port (the OS picks one when constructed with ``port=0``).
+        self.port = self._listener.getsockname()[1]
+        #: Shards computed since startup (visible to in-thread tests).
+        self.tasks_done = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask the serve loop to exit; safe to call from any thread."""
+        self._stop.set()
+
+    def start_in_thread(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a daemon thread (test helper)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name=f"dist-worker:{self.port}", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def _log(self, msg: str) -> None:
+        if self.verbose:
+            print(f"[dist-worker:{self.port}] {msg}", file=sys.stderr, flush=True)
+
+    # -- serve loop --------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept coordinator connections until :meth:`stop` is called."""
+        self._listener.settimeout(0.2)
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, addr = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                try:
+                    self._serve_connection(conn, addr)
+                finally:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+        finally:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def _serve_connection(self, conn: socket.socket, addr) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            proto.server_handshake(conn)
+        except (DistError, OSError) as exc:
+            self._log(f"handshake with {addr} failed: {exc}")
+            return
+        self._log(f"coordinator connected from {addr}")
+        send_lock = threading.Lock()
+        while not self._stop.is_set():
+            try:
+                msg_type, payload, _ = proto.recv_msg(conn, timeout=0.5)
+            except socket.timeout:
+                continue
+            except (ConnectionClosed, OSError):
+                self._log("coordinator disconnected")
+                return
+            except ProtocolError as exc:
+                self._log(f"protocol error: {exc}")
+                return
+            if msg_type == proto.MSG_PING:
+                proto.send_msg(conn, proto.MSG_PONG, lock=send_lock)
+            elif msg_type == proto.MSG_TASK:
+                self._handle_task(conn, send_lock, payload)
+            elif msg_type == proto.MSG_SHUTDOWN:
+                self._log("shutdown requested")
+                try:
+                    proto.send_msg(conn, proto.MSG_BYE, lock=send_lock)
+                except OSError:
+                    pass
+                self._stop.set()
+                return
+            elif msg_type == proto.MSG_BYE:
+                return
+            else:
+                self._log(
+                    f"ignoring unexpected "
+                    f"{proto.MSG_NAMES.get(msg_type, msg_type)} frame"
+                )
+
+    def _handle_task(
+        self, conn: socket.socket, send_lock: threading.Lock, task: dict
+    ) -> None:
+        shard_id = task.get("shard_id")
+        done = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(conn, send_lock, shard_id, done),
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            if self.delay_s > 0:
+                # Testing knob: widen the compute window (heartbeats flow).
+                done.wait(self.delay_s)
+            block, snapshot = compute_shard(task)
+            reply_type = proto.MSG_RESULT
+            reply = {
+                "shard_id": shard_id,
+                "row_start": task.get("row_start"),
+                "row_stop": task.get("row_stop"),
+                "block": block,
+                "snapshot": snapshot,
+                "pid": os.getpid(),
+            }
+        except Exception as exc:
+            reply_type = proto.MSG_ERROR
+            reply = {"shard_id": shard_id, "error": f"{type(exc).__name__}: {exc}"}
+            self._log(f"shard {shard_id} failed: {exc}")
+        finally:
+            done.set()
+            heartbeat.join()
+        try:
+            proto.send_msg(conn, reply_type, reply, lock=send_lock)
+        except OSError:
+            self._log(f"could not return shard {shard_id}; coordinator gone")
+            raise ConnectionClosed("coordinator went away mid-result") from None
+        if reply_type == proto.MSG_RESULT:
+            self.tasks_done += 1
+            self._log(f"shard {shard_id} done ({reply['block'].shape[0]} rows)")
+
+    def _heartbeat_loop(
+        self,
+        conn: socket.socket,
+        send_lock: threading.Lock,
+        shard_id,
+        done: threading.Event,
+    ) -> None:
+        if self.heartbeat_s <= 0:
+            return
+        while not done.wait(self.heartbeat_s):
+            try:
+                proto.send_msg(
+                    conn,
+                    proto.MSG_HEARTBEAT,
+                    {"shard_id": shard_id},
+                    lock=send_lock,
+                )
+            except OSError:
+                return

@@ -120,6 +120,14 @@ class TileService:
         Render override with the signature of
         :func:`~repro.viz.tiles.render_tile` (tests inject slow/controlled
         renders; production uses the default).
+    coordinator:
+        Optional :class:`repro.dist.Coordinator`: cold-tile renders then run
+        with ``backend="dist"``, fanning each render's row shards out to the
+        coordinator's worker pool (with its in-process fallback when no
+        workers are reachable).  The coordinator is caller-owned — the
+        service does not close it — and its distributed counters are folded
+        into the :meth:`stats` dump so ``/metricz`` reports the distributed
+        path.  Requires a SLAM ``method`` and no ``render_fn`` override.
     """
 
     def __init__(
@@ -140,6 +148,7 @@ class TileService:
         recorder: "Recorder | None" = None,
         clock: Callable[[], float] = monotonic,
         render_fn=None,
+        coordinator=None,
     ):
         from ..data.points import PointSet
 
@@ -172,6 +181,18 @@ class TileService:
         self.deadline_s = deadline_s
         self.recorder: Recorder = recorder if recorder is not None else Recorder()
         self._clock = clock
+        self.coordinator = coordinator
+        if coordinator is not None:
+            if render_fn is not None:
+                raise ValueError(
+                    "coordinator and render_fn are mutually exclusive"
+                )
+            if method not in PARALLEL_METHODS:
+                raise ValueError(
+                    f"coordinator requires a SLAM method "
+                    f"{PARALLEL_METHODS}, got {method!r}"
+                )
+            render_fn = self._render_distributed
         self._render_fn = render_fn if render_fn is not None else render_tile
 
         # live dataset: the streaming engine owns the point batches and keeps
@@ -326,6 +347,20 @@ class TileService:
                 self._inflight.pop(key, None)
                 rec.set_gauge("serve.queue_depth", len(self._inflight))
 
+    def _render_distributed(self, points, scheme, zoom, tx, ty, **kwargs):
+        """:func:`render_tile` with the sweep fanned out to the coordinator's
+        worker pool (installed as ``_render_fn`` when a coordinator is set)."""
+        return render_tile(
+            points,
+            scheme,
+            zoom,
+            tx,
+            ty,
+            backend="dist",
+            coordinator=self.coordinator,
+            **kwargs,
+        )
+
     def _ysorted_for(self, version: int) -> "YSortedIndex | None":
         """The current generation's shared y-sorted index, built at most once.
 
@@ -425,11 +460,24 @@ class TileService:
         }
 
     def stats(self) -> dict:
-        """The ``/metricz`` payload: recorder dump + live cache/queue state."""
+        """The ``/metricz`` payload: recorder dump + live cache/queue state.
+
+        With a coordinator attached, its accumulated distributed counters
+        (``dist.shards``, ``dist.retries``, ``dist.worker_deaths``, byte
+        counts, per-shard phases) are folded into the dump — through a
+        scratch recorder, so repeated calls never double-count.
+        """
         self.recorder.set_gauge("serve.queue_depth", self.queue_depth)
         self.recorder.set_gauge("serve.cache_size", len(self._cache))
+        if self.coordinator is not None:
+            merged = Recorder()
+            merged.merge(self.recorder.snapshot())
+            merged.merge(self.coordinator.recorder.snapshot())
+            recorder_snapshot = merged.snapshot()
+        else:
+            recorder_snapshot = self.recorder.snapshot()
         return {
-            "recorder": self.recorder.snapshot(),
+            "recorder": recorder_snapshot,
             "cache": {
                 "size": len(self._cache),
                 "capacity": self._cache.capacity,

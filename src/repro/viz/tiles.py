@@ -104,6 +104,8 @@ def render_tile(
     method: str = "slam_bucket_rao",
     weights: np.ndarray | None = None,
     ysorted: "YSortedIndex | None" = None,
+    backend: "str | None" = None,
+    coordinator=None,
 ) -> np.ndarray:
     """Exact KDV density grid for one tile, shape ``(tile_size, tile_size)``.
 
@@ -114,6 +116,11 @@ def render_tile(
     per-tile O(n log n) sort — every tile of a pyramid shares one dataset,
     so one index serves them all (:class:`TileRenderer` does this
     automatically).
+
+    ``backend``/``coordinator`` select the sweep's execution backend for the
+    SLAM methods (``backend="dist"`` with a :class:`repro.dist.Coordinator`
+    fans the render out to a worker pool); both are only forwarded for
+    methods that honor them, so baseline methods stay callable.
     """
     if tile_size < 1:
         raise ValueError("tile_size must be >= 1")
@@ -121,6 +128,10 @@ def render_tile(
     kwargs = {}
     if ysorted is not None:
         kwargs["ysorted"] = ysorted
+    if backend is not None and method in PARALLEL_METHODS:
+        kwargs["backend"] = backend
+        if coordinator is not None:
+            kwargs["coordinator"] = coordinator
     result = compute_kdv(
         points,
         region=region,

@@ -1,0 +1,137 @@
+"""Tests for the deterministic shard planner (repro.dist.plan).
+
+The planner's contract is structural: for any dataset, raster height,
+bandwidth, shard count, and balance mode, the row bands partition
+``range(Y)`` exactly, the owned point ranges partition ``range(n)`` exactly,
+every halo covers its owned range plus everything within one bandwidth of
+the band's rows, and the whole thing is a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.envelope import YSortedIndex
+from repro.dist.plan import plan_shards
+
+
+def _y_centers(height: int, ymin: float = 0.0, ymax: float = 80.0) -> np.ndarray:
+    step = (ymax - ymin) / height
+    return ymin + (np.arange(height) + 0.5) * step
+
+
+def _check_plan_invariants(plan, ysorted, y_centers, bandwidth):
+    # row bands partition range(height) exactly, in order
+    cursor = 0
+    for shard in plan:
+        assert shard.row_start == cursor
+        assert shard.row_stop >= shard.row_start
+        cursor = shard.row_stop
+    assert cursor == plan.height
+    # owned point ranges partition range(n) exactly, in order
+    cursor = 0
+    for shard in plan:
+        assert shard.own_start == cursor
+        assert shard.own_stop >= shard.own_start
+        cursor = shard.own_stop
+    assert cursor == plan.n_points
+    # each halo is exactly the envelope union of the shard's rows
+    sorted_y = ysorted.sorted_y
+    for shard in plan:
+        if shard.rows == 0:
+            continue
+        lo = int(np.searchsorted(
+            sorted_y, y_centers[shard.row_start] - bandwidth, side="left"))
+        hi = int(np.searchsorted(
+            sorted_y, y_centers[shard.row_stop - 1] + bandwidth, side="right"))
+        assert (shard.halo_start, shard.halo_stop) == (lo, hi)
+        # ... and per-row envelope slices fall inside it
+        for k in (y_centers[shard.row_start], y_centers[shard.row_stop - 1]):
+            env = ysorted.envelope_slice(k, bandwidth)
+            assert shard.halo_start <= env.start
+            assert env.stop <= shard.halo_stop
+
+
+class TestPlanShards:
+    def test_single_shard_covers_everything(self):
+        rng = np.random.default_rng(5)
+        ysorted = YSortedIndex(rng.uniform((0, 0), (100, 80), (50, 2)))
+        y_centers = _y_centers(20)
+        plan = plan_shards(ysorted, y_centers, 9.0, 1)
+        assert len(plan) == 1
+        (shard,) = plan.shards
+        assert (shard.row_start, shard.row_stop) == (0, 20)
+        assert (shard.own_start, shard.own_stop) == (0, 50)
+
+    def test_clamps_to_points_and_rows(self):
+        ysorted = YSortedIndex(np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]))
+        assert len(plan_shards(ysorted, _y_centers(20), 5.0, 99)) == 3
+        assert len(plan_shards(ysorted, _y_centers(2), 5.0, 99)) == 2
+
+    @pytest.mark.parametrize("balance", ("points", "rows"))
+    def test_balance_modes(self, balance):
+        rng = np.random.default_rng(11)
+        xy = rng.normal((50, 40), 10.0, (400, 2))
+        ysorted = YSortedIndex(xy)
+        y_centers = _y_centers(48)
+        plan = plan_shards(ysorted, y_centers, 8.0, 4, balance=balance)
+        _check_plan_invariants(plan, ysorted, y_centers, 8.0)
+        if balance == "points":
+            owned = [s.owned_points for s in plan]
+            assert max(owned) - min(owned) <= 1
+        else:
+            rows = [s.rows for s in plan]
+            assert max(rows) - min(rows) <= 1
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        xy = rng.uniform((0, 0), (100, 80), (120, 2))
+        ysorted = YSortedIndex(xy)
+        y_centers = _y_centers(30)
+        a = plan_shards(ysorted, y_centers, 7.0, 5)
+        b = plan_shards(YSortedIndex(xy.copy()), y_centers.copy(), 7.0, 5)
+        assert a.shards == b.shards
+
+    def test_describe_mentions_every_shard(self):
+        ysorted = YSortedIndex(np.random.default_rng(0).uniform(0, 80, (40, 2)))
+        plan = plan_shards(ysorted, _y_centers(16), 6.0, 3)
+        text = plan.describe()
+        for shard in plan:
+            assert f"#{shard.shard_id}:" in text
+
+    def test_invalid_inputs(self):
+        ysorted = YSortedIndex(np.array([[1.0, 2.0]]))
+        y_centers = _y_centers(4)
+        with pytest.raises(ValueError, match="empty"):
+            plan_shards(YSortedIndex(np.empty((0, 2))), y_centers, 5.0, 2)
+        with pytest.raises(ValueError, match="zero-row"):
+            plan_shards(ysorted, np.empty(0), 5.0, 2)
+        with pytest.raises(ValueError, match="bandwidth"):
+            plan_shards(ysorted, y_centers, 0.0, 2)
+        with pytest.raises(ValueError, match="shards"):
+            plan_shards(ysorted, y_centers, 5.0, 0)
+        with pytest.raises(ValueError, match="balance"):
+            plan_shards(ysorted, y_centers, 5.0, 2, balance="luck")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        height=st.integers(1, 60),
+        shards=st.integers(1, 10),
+        bandwidth=st.floats(0.5, 40.0),
+        balance=st.sampled_from(("points", "rows")),
+        seed=st.integers(0, 2**16),
+    )
+    def test_invariants_hold_for_any_plan(
+        self, n, height, shards, bandwidth, balance, seed
+    ):
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform((0.0, 0.0), (100.0, 80.0), (n, 2))
+        ysorted = YSortedIndex(xy)
+        y_centers = _y_centers(height)
+        plan = plan_shards(ysorted, y_centers, bandwidth, shards, balance=balance)
+        assert 1 <= len(plan) <= min(shards, n, height)
+        _check_plan_invariants(plan, ysorted, y_centers, bandwidth)

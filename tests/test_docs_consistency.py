@@ -107,7 +107,8 @@ class TestDesignInventory:
         for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                     "docs/algorithm.md", "docs/api_guide.md",
                     "docs/reproducing.md", "docs/benchmarks.md",
-                    "docs/observability.md", "docs/serving.md"):
+                    "docs/observability.md", "docs/serving.md",
+                    "docs/distributed.md"):
             assert (REPO / doc).is_file(), doc
 
 
