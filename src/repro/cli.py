@@ -99,6 +99,33 @@ def _parse_workers(text: str) -> "int | str":
     return workers
 
 
+def _parse_bandwidth(text: str) -> "float | str | None":
+    """A numeric bandwidth in meters, a selector name (``scott``,
+    ``silverman``, ``lcv``), or ``None`` when the text is neither."""
+    from .viz.bandwidth import BANDWIDTH_SELECTORS
+
+    if text in BANDWIDTH_SELECTORS:
+        return text
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _bandwidth_or_error(text: str) -> "float | str | None":
+    """Parse a ``--bandwidth`` value, printing the CLI error on failure."""
+    from .viz.bandwidth import BANDWIDTH_SELECTORS
+
+    bandwidth = _parse_bandwidth(text)
+    if bandwidth is None:
+        print(
+            f"error: bad bandwidth {text!r}; use meters or one of "
+            f"{sorted(BANDWIDTH_SELECTORS)}",
+            file=sys.stderr,
+        )
+    return bandwidth
+
+
 def _parse_size(text: str) -> tuple[int, int]:
     try:
         w, h = text.lower().split("x")
@@ -134,7 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_compute.add_argument("--kernel", default="epanechnikov",
                            choices=("uniform", "epanechnikov", "quartic"))
     p_compute.add_argument("--bandwidth", default="scott",
-                           help="bandwidth in meters, or 'scott' (default)")
+                           help="bandwidth in meters, or a selector: "
+                                "scott (default), silverman, lcv")
     p_compute.add_argument("--method", default="slam_bucket_rao",
                            choices=method_names())
     p_compute.add_argument("--engine", default="numpy",
@@ -176,7 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_hot.add_argument("--dataset", choices=dataset_names())
     p_hot.add_argument("--scale", type=float, default=0.01)
     p_hot.add_argument("--size", type=_parse_size, default=(320, 240))
-    p_hot.add_argument("--bandwidth", default="scott")
+    p_hot.add_argument("--bandwidth", default="scott",
+                       help="bandwidth in meters, or a selector: "
+                            "scott (default), silverman, lcv")
     p_hot.add_argument("--quantile", type=float, default=0.99,
                        help="density quantile defining hotspots (default 0.99)")
     p_hot.add_argument("--top", type=int, default=10,
@@ -221,7 +251,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--kernel", default="epanechnikov",
                          choices=("uniform", "epanechnikov", "quartic"))
     p_serve.add_argument("--bandwidth", default="scott",
-                         help="bandwidth in meters, or 'scott' (default)")
+                         help="bandwidth in meters, or a selector: "
+                              "scott (default), silverman, lcv")
     p_serve.add_argument("--method", default="slam_bucket_rao",
                          choices=method_names())
     p_serve.add_argument("--max-zoom", type=int, default=8,
@@ -238,6 +269,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="tile cache capacity (default 256)")
     p_serve.add_argument("--cache-ttl", type=float, default=None,
                          help="tile cache TTL in seconds (default: no expiry)")
+    p_serve.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                         help="pre-warm a sliding time window of this many "
+                              "seconds (requires timestamped events; tiles "
+                              "over it via ?window=SECONDS)")
+    p_serve.add_argument("--tick-s", type=float, default=None, metavar="SECONDS",
+                         help="advance the sliding windows at this cadence, "
+                              "piggybacked on request traffic (default: "
+                              "explicit POST /tick only)")
     p_serve.add_argument("--allow-shutdown", action="store_true",
                          help="enable POST /shutdown (for smoke tests/CI)")
     p_serve.add_argument("--verbose", action="store_true",
@@ -291,7 +330,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument("--kernel", default="epanechnikov",
                         choices=("uniform", "epanechnikov", "quartic"))
     p_dist.add_argument("--bandwidth", default="scott",
-                        help="bandwidth in meters, or 'scott' (default)")
+                        help="bandwidth in meters, or a selector: "
+                             "scott (default), silverman, lcv")
     p_dist.add_argument("--method", default="slam_bucket_rao",
                         choices=PARALLEL_METHODS,
                         help="SLAM method (the distributable ones)")
@@ -335,13 +375,9 @@ def _cmd_compute(args: argparse.Namespace) -> int:
     if len(points) == 0:
         print("error: dataset is empty", file=sys.stderr)
         return 2
-    bandwidth: "float | str" = args.bandwidth
-    if bandwidth != "scott":
-        try:
-            bandwidth = float(bandwidth)
-        except ValueError:
-            print(f"error: bad bandwidth {args.bandwidth!r}", file=sys.stderr)
-            return 2
+    bandwidth = _bandwidth_or_error(args.bandwidth)
+    if bandwidth is None:
+        return 2
 
     extra: dict = {}
     if args.backend is not None:
@@ -442,9 +478,9 @@ def _cmd_hotspots(args: argparse.Namespace) -> int:
     points = _load_points(args)
     if points is None:
         return 2
-    bandwidth: "float | str" = args.bandwidth
-    if bandwidth != "scott":
-        bandwidth = float(bandwidth)
+    bandwidth = _bandwidth_or_error(args.bandwidth)
+    if bandwidth is None:
+        return 2
     result = compute_kdv(points, size=args.size, bandwidth=bandwidth)
     spots = extract_hotspots(result, quantile=args.quantile)
     print(f"n={len(points):,}  b={result.bandwidth:,.1f}  "
@@ -511,19 +547,16 @@ def _cmd_nkdv(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import TileService, start_server
-    from .viz.bandwidth import scott_bandwidth
+    from .viz.bandwidth import resolve_bandwidth
 
     points = _load_points(args)
     if points is None:
         return 2
-    if args.bandwidth == "scott":
-        bandwidth = scott_bandwidth(points.xy)
-    else:
-        try:
-            bandwidth = float(args.bandwidth)
-        except ValueError:
-            print(f"error: bad bandwidth {args.bandwidth!r}", file=sys.stderr)
-            return 2
+    bandwidth = _bandwidth_or_error(args.bandwidth)
+    if bandwidth is None:
+        return 2
+    # the service wants a resolved number (one fixed bandwidth per layer)
+    bandwidth = resolve_bandwidth(bandwidth, points.xy)
     coordinator = None
     if args.dist_workers:
         from .dist import Coordinator
@@ -545,6 +578,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             deadline_s=args.deadline,
             cache_tiles=args.cache_tiles,
             cache_ttl_s=args.cache_ttl,
+            window_s=args.window,
+            tick_s=args.tick_s,
             coordinator=coordinator,
         )
     except ValueError as exc:
@@ -564,9 +599,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"method={args.method}, {args.workers} worker(s))",
         flush=True,
     )
+    if args.window is not None:
+        print(
+            f"sliding window: {args.window:g}s "
+            f"(?window={args.window:g} on tile requests"
+            + (f", auto-tick every {args.tick_s:g}s" if args.tick_s else "")
+            + ")",
+            flush=True,
+        )
     print(
         f"endpoints: {server.url}/tiles/{{z}}/{{tx}}/{{ty}}[.npy|.png]  "
-        f"/ingest  /healthz  /metricz — Ctrl-C to stop",
+        f"/ingest  /tick  /healthz  /metricz — Ctrl-C to stop",
         flush=True,
     )
     try:
@@ -611,13 +654,9 @@ def _cmd_dist(args: argparse.Namespace) -> int:
     points = _load_points(args)
     if points is None:
         return 2
-    bandwidth: "float | str" = args.bandwidth
-    if bandwidth != "scott":
-        try:
-            bandwidth = float(bandwidth)
-        except ValueError:
-            print(f"error: bad bandwidth {args.bandwidth!r}", file=sys.stderr)
-            return 2
+    bandwidth = _bandwidth_or_error(args.bandwidth)
+    if bandwidth is None:
+        return 2
     addrs: list = []
     if args.connect:
         try:

@@ -43,7 +43,7 @@ from ..baselines.scan import scan_grid
 from ..baselines.zorder import zorder_grid
 from ..data.points import PointSet
 from ..obs import Recorder, active
-from ..viz.bandwidth import scott_bandwidth
+from ..viz.bandwidth import BANDWIDTH_SELECTORS, resolve_bandwidth
 from ..viz.region import Raster, Region
 from .envelope import YSortedIndex
 from .kernels import Kernel, get_kernel
@@ -157,8 +157,10 @@ def compute_kdv(
         ``"uniform"``, ``"epanechnikov"`` (default, as in the paper),
         ``"quartic"``, or a :class:`~repro.core.kernels.Kernel` instance.
     bandwidth:
-        A positive float in world units, or ``"scott"`` for Scott's rule
-        (the paper's default).
+        A positive float in world units, or a selector name: ``"scott"``
+        for Scott's rule (the paper's default), ``"silverman"`` for
+        Silverman's robust rule, or ``"lcv"`` for likelihood
+        cross-validation (see :mod:`repro.viz.bandwidth`).
     method:
         One of :func:`method_names`.
     engine:
@@ -247,19 +249,19 @@ def compute_kdv(
     raster = Raster(region, int(width), int(height))
     n = len(xy)
 
-    if bandwidth == "scott":
-        if n == 0:
-            # Scott's rule is undefined without data.  The grid below is
-            # identically zero whatever the bandwidth, so any positive
-            # placeholder keeps the result well-formed; pick one scaled to
-            # the region so downstream consumers see a plausible value.
-            bandwidth_value = min(region.width, region.height) / 10.0
-        else:
-            bandwidth_value = scott_bandwidth(xy)
+    if isinstance(bandwidth, str) and n == 0:
+        if bandwidth not in BANDWIDTH_SELECTORS:
+            raise ValueError(
+                f"unknown bandwidth selector {bandwidth!r}; pass a positive "
+                f"number or one of {sorted(BANDWIDTH_SELECTORS)}"
+            )
+        # Data-driven selectors are undefined without data.  The grid below
+        # is identically zero whatever the bandwidth, so any positive
+        # placeholder keeps the result well-formed; pick one scaled to the
+        # region so downstream consumers see a plausible value.
+        bandwidth_value = min(region.width, region.height) / 10.0
     else:
-        bandwidth_value = float(bandwidth)
-        if bandwidth_value <= 0:
-            raise ValueError(f"bandwidth must be positive, got {bandwidth_value}")
+        bandwidth_value = resolve_bandwidth(bandwidth, xy)
 
     if weights is not None:
         weights = np.asarray(weights, dtype=np.float64)

@@ -175,13 +175,13 @@ def compute_stkdv(
         raise ValueError("temporal_bandwidth must be positive")
 
     # Fix the region and spatial bandwidth across frames so the sequence is
-    # spatially consistent.
+    # spatially consistent.  Selector strings ("scott", "silverman", "lcv")
+    # resolve against the full dataset once, not per frame.
     if region is None:
         region = Region.from_points(points.xy)
-    if bandwidth == "scott":
-        from ..viz.bandwidth import scott_bandwidth
+    from ..viz.bandwidth import resolve_bandwidth
 
-        bandwidth = scott_bandwidth(points.xy)
+    bandwidth = resolve_bandwidth(bandwidth, points.xy)
 
     # temporal analog of the y-sorted envelope index
     order = np.argsort(t, kind="stable")

@@ -5,10 +5,12 @@ SLAM makes a single tile cheap; this package makes *many clients* cheap.
 and the incremental streaming engine
 (:mod:`repro.extensions.streaming`) behind a thread-safe façade with
 single-flight render coalescing, a TTL+LRU cache with targeted
-invalidation, a bounded render pool with explicit backpressure, and
-graceful shutdown.  :mod:`repro.serve.http` exposes it over stdlib HTTP
-(``repro serve`` on the command line); every decision is observable through
-a wired-in :class:`repro.obs.Recorder` (``GET /metricz``).
+invalidation, a bounded render pool with explicit backpressure, sliding
+time-window views (:mod:`repro.serve.window`, ``window=<seconds>`` on the
+tile API, advanced by O(Δ) ticks), and graceful shutdown.
+:mod:`repro.serve.http` exposes it over stdlib HTTP (``repro serve`` on the
+command line); every decision is observable through a wired-in
+:class:`repro.obs.Recorder` (``GET /metricz``).
 
 See ``docs/serving.md`` for endpoint semantics, the metrics name table, and
 operational knobs.
@@ -23,6 +25,7 @@ from .service import (
     ServiceTimeout,
     TileService,
 )
+from .window import WindowError, WindowView
 
 __all__ = [
     "TileService",
@@ -34,4 +37,6 @@ __all__ = [
     "ServiceClosed",
     "ServiceOverloaded",
     "ServiceTimeout",
+    "WindowError",
+    "WindowView",
 ]

@@ -64,7 +64,31 @@ class TTLCache:
         self.expirations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        """Live (non-expired) entry count.
+
+        Expired-but-unread entries are purged first so sizes reported to
+        metrics (``serve.cache_size``, ``/metricz`` ``tiles_cached``) never
+        overstate what a reader could actually hit.
+        """
+        with self._lock:
+            self._purge_expired()
+            return len(self._entries)
+
+    def _purge_expired(self) -> int:
+        """Drop every entry past its TTL (caller holds the lock); returns
+        how many were dropped (each counted as an expiration)."""
+        if self.ttl_s is None or not self._entries:
+            return 0
+        now = self._clock()
+        stale = [
+            key
+            for key, (_value, expires_at) in self._entries.items()
+            if expires_at is not None and now >= expires_at
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.expirations += len(stale)
+        return len(stale)
 
     def get(self, key: Hashable, default: Any = None, count: bool = True) -> Any:
         """The cached value, bumping recency; expired entries read as misses.
@@ -93,15 +117,22 @@ class TTLCache:
 
     def put(self, key: Hashable, value: Any) -> int:
         """Store a value; returns how many entries were evicted (0 or 1)."""
-        expires_at = None if self.ttl_s is None else self._clock() + self.ttl_s
+        now = self._clock() if self.ttl_s is not None else None
+        expires_at = None if self.ttl_s is None else now + self.ttl_s
         with self._lock:
             self._entries[key] = (value, expires_at)
             self._entries.move_to_end(key)
             evicted = 0
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-                evicted += 1
+                _key, (_value, old_expires) = self._entries.popitem(last=False)
+                # popping a dead entry is an expiration, not a capacity
+                # eviction — the distinction keeps the eviction counter an
+                # honest measure of cache pressure
+                if old_expires is not None and now is not None and now >= old_expires:
+                    self.expirations += 1
+                else:
+                    self.evictions += 1
+                    evicted += 1
             return evicted
 
     def invalidate(self, keys: Iterable[Hashable]) -> int:
@@ -118,6 +149,7 @@ class TTLCache:
             self._entries.clear()
 
     def keys(self) -> list:
-        """A snapshot of the live keys (oldest first)."""
+        """A snapshot of the live (non-expired) keys (oldest first)."""
         with self._lock:
+            self._purge_expired()
             return list(self._entries)

@@ -9,15 +9,19 @@ Endpoints
 ``GET /tiles/{z}/{tx}/{ty}``        raw density grid, ``.npy`` bytes
 ``GET /tiles/{z}/{tx}/{ty}.npy``    same, explicit
 ``GET /tiles/{z}/{tx}/{ty}.png``    colored tile (``?colormap=heat|viridis|gray``)
+``...?window=<seconds>``            any tile form over only the trailing window
 ``POST /ingest``                    JSON ``{"points": [[x, y], ...], "t": [...]}``
+``POST /tick``                      advance the sliding windows (optional JSON
+                                    body ``{"now": <event-time>}``)
 ``GET /healthz``                    liveness + dataset/cache/queue summary
-``GET /metricz``                    recorder dump + cache/queue stats (JSON)
+``GET /metricz``                    recorder dump + cache/queue/window stats (JSON)
 ``POST /shutdown``                  graceful stop (only with ``allow_shutdown=True``)
 
 Status mapping (the contract the error-path tests pin down):
 
 ====  ==========================================================
-400   malformed tile coordinates, malformed ingest body
+400   malformed tile coordinates, malformed ingest/tick body,
+      malformed or unservable ``window=``
 404   unknown path, tile outside the pyramid or beyond max zoom
 503   render queue full (with ``Retry-After``), or shutting down
 504   per-request deadline exceeded
@@ -36,6 +40,7 @@ from time import perf_counter
 import numpy as np
 
 from .service import ServiceClosed, ServiceOverloaded, ServiceTimeout, TileService
+from .window import WindowError
 
 __all__ = ["TileHTTPServer", "TileRequestHandler", "start_server"]
 
@@ -98,6 +103,9 @@ class TileRequestHandler(BaseHTTPRequestHandler):
         if path == "/ingest":
             self._post_ingest()
             return
+        if path == "/tick":
+            self._post_tick()
+            return
         if path == "/shutdown":
             self._post_shutdown()
             return
@@ -118,18 +126,24 @@ class TileRequestHandler(BaseHTTPRequestHandler):
             return
         zoom, tx, ty = int(z_s), int(tx_s), int(ty_s)
         as_png = suffix == ".png"
+        window = _query_param(query, "window", None)
         try:
             if as_png:
                 colormap = _query_param(query, "colormap", "heat")
-                rgb = self.service.tile_image(zoom, tx, ty, colormap=colormap)
+                rgb = self.service.tile_image(
+                    zoom, tx, ty, colormap=colormap, window=window
+                )
                 from ..viz.image import encode_png
 
                 body, content_type = encode_png(rgb), "image/png"
             else:
-                grid = self.service.get_tile(zoom, tx, ty)
+                grid = self.service.get_tile(zoom, tx, ty, window=window)
                 buf = io.BytesIO()
                 np.save(buf, grid, allow_pickle=False)
                 body, content_type = buf.getvalue(), "application/x-npy"
+        except WindowError as exc:
+            self._error(400, str(exc))
+            return
         except ServiceOverloaded as exc:
             self._error(
                 503, str(exc), headers=[("Retry-After", f"{exc.retry_after_s:.3f}")]
@@ -185,6 +199,38 @@ class TileRequestHandler(BaseHTTPRequestHandler):
         finally:
             rec.timer("serve.http.ingest").add(perf_counter() - start)
 
+    def _post_tick(self) -> None:
+        rec = self.service.recorder
+        start = perf_counter()
+        try:
+            now = None
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                self._error(400, "bad Content-Length")
+                return
+            if length > 0:
+                try:
+                    payload = json.loads(self.rfile.read(length))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    self._error(400, "tick body is not valid JSON")
+                    return
+                if not isinstance(payload, dict):
+                    self._error(400, 'tick body must be {} or {"now": <event-time>}')
+                    return
+                now = payload.get("now")
+                if now is not None and not isinstance(now, (int, float)):
+                    self._error(400, "tick 'now' must be a number (event time)")
+                    return
+            try:
+                outcome = self.service.tick(now=now)
+            except ServiceClosed as exc:
+                self._error(503, str(exc), headers=[("Retry-After", "1")])
+                return
+            self._send_json(200, outcome)
+        finally:
+            rec.timer("serve.http.tick").add(perf_counter() - start)
+
     # -- lifecycle ---------------------------------------------------------
 
     def _post_shutdown(self) -> None:
@@ -201,7 +247,7 @@ class TileRequestHandler(BaseHTTPRequestHandler):
         ).start()
 
 
-def _query_param(query: str, name: str, default: str) -> str:
+def _query_param(query: str, name: str, default: "str | None") -> "str | None":
     for part in query.split("&"):
         key, _, value = part.partition("=")
         if key == name and value:

@@ -3,7 +3,7 @@
 The paper positions SLAM as the engine behind interactive web KDV tools
 (KDV-Explorer); serving that workload means many clients hammering the same
 small set of visible tiles while a live feed appends events.  The service
-composes four mechanisms, each individually simple:
+composes five mechanisms, each individually simple:
 
 **Single-flight coalescing.**
     N concurrent requests for the same cold ``(zoom, tx, ty)`` trigger
@@ -22,10 +22,11 @@ composes four mechanisms, each individually simple:
 
 **TTL + LRU tile cache with targeted invalidation.**
     Rendered tiles live in a :class:`~repro.serve.cache.TTLCache`.  Ingest
-    drops exactly the tiles whose region intersects the batch MBR inflated
-    by one bandwidth (:func:`~repro.serve.invalidate.affected_tiles`) —
-    everything else is provably unchanged, because finite-support kernels
-    reach at most one bandwidth.
+    and window expiry drop exactly the tiles whose region intersects the
+    changed batches' MBRs inflated by one bandwidth
+    (:func:`~repro.serve.invalidate.affected_tiles`) — everything else is
+    provably unchanged, because finite-support kernels reach at most one
+    bandwidth.
 
 **Live ingest through the streaming engine.**
     Inserts route through :class:`~repro.extensions.streaming.StreamingKDV`,
@@ -37,9 +38,23 @@ composes four mechanisms, each individually simple:
     index (one O(n log n) sort serving every tile render of that
     generation) is dropped and lazily rebuilt.
 
+**Sliding-window views.**
+    ``window=<seconds>`` requests serve tiles over only the trailing window
+    of the timestamped feed.  Each distinct window is a
+    :class:`~repro.serve.window.WindowView` — its own maintained
+    :class:`~repro.extensions.streaming.StreamingKDV`, version counter,
+    y-sorted index, and cache namespace (keys carry the window length) —
+    advanced by :meth:`tick`: expiry is one signed O(Δ) grid update, and
+    only tiles in the union of the expired batches' inflated MBRs are
+    invalidated, never the whole pyramid.  Ticks run on the ``tick_s``
+    schedule (piggybacked on request traffic — no background thread) or via
+    an explicit :meth:`tick` / ``POST /tick``.
+
 Everything is observable: the wired-in :class:`~repro.obs.Recorder` carries
-request/coalescing/backpressure counters, render/ingest phases, and
-queue-depth gauges (see ``docs/serving.md`` for the metric name table).
+request/coalescing/backpressure counters, render/ingest/tick phases, window
+counters (``window.ticks``, ``window.expired_points``, ``window.rebuilds``,
+``window.drift``), and queue-depth gauges (see ``docs/serving.md`` for the
+metric name table).
 """
 
 from __future__ import annotations
@@ -53,12 +68,12 @@ from typing import Callable
 import numpy as np
 
 from ..core.api import PARALLEL_METHODS
-from ..core.envelope import YSortedIndex
 from ..extensions.streaming import StreamingKDV
 from ..obs import Recorder
 from ..viz.tiles import TileScheme, render_tile
 from .cache import TTLCache
 from .invalidate import affected_tiles
+from .window import WindowError, WindowView, window_seconds
 
 __all__ = [
     "TileService",
@@ -91,6 +106,8 @@ class TileService:
     ----------
     points:
         Initial dataset: an ``(n, 2)`` array or :class:`~repro.data.points.PointSet`.
+        A :class:`~repro.data.points.PointSet` with timestamps seeds the
+        time axis (its ``t`` feeds the sliding-window machinery).
     scheme:
         Tile addressing; defaults to the initial dataset's squared MBR.
         Live ingest outside the level-0 world still works (tiles are exact
@@ -111,11 +128,33 @@ class TileService:
     deadline_s:
         Default per-request wait bound (``None`` = wait indefinitely).
     cache_tiles, cache_ttl_s:
-        Tile cache capacity and optional expiry.
+        Tile cache capacity and optional expiry (shared across all views).
+    window_s:
+        Sliding-window length in seconds, created eagerly at construction
+        (requires a timestamped seed).  Further windows are created lazily
+        by ``window=`` tile requests; ``window_s`` is the one the CLI's
+        ``--window`` pre-warms.
+    tick_s:
+        Window advance cadence.  Ticks piggyback on request traffic (the
+        first :meth:`get_tile`/:meth:`ingest` at least ``tick_s`` after the
+        previous tick runs one) — no background thread, so an idle service
+        does no work.  ``None`` leaves ticking fully explicit.
+    max_windows:
+        Maximum number of distinct live window views; further ``window=``
+        values are refused with :class:`~repro.serve.window.WindowError`
+        (HTTP 400) instead of letting clients mint unbounded maintained
+        state.
+    window_rebuild_every:
+        Forwarded to each window view's
+        :class:`~repro.extensions.streaming.StreamingKDV` — full rebuild
+        (drift reset) after this many expiry batches.
     recorder:
         The metrics sink; a fresh :class:`~repro.obs.Recorder` by default.
     clock:
-        Monotonic time source (injectable for TTL tests).
+        Monotonic time source (injectable for TTL/tick-schedule tests).
+        The tick *schedule* runs on this clock; window *cutoffs* use event
+        time (the ingested-timestamp watermark), so replayed feeds age
+        correctly regardless of wall time.
     render_fn:
         Render override with the signature of
         :func:`~repro.viz.tiles.render_tile` (tests inject slow/controlled
@@ -145,6 +184,10 @@ class TileService:
         deadline_s: "float | None" = None,
         cache_tiles: int = 256,
         cache_ttl_s: "float | None" = None,
+        window_s: "float | None" = None,
+        tick_s: "float | None" = None,
+        max_windows: int = 4,
+        window_rebuild_every: "int | None" = 1000,
         recorder: "Recorder | None" = None,
         clock: Callable[[], float] = monotonic,
         render_fn=None,
@@ -152,7 +195,10 @@ class TileService:
     ):
         from ..data.points import PointSet
 
-        xy = points.xy if isinstance(points, PointSet) else np.asarray(points, float)
+        if isinstance(points, PointSet):
+            xy, seed_t = points.xy, points.t
+        else:
+            xy, seed_t = np.asarray(points, float), None
         if xy.ndim != 2 or xy.shape[1] != 2:
             raise ValueError(f"expected (n, 2) coordinates, got shape {xy.shape}")
         if len(xy) == 0:
@@ -169,6 +215,10 @@ class TileService:
             raise ValueError("queue_limit must be >= 1")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive or None")
+        if tick_s is not None and tick_s <= 0:
+            raise ValueError("tick_s must be positive or None")
+        if max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
 
         self.scheme = scheme or TileScheme.for_points(xy)
         self.tile_size = int(tile_size)
@@ -179,6 +229,9 @@ class TileService:
         self.workers = int(workers)
         self.queue_limit = int(queue_limit)
         self.deadline_s = deadline_s
+        self.tick_s = tick_s
+        self.max_windows = int(max_windows)
+        self.window_rebuild_every = window_rebuild_every
         self.recorder: Recorder = recorder if recorder is not None else Recorder()
         self._clock = clock
         self.coordinator = coordinator
@@ -195,34 +248,46 @@ class TileService:
             render_fn = self._render_distributed
         self._render_fn = render_fn if render_fn is not None else render_tile
 
-        # live dataset: the streaming engine owns the point batches and keeps
-        # an incrementally-maintained overview grid (level-0 resolution) whose
-        # peak anchors the png color scale
-        self._stream = StreamingKDV(
-            region=self.scheme.world,
-            size=(min(self.tile_size, 256), min(self.tile_size, 256)),
-            kernel=kernel,
-            bandwidth=self.bandwidth,
-            method=method,
-        )
-        self._stream.insert(xy)
-        self._points = self._stream.points()
-        self._version = 0
-        # One y-sorted index per ingest generation, shared by every render of
-        # that generation (the pyramid's tiles all sweep the same dataset).
-        # Built lazily by the first SLAM render, dropped on ingest; the
-        # ``tiles.ysorted_builds`` counter pins "exactly one build per
-        # generation" in the tests.
-        self._ysorted: "YSortedIndex | None" = None
+        # Served views, keyed by window length (None = the all-time view).
+        # Each view owns a streaming engine (incrementally-maintained overview
+        # grid + live batches), a point snapshot, a cache-guarding version
+        # counter, and the generation's shared y-sorted index.
+        base_stream = self._new_stream(require_timestamps=False)
+        base_stream.insert(xy, seed_t)
+        self._views: "dict[float | None, WindowView]" = {
+            None: WindowView(None, base_stream)
+        }
+        if window_s is not None:
+            seconds = window_seconds(window_s)
+            if seed_t is None:
+                raise ValueError(
+                    "window_s requires a timestamped seed (a PointSet with "
+                    "t set); untimestamped events can never expire"
+                )
+            self._views[seconds] = self._make_window_view(seconds)
 
         self._cache = TTLCache(cache_tiles, ttl_s=cache_ttl_s, clock=clock)
         self._lock = threading.Lock()
-        self._inflight: dict[tuple[int, int, int], object] = {}
+        self._inflight: dict[tuple, object] = {}
         self._closed = False
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="kdv-render"
         )
         self._started = clock()
+        self._last_tick = clock()
+        self._window_ticks = 0
+        self._window_expired = 0
+
+    def _new_stream(self, require_timestamps: bool) -> StreamingKDV:
+        return StreamingKDV(
+            region=self.scheme.world,
+            size=(min(self.tile_size, 256), min(self.tile_size, 256)),
+            kernel=self.kernel,
+            bandwidth=self.bandwidth,
+            method=self.method,
+            rebuild_every=self.window_rebuild_every,
+            require_timestamps=require_timestamps,
+        )
 
     # -- request path ------------------------------------------------------
 
@@ -241,18 +306,26 @@ class TileService:
         tx: int,
         ty: int,
         deadline_s: "float | None | type[Ellipsis]" = ...,
+        window: "float | str | None" = None,
     ) -> np.ndarray:
         """The density grid of one tile, rendered at most once concurrently.
 
-        Raises ``ValueError`` for out-of-pyramid keys,
-        :class:`ServiceOverloaded` when the render queue is full,
-        :class:`ServiceTimeout` when the deadline elapses first, and
-        :class:`ServiceClosed` during shutdown.  ``deadline_s`` overrides the
-        service default for this request (``...`` keeps the default).
+        ``window=<seconds>`` serves the tile over only the trailing window
+        of the timestamped feed (creating the window view on first use);
+        windowed tiles cache and invalidate independently of the all-time
+        pyramid.  Raises ``ValueError`` for out-of-pyramid keys,
+        :class:`~repro.serve.window.WindowError` for malformed or
+        unservable windows, :class:`ServiceOverloaded` when the render
+        queue is full, :class:`ServiceTimeout` when the deadline elapses
+        first, and :class:`ServiceClosed` during shutdown.  ``deadline_s``
+        overrides the service default for this request (``...`` keeps the
+        default).
         """
         rec = self.recorder
         self.check_key(zoom, tx, ty)
-        key = (zoom, tx, ty)
+        self._maybe_auto_tick()
+        view = self._view_for(window)
+        key = view.cache_key(zoom, tx, ty)
         rec.count("serve.tile_requests")
 
         grid = self._cache.get(key)
@@ -280,7 +353,12 @@ class TileService:
                     )
                 rec.count("serve.coalesce.leaders")
                 future = self._pool.submit(
-                    self._render_into_cache, key, self._version, self._points
+                    self._render_into_cache,
+                    key,
+                    (zoom, tx, ty),
+                    view,
+                    view.version,
+                    view.points,
                 )
                 self._inflight[key] = future
                 rec.set_gauge("serve.queue_depth", len(self._inflight))
@@ -302,27 +380,82 @@ class TileService:
     def tile_image(
         self, zoom: int, tx: int, ty: int, colormap: str = "heat", **kwargs
     ) -> np.ndarray:
-        """RGB tile (north-up) on the live overview's color scale."""
+        """RGB tile (north-up) on the serving view's stable color scale."""
         from ..viz.colormap import colorize
 
         grid = self.get_tile(zoom, tx, ty, **kwargs)
-        peak = float(self._stream.grid.max()) or 1.0
+        peak = self._view_for(kwargs.get("window")).color_peak()
         return colorize((grid / peak)[::-1], colormap)
 
+    def _view_for(self, window: "float | str | None") -> WindowView:
+        """Resolve a ``window=`` value to its view, creating it on first use.
+
+        Lazy creation replays the all-time engine's batch history into a
+        fresh windowed engine (skipping batches already entirely older than
+        the window), so a cold ``window=`` request costs one sweep of the
+        *live-window* points, not of all history.
+        """
+        if window is None:
+            return self._views[None]
+        seconds = window_seconds(window)
+        with self._lock:
+            view = self._views.get(seconds)
+            if view is not None:
+                return view
+            if self._closed:
+                raise ServiceClosed("service is shutting down")
+            if len(self._views) - 1 >= self.max_windows:
+                live = sorted(s for s in self._views if s is not None)
+                raise WindowError(
+                    f"too many distinct windows (max_windows="
+                    f"{self.max_windows}); live windows: {live}"
+                )
+            view = self._make_window_view(seconds)
+            self._views[seconds] = view
+            return view
+
+    def _make_window_view(self, seconds: float) -> WindowView:
+        """Build the maintained view of the trailing ``seconds`` window
+        (caller holds ``self._lock``, or is the constructor)."""
+        base = self._views[None].stream
+        batches = base.batches()
+        if any(t is None for _xy, t in batches):
+            raise WindowError(
+                "window= requires a fully timestamped feed, but part of the "
+                "history was ingested without timestamps"
+            )
+        watermark = base.latest_time
+        cutoff = None if watermark is None else watermark - seconds
+        stream = self._new_stream(require_timestamps=True)
+        for xy, t in batches:
+            # batches entirely older than the window would be inserted and
+            # immediately expired — two wasted sweeps
+            if cutoff is not None and float(t.max()) < cutoff:
+                continue
+            stream.insert(xy, t)
+        if cutoff is not None:
+            stream.expire_before(cutoff)
+        return WindowView(seconds, stream)
+
     def _render_into_cache(
-        self, key: tuple[int, int, int], version: int, points: np.ndarray
+        self,
+        key: tuple,
+        tile: tuple[int, int, int],
+        view: WindowView,
+        version: int,
+        points: np.ndarray,
     ) -> np.ndarray:
         rec = self.recorder
         try:
             extra = {}
-            ysorted = self._ysorted_for(version)
+            ysorted = self._ysorted_for(view, version)
             if ysorted is not None:
                 extra["ysorted"] = ysorted
             with rec.span("tiles.render"):
                 grid = self._render_fn(
                     points,
                     self.scheme,
-                    *key,
+                    *tile,
                     tile_size=self.tile_size,
                     bandwidth=self.bandwidth,
                     kernel=self.kernel,
@@ -332,12 +465,12 @@ class TileService:
             grid = np.asarray(grid)
             grid.setflags(write=False)  # shared across waiters and the cache
             with self._lock:
-                if version == self._version:
+                if version == view.version:
                     evicted = self._cache.put(key, grid)
                     if evicted:
                         rec.count("tiles.cache.evictions", evicted)
                 else:
-                    # an ingest landed mid-render: hand the grid to the
+                    # an ingest/tick landed mid-render: hand the grid to the
                     # waiters (it answers the request they made) but do not
                     # cache the now-stale tile
                     rec.count("serve.render.stale")
@@ -361,12 +494,13 @@ class TileService:
             **kwargs,
         )
 
-    def _ysorted_for(self, version: int) -> "YSortedIndex | None":
-        """The current generation's shared y-sorted index, built at most once.
+    def _ysorted_for(self, view: WindowView, version: int):
+        """The view's current-generation shared y-sorted index, built at most
+        once per generation.
 
         ``None`` for non-SLAM methods (which cannot consume an index) and for
-        stale renders (``version`` behind :attr:`_version`): building an
-        index for a dead generation would waste the sort *and* break the
+        stale renders (``version`` behind the view's): building an index for
+        a dead generation would waste the sort *and* break the
         one-build-per-generation accounting, so a stale render just lets
         ``compute_kdv`` sort its own snapshot.  The build runs under
         :attr:`_lock`, so concurrent cold renders of one generation still
@@ -375,12 +509,12 @@ class TileService:
         if self.method not in PARALLEL_METHODS:
             return None
         with self._lock:
-            if version != self._version:
+            if version != view.version:
                 return None
-            if self._ysorted is None:
-                self._ysorted = YSortedIndex(self._points)
+            index, built = view.build_ysorted()
+            if built:
                 self.recorder.count("tiles.ysorted_builds")
-            return self._ysorted
+            return index
 
     def _retry_after(self) -> float:
         """503 Retry-After estimate: one average render, floored at 100 ms."""
@@ -389,10 +523,16 @@ class TileService:
             return max(timer.total_seconds / timer.calls, 0.1)
         return 1.0
 
-    # -- live ingest -------------------------------------------------------
+    # -- live ingest and window ticks --------------------------------------
 
     def ingest(self, xy, t=None) -> dict:
         """Insert a batch of events and invalidate exactly the tiles it touches.
+
+        ``t`` carries per-event timestamps (seconds; any monotone epoch) —
+        required once any window view is live, because an untimestamped
+        batch could never expire out of a window.  The batch lands in
+        *every* view (all-time and each window), each of which invalidates
+        only its own affected tiles.
 
         Returns ``{"inserted", "invalidated", "points"}``.  Raises
         ``ValueError`` for malformed batches (before any state changes) and
@@ -404,63 +544,171 @@ class TileService:
             raise ValueError(f"expected (n, 2) coordinates, got shape {xy.shape}")
         if not np.all(np.isfinite(xy)):
             raise ValueError("batch coordinates must be finite")
+        if t is not None:
+            t = np.asarray(t, dtype=np.float64)
+            if t.shape != (len(xy),):
+                raise ValueError("t must match the batch length")
+            if not np.all(np.isfinite(t)):
+                raise ValueError("batch timestamps must be finite")
         rec.count("serve.ingest_requests")
         invalidated = 0
         with rec.span("serve.ingest"):
             with self._lock:
                 if self._closed:
                     raise ServiceClosed("service is shutting down")
-                self._stream.insert(xy, t)
+                if t is None and len(self._views) > 1:
+                    raise ValueError(
+                        "window views are live; every ingest batch needs "
+                        "per-event timestamps (t), or it could never expire"
+                    )
                 if len(xy):
-                    self._points = self._stream.points()
-                    self._version += 1
-                    self._ysorted = None  # next generation re-sorts lazily
-                    invalidated = self._invalidate_affected(xy)
+                    for view in self._views.values():
+                        view.stream.insert(xy, t)
+                        view.bump()
+                        invalidated += self._invalidate_affected([xy], view)
         rec.count("serve.ingested_points", len(xy))
         rec.count("serve.invalidated_tiles", invalidated)
+        self._maybe_auto_tick()
         return {
             "inserted": int(len(xy)),
             "invalidated": int(invalidated),
-            "points": len(self._stream),
+            "points": self.points_count,
         }
 
-    def _invalidate_affected(self, batch: np.ndarray) -> int:
-        """Drop cached tiles intersecting the batch MBR + one bandwidth.
-        Caller holds ``self._lock``; in-flight renders are version-guarded."""
-        cached = self._cache.keys()
-        zooms = {key[0] for key in cached}
+    def tick(self, now: "float | None" = None) -> dict:
+        """Advance every window view: expire events older than the window.
+
+        ``now`` is the event-time reference; it defaults to the ingest
+        watermark (the largest timestamp ever seen), so a replayed feed ages
+        in its own clock.  Each view's expiry is one signed O(Δ) grid update
+        (one sweep of the expired points), and only the tiles in the union
+        of the expired batches' inflated MBRs are invalidated — tiles
+        outside that set are provably byte-identical and stay cached.
+
+        Returns a summary dict; with no window views live it is a cheap
+        no-op.  Raises :class:`ServiceClosed` during shutdown.
+        """
+        rec = self.recorder
+        results: list[dict] = []
+        total_expired = 0
+        total_invalidated = 0
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shutting down")
+            self._last_tick = self._clock()
+            windows = [v for v in self._views.values() if v.seconds is not None]
+            if now is None:
+                now = self._views[None].stream.latest_time
+            if windows and now is not None:
+                with rec.span("window.tick"):
+                    for view in windows:
+                        cutoff = now - view.seconds
+                        rebuilds_before = view.stream.rebuilds
+                        removed, expired = view.stream.expire_before(
+                            cutoff, collect=True
+                        )
+                        invalidated = 0
+                        if removed:
+                            view.bump()
+                            invalidated = self._invalidate_affected(expired, view)
+                        rebuilt = view.stream.rebuilds - rebuilds_before
+                        if rebuilt:
+                            rec.count("window.rebuilds", rebuilt)
+                            rec.set_gauge(
+                                "window.drift", view.stream.last_rebuild_drift
+                            )
+                        total_expired += removed
+                        total_invalidated += invalidated
+                        results.append(
+                            {
+                                "window": view.seconds,
+                                "expired": removed,
+                                "invalidated": invalidated,
+                                "points": len(view.stream),
+                            }
+                        )
+                self._window_ticks += 1
+                self._window_expired += total_expired
+                rec.count("window.ticks")
+                rec.count("window.expired_points", total_expired)
+        return {
+            "now": None if now is None else float(now),
+            "windows": results,
+            "expired": int(total_expired),
+            "invalidated": int(total_invalidated),
+            "ticks": self._window_ticks,
+        }
+
+    def _maybe_auto_tick(self) -> None:
+        """Run a scheduled tick if ``tick_s`` has elapsed since the last one.
+
+        Piggybacks on request traffic (called from :meth:`get_tile` and
+        :meth:`ingest`), so there is no background thread and an idle
+        service does no work; the first request after a quiet stretch pays
+        one tick.
+        """
+        if self.tick_s is None or len(self._views) <= 1:
+            return
+        if self._clock() - self._last_tick >= self.tick_s:
+            self.tick()
+
+    def _invalidate_affected(self, batches, view: WindowView) -> int:
+        """Drop the view's cached tiles intersecting any batch MBR + one
+        bandwidth — the union of the batches' affected sets, mapped into the
+        view's cache namespace.  Caller holds ``self._lock``; in-flight
+        renders are version-guarded."""
+        mine = [key for key in self._cache.keys() if view.owns_key(key)]
+        if not mine:
+            return 0
+        zooms = {key[0] for key in mine}
         affected: set = set()
         for zoom in zooms:
-            affected |= affected_tiles(self.scheme, zoom, batch, self.bandwidth)
-        return self._cache.invalidate(affected & set(cached))
+            for batch in batches:
+                affected |= affected_tiles(self.scheme, zoom, batch, self.bandwidth)
+        keys = {view.cache_key(*tile) for tile in affected}
+        return self._cache.invalidate(keys & set(mine))
 
     # -- introspection -----------------------------------------------------
 
     @property
     def points_count(self) -> int:
-        """Number of live events."""
-        return len(self._stream)
+        """Number of live events in the all-time view."""
+        return len(self._views[None].stream)
+
+    @property
+    def _points(self) -> np.ndarray:
+        """The all-time view's point snapshot (kept for tests/tools that
+        re-render tiles outside the service)."""
+        return self._views[None].points
 
     @property
     def queue_depth(self) -> int:
         """In-flight renders (running + queued)."""
         return len(self._inflight)
 
+    @property
+    def windows(self) -> list[float]:
+        """The live window lengths, ascending."""
+        return sorted(s for s in self._views if s is not None)
+
     def health(self) -> dict:
         """The ``/healthz`` payload."""
         with self._lock:
             status = "closing" if self._closed else "ok"
             inflight = len(self._inflight)
+            windows = len(self._views) - 1
         return {
             "status": status,
             "points": self.points_count,
             "tiles_cached": len(self._cache),
             "inflight": inflight,
+            "windows": windows,
             "uptime_s": self._clock() - self._started,
         }
 
     def stats(self) -> dict:
-        """The ``/metricz`` payload: recorder dump + live cache/queue state.
+        """The ``/metricz`` payload: recorder dump + live cache/queue/window
+        state.
 
         With a coordinator attached, its accumulated distributed counters
         (``dist.shards``, ``dist.retries``, ``dist.worker_deaths``, byte
@@ -476,6 +724,14 @@ class TileService:
             recorder_snapshot = merged.snapshot()
         else:
             recorder_snapshot = self.recorder.snapshot()
+        with self._lock:
+            views = [
+                view.describe()
+                for _seconds, view in sorted(
+                    ((s, v) for s, v in self._views.items() if s is not None),
+                    key=lambda item: item[0],
+                )
+            ]
         return {
             "recorder": recorder_snapshot,
             "cache": {
@@ -488,6 +744,13 @@ class TileService:
                 "expirations": self._cache.expirations,
             },
             "queue": {"depth": self.queue_depth, "limit": self.queue_limit},
+            "window": {
+                "ticks": self._window_ticks,
+                "tick_s": self.tick_s,
+                "expired_points": self._window_expired,
+                "max_windows": self.max_windows,
+                "views": views,
+            },
             "points": self.points_count,
             "uptime_s": self._clock() - self._started,
         }

@@ -1,0 +1,134 @@
+"""Sliding-window views for the tile service.
+
+The paper's real-time plans rest on density being *additive over the
+dataset*: a sliding time window never recomputes the full grid — each tick
+subtracts the KDV of the expired batch and adds the KDV of the new one
+(:class:`~repro.extensions.streaming.StreamingKDV` does the signed
+updates), so a tick costs O(changed points), not O(full sweep).  This is
+the "fast sum updating" trick of Langrené & Warin, whose
+numerical-stability warning is what the engine's periodic rebuilds answer.
+
+:class:`WindowView` packages everything :class:`~repro.serve.TileService`
+keeps per served view of the live dataset: the maintained
+:class:`~repro.extensions.streaming.StreamingKDV` state, the point
+snapshot tiles render from, the generation version that guards the tile
+cache, and the lazily-built y-sorted index shared by every render of one
+generation.  The all-time view (``seconds is None``) and every
+``window=<seconds>`` view are the same type, so the serving code has one
+path for both.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.envelope import YSortedIndex
+
+__all__ = ["WindowError", "WindowView", "window_seconds"]
+
+
+class WindowError(ValueError):
+    """A malformed or unservable ``window=`` request (the HTTP layer's 400)."""
+
+
+def window_seconds(window) -> float:
+    """Validate a ``window=`` value into positive, finite seconds."""
+    try:
+        seconds = float(window)
+    except (TypeError, ValueError):
+        raise WindowError(
+            f"window must be a positive number of seconds, got {window!r}"
+        ) from None
+    if not math.isfinite(seconds) or seconds <= 0:
+        raise WindowError(
+            f"window must be a positive number of seconds, got {window!r}"
+        )
+    return seconds
+
+
+class WindowView:
+    """One served view of the live dataset.
+
+    ``seconds is None`` is the all-time view (every event ever ingested);
+    otherwise the view holds exactly the events of the trailing
+    ``seconds``-long window, maintained by signed grid updates and expired
+    on ticks.
+
+    Attributes
+    ----------
+    stream:
+        The maintained :class:`~repro.extensions.streaming.StreamingKDV`
+        (overview grid + live batches).
+    points:
+        Snapshot array of the live points, what tile renders consume.
+        Refreshed whenever the stream changes.
+    version:
+        Ingest/expiry generation counter; a render started under an older
+        version is answered but never cached.
+    ysorted:
+        The generation's shared y-sorted index (one O(n log n) sort serving
+        every tile render of the generation), built lazily and dropped on
+        every generation bump.
+    """
+
+    __slots__ = ("seconds", "stream", "points", "version", "ysorted")
+
+    def __init__(self, seconds: "float | None", stream):
+        self.seconds = seconds
+        self.stream = stream
+        self.points = stream.points()
+        self.version = 0
+        self.ysorted: "YSortedIndex | None" = None
+
+    def bump(self) -> None:
+        """Refresh the snapshot after the stream changed: new generation,
+        new points array, y-sorted index dropped for a lazy rebuild."""
+        self.points = self.stream.points()
+        self.version += 1
+        self.ysorted = None
+
+    def cache_key(self, zoom: int, tx: int, ty: int) -> tuple:
+        """The tile-cache (and in-flight) key for one tile of this view.
+
+        The all-time view keeps the historical 3-tuple form; windowed views
+        append their window length, so each window's tiles cache and
+        invalidate independently.
+        """
+        if self.seconds is None:
+            return (zoom, tx, ty)
+        return (zoom, tx, ty, self.seconds)
+
+    def owns_key(self, key: tuple) -> bool:
+        """Whether a cache key addresses a tile of this view."""
+        if self.seconds is None:
+            return len(key) == 3
+        return len(key) == 4 and key[3] == self.seconds
+
+    def build_ysorted(self) -> "tuple[YSortedIndex | None, bool]":
+        """``(index, built_now)`` — the generation's shared index, built at
+        most once per generation (caller holds the service lock and uses
+        ``built_now`` for the one-build-per-generation accounting).
+        ``(None, False)`` while the view is empty."""
+        if self.ysorted is not None:
+            return self.ysorted, False
+        if not len(self.points):
+            return None, False
+        self.ysorted = YSortedIndex(self.points)
+        return self.ysorted, True
+
+    def color_peak(self) -> float:
+        """Peak of the maintained overview grid — the stable color scale
+        for this view's ``.png`` tiles."""
+        grid = self.stream.grid
+        peak = float(grid.max()) if grid.size else 0.0
+        return peak or 1.0
+
+    def describe(self) -> dict:
+        """The ``/metricz`` summary of this view."""
+        return {
+            "seconds": self.seconds,
+            "points": len(self.stream),
+            "version": self.version,
+            "rebuilds": self.stream.rebuilds,
+            "last_rebuild_drift": self.stream.last_rebuild_drift,
+        }

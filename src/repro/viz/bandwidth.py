@@ -38,6 +38,8 @@ __all__ = [
     "scaled_bandwidth",
     "silverman_bandwidth",
     "lcv_bandwidth",
+    "BANDWIDTH_SELECTORS",
+    "resolve_bandwidth",
 ]
 
 
@@ -186,3 +188,34 @@ def lcv_bandwidth(
             fd = objective(d)
     best = (a + b) / 2.0
     return float(best * sample_scale)
+
+
+#: selector name -> function of the point array (the strings ``bandwidth=``
+#: accepts wherever a bandwidth parameter is taken)
+BANDWIDTH_SELECTORS = {
+    "scott": scott_bandwidth,
+    "silverman": silverman_bandwidth,
+    "lcv": lcv_bandwidth,
+}
+
+
+def resolve_bandwidth(bandwidth: "float | str", xy: np.ndarray) -> float:
+    """A concrete positive bandwidth from a float or a selector name.
+
+    Strings route through :data:`BANDWIDTH_SELECTORS` (``"scott"``,
+    ``"silverman"``, ``"lcv"``); anything else must be a positive number.
+    Unknown selector names raise a ``ValueError`` listing the valid ones —
+    not the bare ``float()`` conversion error they used to.
+    """
+    if isinstance(bandwidth, str):
+        selector = BANDWIDTH_SELECTORS.get(bandwidth)
+        if selector is None:
+            raise ValueError(
+                f"unknown bandwidth selector {bandwidth!r}; pass a positive "
+                f"number or one of {sorted(BANDWIDTH_SELECTORS)}"
+            )
+        return float(selector(np.asarray(xy, dtype=np.float64)))
+    value = float(bandwidth)
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"bandwidth must be positive, got {value}")
+    return value

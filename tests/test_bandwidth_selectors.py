@@ -6,7 +6,9 @@ import numpy as np
 import pytest
 
 from repro.viz.bandwidth import (
+    BANDWIDTH_SELECTORS,
     lcv_bandwidth,
+    resolve_bandwidth,
     scott_bandwidth,
     silverman_bandwidth,
 )
@@ -93,3 +95,63 @@ class TestLCV:
         b = lcv_bandwidth(xy, iterations=8)
         res = compute_kdv(xy, size=(16, 12), bandwidth=b)
         assert res.max_density() > 0
+
+
+class TestResolveBandwidth:
+    """Every selector name must work everywhere a bandwidth is accepted —
+    the regression here was ``compute_kdv(bandwidth="silverman")`` crashing
+    on ``float("silverman")`` because only ``"scott"`` was special-cased."""
+
+    def test_selector_names_route_to_their_functions(self, rng):
+        xy = rng.normal(0, 3, (400, 2))
+        assert resolve_bandwidth("scott", xy) == scott_bandwidth(xy)
+        assert resolve_bandwidth("silverman", xy) == silverman_bandwidth(xy)
+        assert resolve_bandwidth("lcv", xy) == lcv_bandwidth(xy)
+        assert set(BANDWIDTH_SELECTORS) == {"scott", "silverman", "lcv"}
+
+    def test_numbers_pass_through(self, rng):
+        xy = rng.normal(0, 3, (50, 2))
+        assert resolve_bandwidth(12.5, xy) == 12.5
+        assert resolve_bandwidth(np.float64(3.0), xy) == 3.0
+
+    def test_unknown_selector_lists_the_valid_ones(self, rng):
+        xy = rng.normal(0, 3, (50, 2))
+        with pytest.raises(ValueError, match="scott.*silverman"):
+            resolve_bandwidth("sheather-jones", xy)
+
+    def test_bad_numbers_rejected(self, rng):
+        xy = rng.normal(0, 3, (50, 2))
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="positive"):
+                resolve_bandwidth(bad, xy)
+
+    @pytest.mark.parametrize("name", ["scott", "silverman", "lcv"])
+    def test_compute_kdv_accepts_every_selector(self, rng, name):
+        from repro import compute_kdv
+
+        xy = rng.normal((50, 40), 5.0, (300, 2))
+        res = compute_kdv(xy, size=(16, 12), bandwidth=name)
+        assert res.max_density() > 0
+        direct = compute_kdv(
+            xy, size=(16, 12), bandwidth=resolve_bandwidth(name, xy)
+        )
+        np.testing.assert_array_equal(res.grid, direct.grid)
+
+    def test_compute_kdv_unknown_selector_message(self, rng):
+        from repro import compute_kdv
+
+        xy = rng.normal(0, 3, (50, 2))
+        with pytest.raises(ValueError, match="bandwidth selector"):
+            compute_kdv(xy, size=(8, 6), bandwidth="sheather-jones")
+
+    def test_stkdv_accepts_silverman(self, rng):
+        from repro import PointSet
+        from repro.extensions.temporal import compute_stkdv
+
+        xy = rng.normal((50, 40), 5.0, (200, 2))
+        ps = PointSet(xy, t=rng.uniform(0, 80, 200))
+        res = compute_stkdv(
+            ps, times=np.array([40.0]), temporal_bandwidth=20.0,
+            size=(8, 6), bandwidth="silverman",
+        )
+        assert res.frames[0].max_density() > 0

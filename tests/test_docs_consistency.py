@@ -108,7 +108,7 @@ class TestDesignInventory:
                     "docs/algorithm.md", "docs/api_guide.md",
                     "docs/reproducing.md", "docs/benchmarks.md",
                     "docs/observability.md", "docs/serving.md",
-                    "docs/distributed.md"):
+                    "docs/streaming.md", "docs/distributed.md"):
             assert (REPO / doc).is_file(), doc
 
 

@@ -47,12 +47,13 @@ def make_points():
 
 def make_server(**service_kwargs):
     allow_shutdown = service_kwargs.pop("allow_shutdown", False)
+    points = service_kwargs.pop("points", None)
     service_kwargs.setdefault("tile_size", TILE)
     service_kwargs.setdefault("bandwidth", BANDWIDTH)
     service_kwargs.setdefault("max_zoom", 2)
     service_kwargs.setdefault("recorder", Recorder())
     service = TileService(
-        make_points(),
+        make_points() if points is None else points,
         TileScheme(Region(0.0, 0.0, 1000.0, 1000.0)),
         **service_kwargs,
     )
@@ -199,6 +200,96 @@ class TestIngestEndpoint:
         before = server.service.points_count
         fetch(server.url + "/ingest", data=b'{"points": [[1, 2, 3]]}')
         assert server.service.points_count == before
+
+
+class TestWindowAndTick:
+    @pytest.fixture()
+    def windowed_server(self):
+        from repro.data.points import PointSet
+
+        xy = make_points()
+        t = np.arange(len(xy), dtype=np.float64)
+        srv = make_server(points=PointSet(xy, t=t), window_s=100.0)
+        yield srv
+        srv.shutdown_gracefully()
+
+    def test_windowed_tile_differs_from_all_time(self, windowed_server):
+        url = windowed_server.url
+        status, headers, base = fetch(url + "/tiles/1/0/0")
+        assert status == 200
+        status2, _, windowed = fetch(url + "/tiles/1/0/0?window=100")
+        assert status2 == 200
+        assert headers["Content-Type"] == "application/x-npy"
+        assert windowed != base  # only the trailing 100 s of the feed
+        # the windowed tile is cached under its own key
+        status3, _, again = fetch(url + "/tiles/1/0/0?window=100")
+        assert status3 == 200 and again == windowed
+
+    def test_windowed_png_renders(self, windowed_server):
+        status, headers, body = fetch(
+            windowed_server.url + "/tiles/1/0/0.png?window=100"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "image/png"
+        assert body[:8] == b"\x89PNG\r\n\x1a\n"
+
+    @pytest.mark.parametrize("bad", ["soon", "-5", "0", "nan", "inf"])
+    def test_malformed_window_is_400(self, windowed_server, bad):
+        status, _, body = fetch(
+            windowed_server.url + f"/tiles/1/0/0?window={bad}"
+        )
+        assert status == 400
+        assert "window" in json.loads(body)["error"]
+
+    def test_window_on_untimestamped_history_is_400(self, server):
+        status, _, body = fetch(server.url + "/tiles/1/0/0?window=10")
+        assert status == 400
+        assert "timestamp" in json.loads(body)["error"]
+
+    def test_tick_endpoint_expires_and_reports(self, windowed_server):
+        url = windowed_server.url
+        status, _, body = fetch(
+            url + "/ingest",
+            data=json.dumps(
+                {"points": [[500.0, 500.0]], "t": [1000.0]}
+            ).encode(),
+        )
+        assert status == 200
+        status, headers, body = fetch(url + "/tick", data=b"")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        outcome = json.loads(body)
+        assert outcome["now"] == 1000.0  # the ingest watermark
+        assert outcome["expired"] > 0
+        assert outcome["ticks"] == 1
+        _, _, metricz = fetch(url + "/metricz")
+        payload = json.loads(metricz)
+        assert payload["recorder"]["counters"]["window.ticks"] == 1
+        assert payload["window"]["ticks"] == 1
+
+    def test_tick_accepts_explicit_now(self, windowed_server):
+        status, _, body = fetch(
+            windowed_server.url + "/tick",
+            data=json.dumps({"now": 250.0}).encode(),
+        )
+        assert status == 200
+        outcome = json.loads(body)
+        assert outcome["now"] == 250.0
+        # the eager window held t in [99, 199]; cutoff 150 expires [99, 150)
+        assert outcome["expired"] == 51
+
+    @pytest.mark.parametrize(
+        "data",
+        [b"not json", json.dumps(["now"]).encode(),
+         json.dumps({"now": "late"}).encode()],
+    )
+    def test_malformed_tick_is_400(self, windowed_server, data):
+        status, _, body = fetch(windowed_server.url + "/tick", data=data)
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_tick_on_get_is_404(self, windowed_server):
+        assert fetch(windowed_server.url + "/tick")[0] == 404
 
 
 class TestBackpressureOverHTTP:

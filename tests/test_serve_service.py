@@ -94,6 +94,37 @@ class TestTTLCache:
         assert cache.expirations == 1
         assert len(cache) == 0
 
+    def test_len_and_keys_purge_expired(self):
+        """Expired-but-unread entries must not inflate the reported size
+        (the ``serve.cache_size`` gauge and ``/metricz`` ``tiles_cached``)."""
+        now = [0.0]
+        cache = TTLCache(8, ttl_s=10.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 2 and set(cache.keys()) == {"a", "b"}
+        now[0] = 10.0
+        assert len(cache) == 0
+        assert cache.keys() == []
+        assert cache.expirations == 2
+        assert cache.evictions == 0  # expiry is not cache pressure
+
+    def test_capacity_pop_of_expired_entry_counts_as_expiration(self):
+        """Evicting an already-dead entry at capacity is an expiration, not
+        an eviction — the eviction counter stays an honest pressure gauge."""
+        now = [0.0]
+        cache = TTLCache(2, ttl_s=10.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        now[0] = 5.0
+        cache.put("b", 2)
+        now[0] = 11.0  # "a" is now past its TTL, "b" is still live
+        assert cache.put("c", 3) == 0  # popping dead "a" is not an eviction
+        assert cache.expirations == 1
+        assert cache.evictions == 0
+        assert cache.get("b", count=False) == 2  # live entry survived
+        now[0] = 12.0
+        assert cache.put("d", 4) == 1  # now a live entry ("b") must go
+        assert cache.evictions == 1
+
     def test_invalidate_reports_presence(self):
         cache = TTLCache(8)
         cache.put((1, 0, 0), "a")
@@ -275,6 +306,26 @@ class TestCacheSemantics:
         now[0] = 31.0
         service.get_tile(1, 0, 0)
         assert service.recorder.timer("tiles.render").calls == 2
+        service.close()
+
+    def test_reported_cache_size_excludes_expired_entries(self, points, scheme):
+        """``/metricz`` ``cache.size``, the ``serve.cache_size`` gauge, and
+        ``/healthz`` ``tiles_cached`` must all agree and never count tiles a
+        reader could no longer hit."""
+        now = [0.0]
+        service = make_service(
+            points, scheme, cache_ttl_s=30.0, clock=lambda: now[0]
+        )
+        service.get_tile(1, 0, 0)
+        service.get_tile(1, 1, 0)
+        assert service.stats()["cache"]["size"] == 2
+        now[0] = 31.0  # both tiles are past their TTL, unread
+        stats = service.stats()
+        assert stats["cache"]["size"] == 0
+        assert stats["recorder"]["gauges"]["serve.cache_size"] == 0
+        assert service.health()["tiles_cached"] == 0
+        assert stats["cache"]["expirations"] == 2
+        assert stats["cache"]["evictions"] == 0
         service.close()
 
     def test_ingest_invalidates_only_affected_tiles(self, points, scheme):

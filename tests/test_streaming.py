@@ -88,6 +88,60 @@ class TestDelete:
         engine.insert(rng.uniform((0, 0), (1000, 800), (50, 2)))  # no t
         assert engine.expire_before(1e9) == 0
 
+    def test_expire_splits_straddling_batch(self, engine, rng):
+        """Expiry is per event: a batch straddling the cutoff loses exactly
+        its old events, and the grid matches a fresh compute of what stays."""
+        xy = rng.uniform((0, 0), (1000, 800), (10, 2))
+        engine.insert(xy, t=np.arange(10.0))
+        assert engine.expire_before(6.0) == 6
+        assert len(engine) == 4
+        np.testing.assert_array_equal(engine.points(), xy[6:])
+        np.testing.assert_allclose(
+            engine.grid, fresh_grid(xy[6:]), rtol=1e-9, atol=1e-10
+        )
+
+    def test_expire_scans_past_untimestamped_batches(self, engine, rng):
+        """An untimestamped batch mid-feed must not shield older timestamped
+        batches behind it, and the returned count stays honest."""
+        old = rng.uniform((0, 0), (1000, 800), (30, 2))
+        untimed = rng.uniform((0, 0), (1000, 800), (20, 2))
+        older = rng.uniform((0, 0), (1000, 800), (40, 2))
+        engine.insert(old, t=np.full(30, 1.0))
+        engine.insert(untimed)  # no timestamps: never expires
+        engine.insert(older, t=np.full(40, 2.0))
+        assert engine.expire_before(10.0) == 70
+        assert len(engine) == 20
+        np.testing.assert_array_equal(engine.points(), untimed)
+
+    def test_expire_collect_returns_expired_batches(self, engine, rng):
+        a = rng.uniform((0, 0), (1000, 800), (5, 2))
+        b = rng.uniform((0, 0), (1000, 800), (7, 2))
+        engine.insert(a, t=np.full(5, 0.0))
+        engine.insert(b, t=np.full(7, 1.0))
+        removed, batches = engine.expire_before(0.5, collect=True)
+        assert removed == 5
+        assert len(batches) == 1
+        np.testing.assert_array_equal(batches[0], a)
+
+    def test_require_timestamps_rejects_bare_inserts(self, rng):
+        engine = StreamingKDV(REGION, size=(8, 6), bandwidth=80.0,
+                              require_timestamps=True)
+        with pytest.raises(ValueError, match="timestamps"):
+            engine.insert(rng.uniform((0, 0), (1000, 800), (5, 2)))
+        xy = rng.uniform((0, 0), (1000, 800), (5, 2))
+        engine.insert(xy, t=np.arange(5.0))  # timestamped inserts still work
+        assert len(engine) == 5
+
+    def test_batches_and_latest_time(self, engine, rng):
+        assert engine.latest_time is None
+        a = rng.uniform((0, 0), (1000, 800), (4, 2))
+        engine.insert(a, t=np.array([3.0, 9.0, 1.0, 2.0]))
+        engine.insert(rng.uniform((0, 0), (1000, 800), (2, 2)), t=np.full(2, 5.0))
+        assert engine.latest_time == 9.0  # the watermark never regresses
+        batches = engine.batches()
+        assert len(batches) == 2
+        np.testing.assert_array_equal(batches[0][0], a)
+
     def test_sliding_window_matches_batch(self, engine, rng):
         """After a window slide the grid equals computing the window fresh."""
         kept = []
@@ -119,6 +173,20 @@ class TestDriftAndRebuild:
         engine.delete_oldest()
         engine.insert(rng.uniform((0, 0), (1000, 800), (100, 2)))
         engine.rebuild()
+        assert engine.drift() == 0.0
+
+    def test_rebuild_reports_the_drift_it_erased(self, rng):
+        engine = StreamingKDV(REGION, size=(16, 12), bandwidth=80.0,
+                              rebuild_every=None)
+        for _ in range(10):
+            engine.insert(rng.uniform((0, 0), (1000, 800), (20, 2)))
+            engine.delete_oldest()
+        engine.insert(rng.uniform((0, 0), (1000, 800), (20, 2)))
+        carried = engine.drift()
+        erased = engine.rebuild()
+        assert erased == carried  # same deterministic recomputation
+        assert engine.rebuilds == 1
+        assert engine.last_rebuild_drift == erased
         assert engine.drift() == 0.0
 
     def test_auto_rebuild_counter(self, rng):
