@@ -1,0 +1,270 @@
+"""Quality-ladder shootout: latency vs measured error per serving tier.
+
+Times one full frame through each tier of the serving ladder
+(:mod:`repro.serve.quality`) — ``exact``, ``pyramid:<k>``,
+``coreset:<m>`` — on the clustered benchmark workload, and measures each
+degraded frame's relative L-infinity error against the exact render.
+This is the operator-facing trade-off behind ``docs/quality.md``: what a
+request pays (latency) and loses (accuracy) at every rung the server can
+degrade to under load.
+
+Shared indexes (the y-sorted envelope index and the Z-order permutation)
+are prebuilt outside the timed region, mirroring the serving path where
+both are cached once per ingest generation.
+
+The headline acceptance cell is the cheapest configured tier vs ``exact``
+at 1280x960, n = 100k, which should reach >= 10x — the floor that makes
+degrade-don't-503 worthwhile.
+
+Knobs (environment variables, all optional):
+
+``REPRO_BENCH_QUALITY_SIZE``
+    Frame size as ``WxH`` (default ``1280x960``).
+``REPRO_BENCH_QUALITY_N``
+    Point count (default ``100000``).
+``REPRO_BENCH_QUALITY_TIERS``
+    Comma-separated tier names (default
+    ``exact,pyramid:1,pyramid:2,coreset:4096,coreset:1024``).
+``REPRO_BENCH_QUALITY_BANDWIDTH``
+    Bandwidth in world units (default ``200``).
+``REPRO_BENCH_QUALITY_REPEATS``
+    Timing repeats per cell; the minimum is reported (default ``2``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_quality.py -q -s
+
+or script mode (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_quality.py --json out/
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _common import emit_json, write_report
+from repro.bench.harness import format_table
+from repro.bench.metrics import relative_linf
+from repro.core.api import compute_kdv
+from repro.core.envelope import YSortedIndex
+from repro.index.zorder_curve import zorder_argsort
+from repro.serve.quality import coreset_grid, parse_tier, pyramid_grid
+from repro.viz.region import Region
+
+WORLD = Region(0.0, 0.0, 10_000.0, 7_500.0)
+
+_cells: dict[tuple[str, str, int], float] = {}
+_errors: dict[str, float] = {}
+_STARTED = time.perf_counter()
+
+
+def _size() -> tuple[int, int]:
+    raw = os.environ.get("REPRO_BENCH_QUALITY_SIZE", "1280x960")
+    width, _, height = raw.partition("x")
+    return int(width), int(height)
+
+
+def _n_points() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUALITY_N", "100000"))
+
+
+def _tiers() -> tuple[str, ...]:
+    raw = os.environ.get(
+        "REPRO_BENCH_QUALITY_TIERS",
+        "exact,pyramid:1,pyramid:2,coreset:4096,coreset:1024",
+    )
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def _bandwidth() -> float:
+    return float(os.environ.get("REPRO_BENCH_QUALITY_BANDWIDTH", "200"))
+
+
+def _repeats() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_QUALITY_REPEATS", "2")))
+
+
+def build_workload(n: int):
+    """Clustered points over the paper-shaped region, shared indexes
+    prebuilt (the serving path caches both per ingest generation)."""
+    rng = np.random.default_rng(20220613)
+    centers = rng.uniform((0.0, 0.0), (10_000.0, 7_500.0), (32, 2))
+    xy = centers[rng.integers(0, 32, n)] + rng.normal(0.0, 400.0, (n, 2))
+    return xy, YSortedIndex(xy), zorder_argsort(xy)
+
+
+def render_tier(tier_name: str, xy, ysorted, order) -> np.ndarray:
+    """One full frame through one serving tier."""
+    tier = parse_tier(tier_name)
+    size = _size()
+    bandwidth = _bandwidth()
+    if tier.kind == "exact":
+        return compute_kdv(
+            xy, region=WORLD, size=size, bandwidth=bandwidth,
+            normalization="none", ysorted=ysorted,
+        ).grid
+    if tier.kind == "pyramid":
+        return pyramid_grid(
+            xy, WORLD, size, level=tier.param, bandwidth=bandwidth,
+        )
+    return coreset_grid(
+        xy, WORLD, size, sample_size=tier.param, bandwidth=bandwidth,
+        order=order,
+    )
+
+
+def timed_cell(tier_name: str, xy, ysorted, order) -> tuple[float, np.ndarray]:
+    """(min wall seconds, frame) for one tier."""
+    best, frame = float("inf"), None
+    for _ in range(_repeats()):
+        t0 = time.perf_counter()
+        frame = render_tier(tier_name, xy, ysorted, order)
+        best = min(best, time.perf_counter() - t0)
+    return best, frame
+
+
+def _resolution() -> str:
+    width, height = _size()
+    return f"{width}x{height}"
+
+
+def _report_meta() -> dict:
+    width, height = _size()
+    n = _n_points()
+    meta = {
+        "resolution": [width, height],
+        "n": n,
+        "bandwidth": _bandwidth(),
+        "repeats": _repeats(),
+        "rel_linf": dict(_errors),
+    }
+    exact_t = _cells.get(("exact", _resolution(), n))
+    if exact_t:
+        meta["speedup_vs_exact"] = {
+            tier: exact_t / seconds
+            for (tier, _res, _n), seconds in _cells.items()
+        }
+        cheapest = min(_cells, key=_cells.get)
+        meta["headline_cell"] = {
+            "tier": cheapest[0],
+            "speedup_vs_exact": exact_t / _cells[cheapest],
+            "rel_linf": _errors.get(cheapest[0], 0.0),
+        }
+    return meta
+
+
+def _title() -> str:
+    width, height = _size()
+    return (
+        f"Quality-ladder latency vs error ({width}x{height}, "
+        f"n={_n_points():,}, b={_bandwidth():g}, min of {_repeats()})"
+    )
+
+
+def _emit_reports() -> None:
+    if not _cells:
+        return
+    n = _n_points()
+    exact_t = _cells.get(("exact", _resolution(), n))
+    headers = ["tier", "seconds", "vs exact", "rel_linf"]
+    rows = []
+    for tier in _tiers():
+        seconds = _cells.get((tier, _resolution(), n))
+        if seconds is None:
+            continue
+        rel = f"{exact_t / seconds:.1f}x" if exact_t else "-"
+        err = _errors.get(tier)
+        rows.append([
+            tier, f"{seconds:.3f}", rel,
+            "0" if tier == "exact" else (f"{err:.4f}" if err is not None else "-"),
+        ])
+    write_report("quality", format_table(headers, rows, title=_title()))
+    emit_json(
+        "quality",
+        _cells,
+        title=_title(),
+        key_fields=["tier", "resolution", "n"],
+        meta=_report_meta(),
+        started=_STARTED,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    _emit_reports()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    xy, ysorted, order = build_workload(_n_points())
+    exact_t, exact = timed_cell("exact", xy, ysorted, order)
+    _cells[("exact", _resolution(), _n_points())] = exact_t
+    return xy, ysorted, order, exact
+
+
+@pytest.mark.parametrize("tier", [t for t in _tiers() if t != "exact"])
+def test_tier_cell(benchmark, workload, tier):
+    xy, ysorted, order, exact = workload
+    result = {}
+
+    def call():
+        result["cell"] = timed_cell(tier, xy, ysorted, order)
+
+    benchmark.pedantic(call, rounds=1, iterations=1, warmup_rounds=0)
+    seconds, frame = result["cell"]
+    _cells[(tier, _resolution(), _n_points())] = seconds
+    _errors[tier] = relative_linf(frame, exact)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Script mode: run the tier grid directly (no pytest) and write
+    ``BENCH_quality.json``::
+
+        PYTHONPATH=src python benchmarks/bench_quality.py --json out/
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="output directory for BENCH_quality.json (default: benchmarks/out)",
+    )
+    ns = parser.parse_args(argv)
+    if ns.json:
+        os.environ["REPRO_BENCH_JSON"] = ns.json
+
+    n = _n_points()
+    xy, ysorted, order = build_workload(n)
+    exact = None
+    tiers = _tiers()
+    if "exact" not in tiers:
+        tiers = ("exact", *tiers)
+    for tier in tiers:
+        seconds, frame = timed_cell(tier, xy, ysorted, order)
+        _cells[(tier, _resolution(), n)] = seconds
+        if tier == "exact":
+            exact = frame
+        elif exact is not None:
+            _errors[tier] = relative_linf(frame, exact)
+        err = _errors.get(tier)
+        print(f"{tier:14s} {seconds:7.3f}s"
+              + (f"  rel_linf={err:.4f}" if err is not None else ""))
+    _emit_reports()
+    headline = _report_meta().get("headline_cell")
+    if headline:
+        print(f"\ncheapest tier {headline['tier']}: "
+              f"{headline['speedup_vs_exact']:.1f}x vs exact "
+              f"(rel_linf {headline['rel_linf']:.4f})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,7 @@ from ..index.zorder_curve import zorder_argsort
 from ..viz.region import Raster
 from .scan import scan_grid
 
-__all__ = ["zorder_sample", "zorder_grid", "default_sample_size"]
+__all__ = ["zorder_sample", "zorder_grid", "default_sample_size", "epsilon_for"]
 
 
 def default_sample_size(n: int, epsilon: float = 0.05) -> int:
@@ -39,6 +39,24 @@ def default_sample_size(n: int, epsilon: float = 0.05) -> int:
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
     return min(n, max(1, math.ceil(1.0 / (epsilon * epsilon))))
+
+
+def epsilon_for(m: int, n: int) -> float:
+    """Inverse of :func:`default_sample_size`: the epsilon a sample of size
+    ``m`` out of ``n`` points buys under the ``m = ceil(1/eps^2)`` sizing.
+
+    ``0.0`` when the sample is the whole dataset (``m >= n`` — the "sample"
+    is exact).  This is the *theoretical* bound; the serving layer
+    (:mod:`repro.serve.quality`) additionally calibrates a measured bound
+    per ingest generation and advertises the larger of the two.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if m >= n:
+        return 0.0
+    return 1.0 / math.sqrt(m)
 
 
 def zorder_sample(xy: np.ndarray, sample_size: int) -> np.ndarray:
@@ -74,7 +92,15 @@ def zorder_grid(
     n = len(xy)
     if n == 0:
         return np.zeros(raster.shape, dtype=np.float64)
-    m = default_sample_size(n, epsilon) if sample_size is None else min(sample_size, n)
+    if sample_size is not None and sample_size > n:
+        # an explicit request for more sample than data is a caller bug;
+        # silently capping here used to hide it (pass sample_size=None and
+        # an epsilon to get the capped automatic sizing instead)
+        raise ValueError(
+            f"sample_size={sample_size} exceeds the dataset size n={n}; "
+            f"pass sample_size <= n (or sample_size=None with an epsilon)"
+        )
+    m = default_sample_size(n, epsilon) if sample_size is None else sample_size
     sample_idx = zorder_sample(xy, m)
     sample = xy[sample_idx]
     if weights is None:

@@ -277,6 +277,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="advance the sliding windows at this cadence, "
                               "piggybacked on request traffic (default: "
                               "explicit POST /tick only)")
+    p_serve.add_argument("--quality-policy", choices=("off", "degrade"),
+                         default="off",
+                         help="off (default): exact tiles only, shed load "
+                              "with 503 when the queue fills; degrade: step "
+                              "down the pyramid/coreset quality ladder "
+                              "before any 503 (tiles carry X-KDV-Quality / "
+                              "X-KDV-Error-Bound headers)")
+    p_serve.add_argument("--max-error", type=float, default=None,
+                         metavar="EPS",
+                         help="server-side cap on the advertised error "
+                              "bound of served tiers (requires "
+                              "--quality-policy degrade; requests may "
+                              "tighten it per call via ?max_error=)")
+    p_serve.add_argument("--render-delay", type=float, default=None,
+                         metavar="SECONDS",
+                         help="inject a fixed delay into every exact tile "
+                              "render (fault injection for smoke tests: "
+                              "saturates the pool deterministically)")
     p_serve.add_argument("--allow-shutdown", action="store_true",
                          help="enable POST /shutdown (for smoke tests/CI)")
     p_serve.add_argument("--verbose", action="store_true",
@@ -557,6 +575,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     # the service wants a resolved number (one fixed bandwidth per layer)
     bandwidth = resolve_bandwidth(bandwidth, points.xy)
+    quality = None
+    if args.quality_policy == "degrade":
+        from .serve import QualityPolicy
+
+        quality = QualityPolicy(default_max_error=args.max_error)
+        print("quality ladder: "
+              + " -> ".join(quality.describe()["ladder"])
+              + (f" (max_error={args.max_error:g})"
+                 if args.max_error is not None else ""),
+              flush=True)
+    elif args.max_error is not None:
+        print("error: --max-error requires --quality-policy degrade",
+              file=sys.stderr)
+        return 2
+    render_fn = None
+    if args.render_delay is not None:
+        if args.dist_workers:
+            print("error: --render-delay and --dist-workers are mutually "
+                  "exclusive", file=sys.stderr)
+            return 2
+        import time as _time
+
+        from .viz.tiles import render_tile as _render_tile
+
+        delay_s = float(args.render_delay)
+
+        def render_fn(points, scheme, *tile, **kwargs):
+            _time.sleep(delay_s)
+            return _render_tile(points, scheme, *tile, **kwargs)
+
     coordinator = None
     if args.dist_workers:
         from .dist import Coordinator
@@ -580,6 +628,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_ttl_s=args.cache_ttl,
             window_s=args.window,
             tick_s=args.tick_s,
+            quality=quality,
+            render_fn=render_fn,
             coordinator=coordinator,
         )
     except ValueError as exc:

@@ -7,7 +7,10 @@ and the incremental streaming engine
 single-flight render coalescing, a TTL+LRU cache with targeted
 invalidation, a bounded render pool with explicit backpressure, sliding
 time-window views (:mod:`repro.serve.window`, ``window=<seconds>`` on the
-tile API, advanced by O(Δ) ticks), and graceful shutdown.
+tile API, advanced by O(Δ) ticks), graceful quality degradation
+(:mod:`repro.serve.quality`: a ladder of exact / pyramid / coreset tiers
+with calibrated error bounds, stepped down under load before any 503),
+and graceful shutdown.
 :mod:`repro.serve.http` exposes it over stdlib HTTP (``repro serve`` on the
 command line); every decision is observable through a wired-in
 :class:`repro.obs.Recorder` (``GET /metricz``).
@@ -19,6 +22,12 @@ operational knobs.
 from .cache import TTLCache
 from .http import TileHTTPServer, start_server
 from .invalidate import affected_tiles, batch_mbr
+from .quality import (
+    QualityError,
+    QualityPolicy,
+    Tier,
+    TileResponse,
+)
 from .service import (
     ServiceClosed,
     ServiceOverloaded,
@@ -34,6 +43,10 @@ __all__ = [
     "start_server",
     "affected_tiles",
     "batch_mbr",
+    "QualityError",
+    "QualityPolicy",
+    "Tier",
+    "TileResponse",
     "ServiceClosed",
     "ServiceOverloaded",
     "ServiceTimeout",

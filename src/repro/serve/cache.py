@@ -76,8 +76,10 @@ class TTLCache:
 
     def _purge_expired(self) -> int:
         """Drop every entry past its TTL (caller holds the lock); returns
-        how many were dropped (each counted as an expiration)."""
-        if self.ttl_s is None or not self._entries:
+        how many were dropped (each counted as an expiration).  Checks
+        per-entry deadlines, so entries stored with a ``put(ttl_s=...)``
+        override expire even when the cache has no default TTL."""
+        if not self._entries:
             return 0
         now = self._clock()
         stale = [
@@ -115,10 +117,18 @@ class TTLCache:
                 self.hits += 1
             return value
 
-    def put(self, key: Hashable, value: Any) -> int:
-        """Store a value; returns how many entries were evicted (0 or 1)."""
-        now = self._clock() if self.ttl_s is not None else None
-        expires_at = None if self.ttl_s is None else now + self.ttl_s
+    def put(self, key: Hashable, value: Any, ttl_s: "float | None" = None) -> int:
+        """Store a value; returns how many entries were evicted (0 or 1).
+
+        ``ttl_s`` overrides the cache-wide TTL for this entry (the serving
+        layer stores degraded tiles with a short per-entry TTL so they age
+        out fast even in a cache with no default expiry).
+        """
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive or None")
+        effective = self.ttl_s if ttl_s is None else float(ttl_s)
+        now = self._clock()
+        expires_at = None if effective is None else now + effective
         with self._lock:
             self._entries[key] = (value, expires_at)
             self._entries.move_to_end(key)

@@ -10,20 +10,35 @@ Endpoints
 ``GET /tiles/{z}/{tx}/{ty}.npy``    same, explicit
 ``GET /tiles/{z}/{tx}/{ty}.png``    colored tile (``?colormap=heat|viridis|gray``)
 ``...?window=<seconds>``            any tile form over only the trailing window
+``...?quality=<tier>``              pin a quality tier (``exact``,
+                                    ``pyramid:<k>``, ``coreset:<m>``)
+``...?max_error=<eps>``             cap the served tier's advertised error bound
 ``POST /ingest``                    JSON ``{"points": [[x, y], ...], "t": [...]}``
 ``POST /tick``                      advance the sliding windows (optional JSON
                                     body ``{"now": <event-time>}``)
 ``GET /healthz``                    liveness + dataset/cache/queue summary
-``GET /metricz``                    recorder dump + cache/queue/window stats (JSON)
+``GET /metricz``                    recorder dump + cache/queue/window/quality
+                                    stats (JSON)
 ``POST /shutdown``                  graceful stop (only with ``allow_shutdown=True``)
+
+Every 200 tile response carries the quality header contract:
+
+``X-KDV-Quality``
+    The tier that produced the body (``exact`` when no policy or load
+    degradation applies).
+``X-KDV-Error-Bound``
+    The tier's advertised L-infinity error bound relative to the global
+    density peak (``0`` for exact tiles).
 
 Status mapping (the contract the error-path tests pin down):
 
 ====  ==========================================================
 400   malformed tile coordinates, malformed ingest/tick body,
-      malformed or unservable ``window=``
+      malformed or unservable ``window=``, malformed or
+      unservable ``quality=`` / ``max_error=``
 404   unknown path, tile outside the pyramid or beyond max zoom
-503   render queue full (with ``Retry-After``), or shutting down
+503   render queue full past the cheapest admissible quality
+      tier (with ``Retry-After``), or shutting down
 504   per-request deadline exceeded
 ====  ==========================================================
 """
@@ -39,6 +54,7 @@ from time import perf_counter
 
 import numpy as np
 
+from .quality import QualityError
 from .service import ServiceClosed, ServiceOverloaded, ServiceTimeout, TileService
 from .window import WindowError
 
@@ -127,21 +143,26 @@ class TileRequestHandler(BaseHTTPRequestHandler):
         zoom, tx, ty = int(z_s), int(tx_s), int(ty_s)
         as_png = suffix == ".png"
         window = _query_param(query, "window", None)
+        quality = _query_param(query, "quality", None)
+        max_error = _query_param(query, "max_error", None)
         try:
+            resp = self.service.request_tile(
+                zoom, tx, ty, window=window, quality=quality,
+                max_error=max_error,
+            )
             if as_png:
                 colormap = _query_param(query, "colormap", "heat")
-                rgb = self.service.tile_image(
-                    zoom, tx, ty, colormap=colormap, window=window
+                rgb = self.service.colorize_tile(
+                    resp.grid, colormap=colormap, window=window
                 )
                 from ..viz.image import encode_png
 
                 body, content_type = encode_png(rgb), "image/png"
             else:
-                grid = self.service.get_tile(zoom, tx, ty, window=window)
                 buf = io.BytesIO()
-                np.save(buf, grid, allow_pickle=False)
+                np.save(buf, resp.grid, allow_pickle=False)
                 body, content_type = buf.getvalue(), "application/x-npy"
-        except WindowError as exc:
+        except (WindowError, QualityError) as exc:
             self._error(400, str(exc))
             return
         except ServiceOverloaded as exc:
@@ -161,7 +182,15 @@ class TileRequestHandler(BaseHTTPRequestHandler):
             return
         finally:
             rec.timer("serve.http.tiles").add(perf_counter() - start)
-        self._send(200, body, content_type)
+        self._send(
+            200,
+            body,
+            content_type,
+            headers=[
+                ("X-KDV-Quality", resp.tier),
+                ("X-KDV-Error-Bound", format(resp.error_bound, ".6g")),
+            ],
+        )
 
     # -- ingest ------------------------------------------------------------
 

@@ -38,6 +38,18 @@ composes five mechanisms, each individually simple:
     index (one O(n log n) sort serving every tile render of that
     generation) is dropped and lazily rebuilt.
 
+**Quality degradation ladder.**
+    With a :class:`~repro.serve.quality.QualityPolicy` attached, a
+    saturated pool no longer means an immediate 503: requests step down a
+    ladder of degraded tiers — exact, then ``pyramid:<k>`` (exact KDV at
+    ``1/2^k`` resolution, upsampled), then ``coreset:<m>`` (Z-order sample
+    of size m, with a calibrated epsilon error bound) — before load is
+    shed only past the cheapest tier.  Degraded renders run synchronously
+    on the request thread (they are cheap by construction, and the pool is
+    by definition busy), cache in per-tier namespaces with short TTLs, and
+    are refined to exact renders in the background once the pool drains.
+    See :mod:`repro.serve.quality` and ``docs/quality.md``.
+
 **Sliding-window views.**
     ``window=<seconds>`` requests serve tiles over only the trailing window
     of the timestamped feed.  Each distinct window is a
@@ -59,7 +71,9 @@ metric name table).
 
 from __future__ import annotations
 
+import math
 import threading
+from collections import OrderedDict
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from time import monotonic
@@ -73,6 +87,17 @@ from ..obs import Recorder
 from ..viz.tiles import TileScheme, render_tile
 from .cache import TTLCache
 from .invalidate import affected_tiles
+from .quality import (
+    EXACT,
+    QualityError,
+    QualityPolicy,
+    Tier,
+    TileResponse,
+    calibrate,
+    coreset_grid,
+    parse_tier,
+    pyramid_grid,
+)
 from .window import WindowError, WindowView, window_seconds
 
 __all__ = [
@@ -148,6 +173,14 @@ class TileService:
         Forwarded to each window view's
         :class:`~repro.extensions.streaming.StreamingKDV` — full rebuild
         (drift reset) after this many expiry batches.
+    quality:
+        Optional :class:`~repro.serve.quality.QualityPolicy`.  ``None``
+        (the default) keeps the historical behavior: exact tiles only, a
+        full queue is an immediate :class:`ServiceOverloaded`.  With a
+        policy, overloaded requests degrade tier-by-tier down the policy's
+        ladder before any 503, honoring ``quality=``/``max_error`` request
+        hints; degraded tiles carry calibrated error bounds and are
+        refined to exact in the background when the pool drains.
     recorder:
         The metrics sink; a fresh :class:`~repro.obs.Recorder` by default.
     clock:
@@ -188,6 +221,7 @@ class TileService:
         tick_s: "float | None" = None,
         max_windows: int = 4,
         window_rebuild_every: "int | None" = 1000,
+        quality: "QualityPolicy | None" = None,
         recorder: "Recorder | None" = None,
         clock: Callable[[], float] = monotonic,
         render_fn=None,
@@ -232,6 +266,7 @@ class TileService:
         self.tick_s = tick_s
         self.max_windows = int(max_windows)
         self.window_rebuild_every = window_rebuild_every
+        self.quality = quality
         self.recorder: Recorder = recorder if recorder is not None else Recorder()
         self._clock = clock
         self.coordinator = coordinator
@@ -269,6 +304,11 @@ class TileService:
         self._cache = TTLCache(cache_tiles, ttl_s=cache_ttl_s, clock=clock)
         self._lock = threading.Lock()
         self._inflight: dict[tuple, object] = {}
+        # quality degradation state: synchronous degraded renders in
+        # progress (they bypass the pool but still count as load), and the
+        # queue of degraded serves awaiting background refinement to exact
+        self._degraded_active = 0
+        self._refine: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._closed = False
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="kdv-render"
@@ -307,84 +347,196 @@ class TileService:
         ty: int,
         deadline_s: "float | None | type[Ellipsis]" = ...,
         window: "float | str | None" = None,
+        quality=None,
+        max_error=None,
     ) -> np.ndarray:
-        """The density grid of one tile, rendered at most once concurrently.
+        """The density grid of one tile (see :meth:`request_tile`, which
+        this delegates to and whose :class:`~repro.serve.quality.TileResponse`
+        carries the tier and error-bound metadata this form drops)."""
+        return self.request_tile(
+            zoom, tx, ty, deadline_s=deadline_s, window=window,
+            quality=quality, max_error=max_error,
+        ).grid
+
+    def request_tile(
+        self,
+        zoom: int,
+        tx: int,
+        ty: int,
+        deadline_s: "float | None | type[Ellipsis]" = ...,
+        window: "float | str | None" = None,
+        quality=None,
+        max_error=None,
+    ) -> TileResponse:
+        """One tile plus its quality metadata, rendered at most once
+        concurrently per tier.
 
         ``window=<seconds>`` serves the tile over only the trailing window
         of the timestamped feed (creating the window view on first use);
         windowed tiles cache and invalidate independently of the all-time
-        pyramid.  Raises ``ValueError`` for out-of-pyramid keys,
+        pyramid.  With a quality policy attached, ``quality=<tier>`` pins
+        an explicit tier and ``max_error=<eps>`` restricts the ladder to
+        tiers whose advertised bound fits; under load, requests degrade
+        tier-by-tier down the ladder before any overload rejection.
+
+        Raises ``ValueError`` for out-of-pyramid keys,
         :class:`~repro.serve.window.WindowError` for malformed or
-        unservable windows, :class:`ServiceOverloaded` when the render
-        queue is full, :class:`ServiceTimeout` when the deadline elapses
-        first, and :class:`ServiceClosed` during shutdown.  ``deadline_s``
-        overrides the service default for this request (``...`` keeps the
-        default).
+        unservable windows, :class:`~repro.serve.quality.QualityError` for
+        malformed or unservable quality hints, :class:`ServiceOverloaded`
+        when even the cheapest admissible tier is saturated,
+        :class:`ServiceTimeout` when the deadline elapses first, and
+        :class:`ServiceClosed` during shutdown.  ``deadline_s`` overrides
+        the service default for this request (``...`` keeps the default).
         """
         rec = self.recorder
         self.check_key(zoom, tx, ty)
+        pinned = self._parse_quality(quality)
+        max_error = self._parse_max_error(max_error)
         self._maybe_auto_tick()
         view = self._view_for(window)
-        key = view.cache_key(zoom, tx, ty)
         rec.count("serve.tile_requests")
+        ladder = self._ladder_for(view, pinned, max_error)
+        exact_key = view.cache_key(zoom, tx, ty)
 
-        grid = self._cache.get(key)
+        # cache probe, best admissible tier first; the first probe keeps
+        # the historical one-tally-per-request hit/miss accounting
+        grid = self._cache.get(self._tier_key(view, zoom, tx, ty, ladder[0]))
         if grid is not None:
             rec.count("tiles.cache.hits")
-            return grid
+            return self._respond(view, ladder[0], grid)
         rec.count("tiles.cache.misses")
+        for tier in ladder[1:]:
+            grid = self._cache.get(
+                self._tier_key(view, zoom, tx, ty, tier), count=False
+            )
+            if grid is not None:
+                # a live degraded entry answers instantly; queue its
+                # refinement so idle pool time upgrades it to exact
+                with self._lock:
+                    self._enqueue_refinement(view, (zoom, tx, ty))
+                self._maybe_refine()
+                rec.count(f"quality.served.{tier.kind}")
+                return self._respond(view, tier, grid)
 
+        chosen: "Tier | None" = None
+        future = None
+        version = 0
         with self._lock:
             if self._closed:
                 raise ServiceClosed("service is shutting down")
-            future = self._inflight.get(key)
-            if future is None:
-                # the render may have landed between the cache probe and here
-                # (count=False: this request's miss is already tallied)
-                grid = self._cache.get(key, count=False)
-                if grid is not None:
-                    rec.count("tiles.cache.hits")
-                    return grid
-                if len(self._inflight) >= self.queue_limit:
-                    rec.count("serve.rejected.overload")
-                    raise ServiceOverloaded(
-                        f"render queue full ({self.queue_limit} in flight)",
-                        retry_after_s=self._retry_after(),
-                    )
-                rec.count("serve.coalesce.leaders")
-                future = self._pool.submit(
-                    self._render_into_cache,
-                    key,
-                    (zoom, tx, ty),
-                    view,
-                    view.version,
-                    view.points,
+            load = len(self._inflight) + self._degraded_active
+            for i, tier in enumerate(ladder):
+                if tier.kind == "exact":
+                    future = self._inflight.get(exact_key)
+                    if future is not None:
+                        if len(ladder) == 1 or load < self.queue_limit:
+                            rec.count("serve.coalesce.joined")
+                            chosen = tier
+                            break
+                        # an exact render is already warming this tile, but
+                        # the service is saturated: degrade instead of a
+                        # potentially long join
+                        future = None
+                        continue
+                    # the render may have landed between the cache probe and
+                    # here (count=False: this request's miss is already
+                    # tallied)
+                    grid = self._cache.get(exact_key, count=False)
+                    if grid is not None:
+                        rec.count("tiles.cache.hits")
+                        return self._respond(view, tier, grid)
+                    if load < self.queue_limit:
+                        rec.count("serve.coalesce.leaders")
+                        future = self._pool.submit(
+                            self._render_into_cache,
+                            exact_key,
+                            (zoom, tx, ty),
+                            view,
+                            view.version,
+                            view.points,
+                        )
+                        self._inflight[exact_key] = future
+                        rec.set_gauge("serve.queue_depth", len(self._inflight))
+                        chosen = tier
+                        break
+                    continue
+                # degraded rung i admits while load < queue_limit +
+                # i * tier_headroom: rising saturation steps requests down
+                # the ladder; a pinned tier is always admitted (the client
+                # asked for exactly this cheap render)
+                if pinned is not None or load < (
+                    self.queue_limit + i * self.quality.tier_headroom
+                ):
+                    chosen = tier
+                    version = view.version
+                    self._degraded_active += 1
+                    break
+            if chosen is None:
+                rec.count("serve.rejected.overload")
+                raise ServiceOverloaded(
+                    f"render queue full ({self.queue_limit} in flight)",
+                    retry_after_s=self._retry_after(),
                 )
-                self._inflight[key] = future
-                rec.set_gauge("serve.queue_depth", len(self._inflight))
-            else:
-                rec.count("serve.coalesce.joined")
 
-        timeout = self.deadline_s if deadline_s is ... else deadline_s
+        if chosen.kind == "exact":
+            timeout = self.deadline_s if deadline_s is ... else deadline_s
+            try:
+                grid = future.result(timeout=timeout)
+            except FutureTimeoutError:
+                rec.count("serve.rejected.deadline")
+                raise ServiceTimeout(
+                    f"tile {exact_key} not rendered within {timeout:.3f}s"
+                ) from None
+            except CancelledError:
+                # a queued render cancelled by shutdown before it started
+                raise ServiceClosed(
+                    "service shut down before the render ran"
+                ) from None
+            return self._respond(view, chosen, grid)
+
+        # degraded tiers render synchronously on the request thread: they
+        # are cheap by construction and the pool is by definition busy
         try:
-            return future.result(timeout=timeout)
-        except FutureTimeoutError:
-            rec.count("serve.rejected.deadline")
-            raise ServiceTimeout(
-                f"tile {key} not rendered within {timeout:.3f}s"
-            ) from None
-        except CancelledError:
-            # a queued render cancelled by shutdown before it started
-            raise ServiceClosed("service shut down before the render ran") from None
+            with rec.span("quality.render"):
+                grid = self._render_degraded(view, version, (zoom, tx, ty), chosen)
+        finally:
+            with self._lock:
+                self._degraded_active -= 1
+        grid = np.asarray(grid)
+        grid.setflags(write=False)
+        with self._lock:
+            if version == view.version and not self._closed:
+                evicted = self._cache.put(
+                    self._tier_key(view, zoom, tx, ty, chosen),
+                    grid,
+                    ttl_s=self.quality.degraded_ttl_s,
+                )
+                if evicted:
+                    rec.count("tiles.cache.evictions", evicted)
+                self._enqueue_refinement(view, (zoom, tx, ty))
+            else:
+                rec.count("serve.render.stale")
+        rec.count(f"quality.served.{chosen.kind}")
+        self._maybe_refine()
+        return self._respond(view, chosen, grid)
 
     def tile_image(
         self, zoom: int, tx: int, ty: int, colormap: str = "heat", **kwargs
     ) -> np.ndarray:
         """RGB tile (north-up) on the serving view's stable color scale."""
+        grid = self.get_tile(zoom, tx, ty, **kwargs)
+        return self.colorize_tile(grid, colormap=colormap,
+                                  window=kwargs.get("window"))
+
+    def colorize_tile(
+        self, grid: np.ndarray, colormap: str = "heat", window=None
+    ) -> np.ndarray:
+        """Color one served grid on its view's stable scale (shared by
+        :meth:`tile_image` and the HTTP ``.png`` path, which colors the
+        grid of a :meth:`request_tile` response to keep its headers)."""
         from ..viz.colormap import colorize
 
-        grid = self.get_tile(zoom, tx, ty, **kwargs)
-        peak = self._view_for(kwargs.get("window")).color_peak()
+        peak = self._view_for(window).color_peak()
         return colorize((grid / peak)[::-1], colormap)
 
     def _view_for(self, window: "float | str | None") -> WindowView:
@@ -437,6 +589,216 @@ class TileService:
             stream.expire_before(cutoff)
         return WindowView(seconds, stream)
 
+    # -- quality tiers ------------------------------------------------------
+
+    def _parse_quality(self, quality) -> "Tier | None":
+        """Validate a ``quality=`` hint against the policy's ladder."""
+        if quality is None:
+            return None
+        tier = parse_tier(quality)
+        if tier.kind == "exact":
+            return tier
+        if self.quality is None:
+            raise QualityError(
+                "quality tiers are disabled (service has no quality "
+                "policy); only quality=exact is served"
+            )
+        if tier not in self.quality.ladder():
+            names = [t.name for t in self.quality.ladder()]
+            raise QualityError(
+                f"unknown quality tier {tier.name!r}; available: {names}"
+            )
+        return tier
+
+    def _parse_max_error(self, max_error) -> "float | None":
+        """Validate a ``max_error=`` hint; the policy's server-side default
+        applies when the request carries none."""
+        if max_error is None:
+            return (
+                self.quality.default_max_error
+                if self.quality is not None
+                else None
+            )
+        try:
+            value = float(max_error)
+        except (TypeError, ValueError):
+            raise QualityError(
+                f"max_error must be a number, got {max_error!r}"
+            ) from None
+        if not math.isfinite(value) or value < 0:
+            raise QualityError(
+                f"max_error must be finite and >= 0, got {max_error!r}"
+            )
+        return value
+
+    def _ladder_for(
+        self, view: WindowView, pinned: "Tier | None", max_error: "float | None"
+    ) -> "tuple[Tier, ...]":
+        """The admissible tiers for one request, best first.
+
+        A pinned tier is the whole ladder (no fallback — the client asked
+        for exactly that quality); a ``max_error`` cap filters the policy's
+        ladder to tiers whose advertised bound fits (exact, bound 0,
+        always qualifies, so the ladder is never empty).
+        """
+        if pinned is not None:
+            return (pinned,)
+        if self.quality is None:
+            return (EXACT,)
+        ladder = self.quality.ladder()
+        if max_error is not None:
+            bounds = self._quality_bounds(view)
+            ladder = tuple(
+                tier for tier in ladder
+                if tier.kind == "exact"
+                or bounds.get(tier.name, math.inf) <= max_error
+            )
+        return ladder
+
+    def _tier_key(
+        self, view: WindowView, zoom: int, tx: int, ty: int, tier: Tier
+    ) -> tuple:
+        return view.cache_key(zoom, tx, ty, tier.name)
+
+    def _respond(self, view: WindowView, tier: Tier, grid) -> TileResponse:
+        if tier.kind == "exact":
+            return TileResponse(grid=grid, tier=EXACT.name, error_bound=0.0)
+        bounds = self._quality_bounds(view)
+        bound = bounds.get(tier.name)
+        if bound is None:
+            # a tier outside the calibrated set (policy changed mid-flight):
+            # fall back to the analysis-backed bound
+            bound = max(
+                self.quality.theoretical_bound(tier, len(view.points)),
+                self.quality.error_floor,
+            )
+        return TileResponse(grid=grid, tier=tier.name, error_bound=bound)
+
+    def _render_degraded(
+        self, view: WindowView, version: int, tile: tuple, tier: Tier
+    ) -> np.ndarray:
+        """One synchronous degraded render (pyramid or coreset tier)."""
+        region = self.scheme.tile_region(*tile)
+        size = (self.tile_size, self.tile_size)
+        with self._lock:
+            points = view.points
+        if tier.kind == "pyramid":
+            return pyramid_grid(
+                points, region, size,
+                level=tier.param,
+                bandwidth=self.bandwidth,
+                kernel=self.kernel,
+                method=self.method,
+                ysorted=self._ysorted_for(view, version),
+            )
+        return coreset_grid(
+            points, region, size,
+            sample_size=tier.param,
+            bandwidth=self.bandwidth,
+            kernel=self.kernel,
+            method=self.method,
+            order=self._zorder_for(view, version),
+        )
+
+    def _zorder_for(self, view: WindowView, version: int):
+        """The view's current-generation shared Z-order permutation, built
+        at most once per generation (``None`` for stale renders — same
+        discipline as :meth:`_ysorted_for`)."""
+        with self._lock:
+            if version != view.version:
+                return None
+            order, built = view.build_zorder()
+            if built:
+                self.recorder.count("quality.zorder_builds")
+            return order
+
+    def _quality_bounds(self, view: WindowView) -> "dict[str, float]":
+        """The view's calibrated quality bounds, measured at most once per
+        ingest generation (lazily, on the first degraded serve or
+        ``max_error``-filtered request of the generation)."""
+        policy = self.quality
+        if policy is None:
+            return {EXACT.name: 0.0}
+        with self._lock:
+            if view.quality_bounds is not None:
+                return view.quality_bounds
+            version = view.version
+            points = view.points
+        order = self._zorder_for(view, version)
+        with self.recorder.span("quality.calibrate"):
+            bounds = calibrate(
+                policy, points, self.scheme,
+                bandwidth=self.bandwidth,
+                kernel=self.kernel,
+                method=self.method,
+                order=order,
+            )
+        with self._lock:
+            if view.version == version and view.quality_bounds is None:
+                view.quality_bounds = bounds
+                self.recorder.count("quality.calibrations")
+            elif view.quality_bounds is not None:
+                bounds = view.quality_bounds
+        return bounds
+
+    def _enqueue_refinement(self, view: WindowView, tile: tuple) -> None:
+        """Remember a degraded serve so idle pool time upgrades it to an
+        exact render (caller holds ``self._lock``)."""
+        if self.quality is None or self._closed:
+            return
+        self._refine[(view.seconds, tile)] = (view, view.version, tile)
+
+    def _maybe_refine(self) -> None:
+        """Spend idle pool capacity refining degraded serves to exact.
+
+        Runs only once the pool has fully drained (``_inflight`` empty) —
+        refinement must never compete with live exact renders — and then
+        submits queued refinements up to ``queue_limit``.  Called after
+        every pool render completes and after every synchronous degraded
+        render, so the queue drains as soon as load allows.
+        """
+        if self.quality is None:
+            return
+        rec = self.recorder
+        with self._lock:
+            if self._closed or self._inflight or not self._refine:
+                return
+            while self._refine and len(self._inflight) < self.queue_limit:
+                _, (view, version, tile) = self._refine.popitem(last=False)
+                if version != view.version:
+                    continue  # a newer generation owns this tile now
+                exact_key = view.cache_key(*tile)
+                if exact_key in self._inflight:
+                    continue
+                if self._cache.get(exact_key, count=False) is not None:
+                    continue  # already exact
+                future = self._pool.submit(
+                    self._refine_into_cache,
+                    exact_key, tile, view, version, view.points,
+                )
+                self._inflight[exact_key] = future
+                rec.set_gauge("serve.queue_depth", len(self._inflight))
+
+    def _refine_into_cache(
+        self, key: tuple, tile: tuple, view: WindowView, version: int,
+        points: np.ndarray,
+    ) -> np.ndarray:
+        """A background exact render replacing a degraded serve: renders
+        through the normal caching path, then drops the tile's degraded
+        variants so the next request steps straight up to exact."""
+        grid = self._render_into_cache(key, tile, view, version, points)
+        with self._lock:
+            if version == view.version:
+                stale = [
+                    k for k in self._cache.keys()
+                    if len(k) == len(key) + 1
+                    and k[: len(key)] == key
+                    and isinstance(k[-1], str)
+                ]
+                self._cache.invalidate(stale)
+                self.recorder.count("quality.refined")
+        return grid
+
     def _render_into_cache(
         self,
         key: tuple,
@@ -479,6 +841,9 @@ class TileService:
             with self._lock:
                 self._inflight.pop(key, None)
                 rec.set_gauge("serve.queue_depth", len(self._inflight))
+            # a completed render may have drained the pool: spend the idle
+            # capacity refining degraded serves to exact
+            self._maybe_refine()
 
     def _render_distributed(self, points, scheme, zoom, tx, ty, **kwargs):
         """:func:`render_tile` with the sweep fanned out to the coordinator's
@@ -655,8 +1020,9 @@ class TileService:
     def _invalidate_affected(self, batches, view: WindowView) -> int:
         """Drop the view's cached tiles intersecting any batch MBR + one
         bandwidth — the union of the batches' affected sets, mapped into the
-        view's cache namespace.  Caller holds ``self._lock``; in-flight
-        renders are version-guarded."""
+        view's cache namespace (every quality tier of an affected tile is
+        dropped: degraded keys carry the tile address plus a tier suffix).
+        Caller holds ``self._lock``; in-flight renders are version-guarded."""
         mine = [key for key in self._cache.keys() if view.owns_key(key)]
         if not mine:
             return 0
@@ -665,8 +1031,12 @@ class TileService:
         for zoom in zooms:
             for batch in batches:
                 affected |= affected_tiles(self.scheme, zoom, batch, self.bandwidth)
-        keys = {view.cache_key(*tile) for tile in affected}
-        return self._cache.invalidate(keys & set(mine))
+        doomed = []
+        for key in mine:
+            base = key[:-1] if isinstance(key[-1], str) else key
+            if base[:3] in affected:
+                doomed.append(key)
+        return self._cache.invalidate(doomed)
 
     # -- introspection -----------------------------------------------------
 
@@ -732,7 +1102,21 @@ class TileService:
                     key=lambda item: item[0],
                 )
             ]
+            quality = None
+            if self.quality is not None:
+                quality = {
+                    "policy": self.quality.describe(),
+                    "bounds": {
+                        "all" if s is None else f"{s:g}": dict(
+                            v.quality_bounds or {}
+                        )
+                        for s, v in self._views.items()
+                    },
+                    "pending_refinements": len(self._refine),
+                    "degraded_active": self._degraded_active,
+                }
         return {
+            "quality": quality,
             "recorder": recorder_snapshot,
             "cache": {
                 "size": len(self._cache),
@@ -767,6 +1151,7 @@ class TileService:
         """
         with self._lock:
             self._closed = True
+            self._refine.clear()
         self._pool.shutdown(wait=drain, cancel_futures=True)
 
     @property

@@ -69,9 +69,22 @@ class WindowView:
         The generation's shared y-sorted index (one O(n log n) sort serving
         every tile render of the generation), built lazily and dropped on
         every generation bump.
+    zorder:
+        The generation's cached Z-order permutation (``zorder_argsort`` of
+        the snapshot), shared by every coreset-tier render of the
+        generation — "the coreset is resampled per generation".  Built
+        lazily, dropped on every bump, like :attr:`ysorted`.
+    quality_bounds:
+        The generation's calibrated quality bounds
+        (``{tier name: advertised epsilon}``, see
+        :func:`repro.serve.quality.calibrate`), computed lazily on the
+        first degraded serve of the generation and dropped on every bump.
     """
 
-    __slots__ = ("seconds", "stream", "points", "version", "ysorted")
+    __slots__ = (
+        "seconds", "stream", "points", "version", "ysorted", "zorder",
+        "quality_bounds",
+    )
 
     def __init__(self, seconds: "float | None", stream):
         self.seconds = seconds
@@ -79,27 +92,43 @@ class WindowView:
         self.points = stream.points()
         self.version = 0
         self.ysorted: "YSortedIndex | None" = None
+        self.zorder = None
+        self.quality_bounds: "dict[str, float] | None" = None
 
     def bump(self) -> None:
         """Refresh the snapshot after the stream changed: new generation,
-        new points array, y-sorted index dropped for a lazy rebuild."""
+        new points array; the y-sorted index, Z-order permutation, and
+        calibrated quality bounds are dropped for lazy rebuilds."""
         self.points = self.stream.points()
         self.version += 1
         self.ysorted = None
+        self.zorder = None
+        self.quality_bounds = None
 
-    def cache_key(self, zoom: int, tx: int, ty: int) -> tuple:
+    def cache_key(
+        self, zoom: int, tx: int, ty: int, tier: "str | None" = None
+    ) -> tuple:
         """The tile-cache (and in-flight) key for one tile of this view.
 
         The all-time view keeps the historical 3-tuple form; windowed views
         append their window length, so each window's tiles cache and
-        invalidate independently.
+        invalidate independently.  Degraded quality tiers append their tier
+        name as a final string element (``tier=None`` or ``"exact"`` is the
+        exact namespace) — the same suffix-namespace pattern as windows, so
+        invalidation covers every tier of an affected tile.
         """
         if self.seconds is None:
-            return (zoom, tx, ty)
-        return (zoom, tx, ty, self.seconds)
+            key = (zoom, tx, ty)
+        else:
+            key = (zoom, tx, ty, self.seconds)
+        if tier is None or tier == "exact":
+            return key
+        return (*key, tier)
 
     def owns_key(self, key: tuple) -> bool:
-        """Whether a cache key addresses a tile of this view."""
+        """Whether a cache key addresses a tile of this view (any tier)."""
+        if key and isinstance(key[-1], str):
+            key = key[:-1]  # strip a degraded-tier suffix
         if self.seconds is None:
             return len(key) == 3
         return len(key) == 4 and key[3] == self.seconds
@@ -115,6 +144,20 @@ class WindowView:
             return None, False
         self.ysorted = YSortedIndex(self.points)
         return self.ysorted, True
+
+    def build_zorder(self):
+        """``(order, built_now)`` — the generation's shared Z-order
+        permutation for coreset sampling, built at most once per
+        generation (same discipline as :meth:`build_ysorted`).
+        ``(None, False)`` while the view is empty."""
+        if self.zorder is not None:
+            return self.zorder, False
+        if not len(self.points):
+            return None, False
+        from ..index.zorder_curve import zorder_argsort
+
+        self.zorder = zorder_argsort(self.points)
+        return self.zorder, True
 
     def color_peak(self) -> float:
         """Peak of the maintained overview grid — the stable color scale

@@ -106,9 +106,10 @@ class TestDesignInventory:
     def test_docs_exist(self):
         for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                     "docs/algorithm.md", "docs/api_guide.md",
-                    "docs/reproducing.md", "docs/benchmarks.md",
-                    "docs/observability.md", "docs/serving.md",
-                    "docs/streaming.md", "docs/distributed.md"):
+                    "docs/architecture.md", "docs/reproducing.md",
+                    "docs/benchmarks.md", "docs/observability.md",
+                    "docs/serving.md", "docs/streaming.md",
+                    "docs/quality.md", "docs/distributed.md"):
             assert (REPO / doc).is_file(), doc
 
 
@@ -167,6 +168,118 @@ class TestDocsSymbolsImport:
             if not stripped.startswith("from repro"):
                 continue
             exec(stripped, {})  # raises ImportError on drift
+
+
+class TestDocsCrossLinked:
+    """The doc pages form a connected graph: every page under ``docs/`` is
+    reachable from README.md by following markdown links."""
+
+    LINK = re.compile(r"\]\(([^)#\s]+\.md)\)")
+
+    def test_every_doc_reachable_from_readme(self):
+        all_docs = {p.name for p in (REPO / "docs").glob("*.md")}
+        seen: set[str] = set()
+        frontier = [REPO / "README.md"]
+        while frontier:
+            page = frontier.pop()
+            for target in self.LINK.findall(page.read_text()):
+                name = Path(target).name
+                if name in all_docs and name not in seen:
+                    seen.add(name)
+                    frontier.append(REPO / "docs" / name)
+        orphans = sorted(all_docs - seen)
+        assert not orphans, f"docs unreachable from README: {orphans}"
+
+
+class TestDocumentedHttpContract:
+    """Every HTTP header and query parameter the docs promise is present in
+    the front end (`repro/serve/http.py`)."""
+
+    HEADER = re.compile(r"\bX-KDV-[A-Za-z-]+\b")
+    QUERY = re.compile(r"[?&]([a-z_]+)=")
+
+    @pytest.fixture(scope="class")
+    def http_source(self) -> str:
+        return (REPO / "src" / "repro" / "serve" / "http.py").read_text()
+
+    def test_documented_headers_exist(self, http_source):
+        documented: set[str] = set()
+        for doc in _doc_files():
+            documented.update(self.HEADER.findall(doc.read_text()))
+        assert {"X-KDV-Quality", "X-KDV-Error-Bound"} <= documented
+        missing = sorted(h for h in documented if h not in http_source)
+        assert not missing, f"documented headers not set by http.py: {missing}"
+        assert "Retry-After" in http_source  # the 503 contract
+
+    def test_documented_query_params_exist(self, http_source):
+        documented: set[str] = set()
+        for doc in _doc_files():
+            documented.update(self.QUERY.findall(doc.read_text()))
+        assert {"window", "quality", "max_error", "colormap"} <= documented
+        missing = sorted(
+            q for q in documented if f'"{q}"' not in http_source
+        )
+        assert not missing, f"documented query params not read by http.py: {missing}"
+
+
+class TestDocumentedKnobTables:
+    """Every knob-table row in the docs names a real constructor argument,
+    CLI flag, or environment variable from the sources."""
+
+    TABLE_HEADER = re.compile(r"^\|\s*(?:Knob|CLI flag)\b", re.IGNORECASE)
+    TOKEN = re.compile(r"`([^`]+)`")
+    FLAG = re.compile(r"^--[a-z][a-z0-9-]*$")
+    ENV = re.compile(r"^[A-Z][A-Z0-9_]+$")
+    IDENT = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+    def _knob_rows(self):
+        """Yield (doc, first-two-cells) for every data row of a knob table
+        (the knob name and where it lives; defaults/effects are prose)."""
+        for doc in _doc_files():
+            in_table = False
+            for line in doc.read_text().splitlines():
+                if self.TABLE_HEADER.match(line):
+                    in_table = True
+                    continue
+                if not in_table:
+                    continue
+                if not line.startswith("|"):
+                    in_table = False
+                    continue
+                if set(line) <= set("|-: "):
+                    continue  # the header/body separator row
+                cells = [c.strip() for c in line.strip("|").split("|")]
+                yield doc, cells[:2]
+
+    def test_knob_rows_name_real_arguments(self):
+        cli = (REPO / "src" / "repro" / "cli.py").read_text()
+        src = "\n".join(
+            p.read_text() for p in (REPO / "src" / "repro").rglob("*.py")
+        )
+        env_sources = src + "\n".join(
+            p.read_text() for p in (REPO / "benchmarks").glob("*.py")
+        )
+        rows = 0
+        missing = []
+        for doc, cells in self._knob_rows():
+            rows += 1
+            for cell in cells:
+                for token in self.TOKEN.findall(cell):
+                    for part in token.split():
+                        if self.FLAG.match(part):
+                            if (f'"{part}"' not in cli
+                                    and f"'{part}'" not in cli):
+                                missing.append(f"{doc.name}: {part}")
+                        elif self.ENV.match(part):
+                            if part not in env_sources:
+                                missing.append(f"{doc.name}: {part}")
+                        elif self.IDENT.match(part):
+                            if not re.search(rf"\b{re.escape(part)}\b", src):
+                                missing.append(f"{doc.name}: {part}")
+        assert rows >= 20, "knob tables went missing from the docs"
+        assert not missing, (
+            "knob-table rows naming nothing in the code:\n" + "\n".join(missing)
+        )
 
 
 class TestDocumentedCliFlags:

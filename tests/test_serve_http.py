@@ -336,6 +336,115 @@ class TestBackpressureOverHTTP:
             server.shutdown_gracefully()
 
 
+class TestQualityOverHTTP:
+    @pytest.fixture()
+    def quality_server(self):
+        from repro.serve import QualityPolicy
+
+        srv = make_server(
+            quality=QualityPolicy(pyramid_levels=(1,), coreset_sizes=(64,))
+        )
+        yield srv
+        srv.shutdown_gracefully()
+
+    def test_exact_headers_on_npy_and_png(self, quality_server):
+        url = quality_server.url
+        status, headers, _ = fetch(url + "/tiles/1/0/0")
+        assert status == 200
+        assert headers["X-KDV-Quality"] == "exact"
+        assert headers["X-KDV-Error-Bound"] == "0"
+        status2, headers2, _ = fetch(url + "/tiles/1/0/0.png")
+        assert status2 == 200
+        assert headers2["X-KDV-Quality"] == "exact"
+        assert headers2["X-KDV-Error-Bound"] == "0"
+
+    def test_headers_present_without_policy(self, server):
+        status, headers, _ = fetch(server.url + "/tiles/1/0/0")
+        assert status == 200
+        assert headers["X-KDV-Quality"] == "exact"
+        assert headers["X-KDV-Error-Bound"] == "0"
+
+    def test_pinned_tier_headers_and_payload(self, quality_server):
+        url = quality_server.url
+        status, headers, body = fetch(url + "/tiles/1/0/0?quality=coreset:64")
+        assert status == 200
+        assert headers["X-KDV-Quality"] == "coreset:64"
+        assert float(headers["X-KDV-Error-Bound"]) > 0.0
+        grid = np.load(io.BytesIO(body))
+        assert grid.shape == (TILE, TILE)
+        status2, headers2, _ = fetch(url + "/tiles/1/0/0?quality=pyramid:1")
+        assert status2 == 200
+        assert headers2["X-KDV-Quality"] == "pyramid:1"
+
+    def test_bad_quality_and_max_error_are_400(self, quality_server):
+        url = quality_server.url
+        for query in ("quality=bogus", "quality=pyramid:7", "max_error=nope",
+                      "max_error=-1"):
+            status, _, body = fetch(url + f"/tiles/1/0/0?{query}")
+            assert status == 400, query
+            assert "error" in json.loads(body)
+
+    def test_degraded_pin_without_policy_is_400(self, server):
+        status, _, body = fetch(server.url + "/tiles/1/0/0?quality=coreset:64")
+        assert status == 400
+        assert "disabled" in json.loads(body)["error"]
+
+    def test_metricz_exposes_quality_section(self, quality_server):
+        url = quality_server.url
+        fetch(url + "/tiles/1/0/0?quality=coreset:64")
+        _, _, body = fetch(url + "/metricz")
+        payload = json.loads(body)
+        quality = payload["quality"]
+        assert quality["policy"]["ladder"] == [
+            "exact", "pyramid:1", "coreset:64"
+        ]
+        assert quality["bounds"]["all"]["coreset:64"] > 0.0
+        assert payload["recorder"]["counters"]["quality.served.coreset"] >= 1
+
+    def test_saturated_pool_degrades_before_503(self):
+        from repro.serve import QualityPolicy
+
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow_render(points, scheme, zoom, tx, ty, **kwargs):
+            started.set()
+            release.wait(timeout=30.0)
+            return render_tile(points, scheme, zoom, tx, ty, **kwargs)
+
+        server = make_server(
+            workers=1, queue_limit=1, render_fn=slow_render,
+            quality=QualityPolicy(pyramid_levels=(1,), coreset_sizes=(64,)),
+        )
+        try:
+            leader = threading.Thread(
+                target=fetch, args=(server.url + "/tiles/1/0/0",)
+            )
+            leader.start()
+            assert started.wait(timeout=10.0)
+            # where the policy-free server returned 503, the ladder serves
+            # a degraded tile with honest headers instead
+            status, headers, _ = fetch(server.url + "/tiles/1/1/0")
+            assert status == 200
+            assert headers["X-KDV-Quality"] == "pyramid:1"
+            assert float(headers["X-KDV-Error-Bound"]) >= 0.0
+            release.set()
+            leader.join(timeout=30.0)
+            # once the pool drains, the same tile refines back to exact
+            deadline = time.monotonic() + 10.0
+            tier = None
+            while time.monotonic() < deadline:
+                status, headers, _ = fetch(server.url + "/tiles/1/1/0")
+                tier = headers["X-KDV-Quality"]
+                if status == 200 and tier == "exact":
+                    break
+                time.sleep(0.05)
+            assert tier == "exact"
+        finally:
+            release.set()
+            server.shutdown_gracefully()
+
+
 class TestShutdown:
     def test_shutdown_endpoint_disabled_by_default(self, server):
         status, _, _ = fetch(server.url + "/shutdown", data=b"{}")
