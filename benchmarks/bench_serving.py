@@ -4,8 +4,10 @@ Drives :class:`repro.serve.TileService` in-process (no sockets, so the
 numbers measure the service, not the TCP stack) with a pool of client
 threads replaying a pan/zoom-shaped request mix: tile popularity is skewed
 the way map traffic is, most requests land on a hot neighborhood, the tail
-wanders.  Reports throughput, p50/p99 latency, the single-flight coalescing
-ratio, and the cache hit rate, and writes the machine-readable
+wanders.  Reports offered vs. achieved throughput (open-loop honesty: the
+rate clients asked for and the rate of successful answers are different
+numbers once the service sheds), p50/p99 latency, the single-flight
+coalescing ratio, and the cache hit rate, and writes the machine-readable
 ``BENCH_serving.json`` through :class:`repro.bench.report.BenchReport`.
 
 Knobs (environment variables, all optional):
@@ -14,6 +16,7 @@ Knobs (environment variables, all optional):
 ``REPRO_BENCH_SERVE_REQUESTS``  total requests (default 2_000)
 ``REPRO_BENCH_SERVE_CLIENTS``   concurrent client threads (default 16)
 ``REPRO_BENCH_SERVE_TILE``      tile resolution in pixels (default 128)
+``REPRO_BENCH_SERVE_SEED``      request-mix RNG seed (default 99)
 
 Run with::
 
@@ -69,6 +72,7 @@ def run_serving_bench(
     tile_size: int,
     workers: int = 4,
     cache_tiles: int = 64,
+    seed: int = 99,
 ) -> dict:
     """Run the workload; returns the metric dict the report cells mirror."""
     recorder = Recorder()
@@ -82,7 +86,7 @@ def run_serving_bench(
         cache_tiles=cache_tiles,
         recorder=recorder,
     )
-    mix = _request_mix(requests)
+    mix = _request_mix(requests, seed=seed)
     latencies: list[float] = []
     outcomes = {"ok": 0, "overload": 0, "deadline": 0}
 
@@ -121,7 +125,10 @@ def run_serving_bench(
             "completed": float(outcomes["ok"]),
             "rejected_overload": float(outcomes["overload"]),
             "rejected_deadline": float(outcomes["deadline"]),
-            "throughput_rps": outcomes["ok"] / wall if wall > 0 else 0.0,
+            # open-loop honesty: the rate the clients pushed vs. the rate of
+            # successful answers — one number hides shedding
+            "offered_rps": requests / wall if wall > 0 else 0.0,
+            "achieved_rps": outcomes["ok"] / wall if wall > 0 else 0.0,
             "latency_p50_ms": float(np.percentile(lat_ms, 50)) if len(lat_ms) else 0.0,
             "latency_p99_ms": float(np.percentile(lat_ms, 99)) if len(lat_ms) else 0.0,
             "latency_mean_ms": float(lat_ms.mean()) if len(lat_ms) else 0.0,
@@ -154,12 +161,16 @@ def main(argv: "list[str] | None" = None) -> int:
                         default=_knob("REPRO_BENCH_SERVE_TILE", 128))
     parser.add_argument("--workers", type=int, default=4,
                         help="render pool threads (default 4)")
+    parser.add_argument("--seed", type=int,
+                        default=_knob("REPRO_BENCH_SERVE_SEED", 99),
+                        help="request-mix RNG seed (default 99)")
     ns = parser.parse_args(argv)
     if ns.json:
         os.environ["REPRO_BENCH_JSON"] = ns.json
 
     outcome = run_serving_bench(
-        ns.points, ns.requests, ns.clients, ns.tile_size, workers=ns.workers
+        ns.points, ns.requests, ns.clients, ns.tile_size, workers=ns.workers,
+        seed=ns.seed,
     )
     metrics = outcome["metrics"]
     title = (
@@ -178,6 +189,7 @@ def main(argv: "list[str] | None" = None) -> int:
         clients=ns.clients,
         tile_size=ns.tile_size,
         workers=ns.workers,
+        seed=ns.seed,
         max_zoom=MAX_ZOOM,
     )
     for name, value in metrics.items():

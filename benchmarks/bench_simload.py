@@ -1,0 +1,142 @@
+"""Capacity planning by deterministic simulation (``repro.simload``).
+
+Runs an open-loop load sweep of one simulated scenario against the real
+in-process :class:`repro.serve.TileService` on a virtual clock: the same
+seeded workload is replayed at stepped offered-load levels, and every
+latency is derived from the scenario's cost model rather than the wall
+clock — so the whole sweep finishes in seconds of real time, produces
+byte-identical numbers on any host, and still exercises the service's real
+coalescing/backpressure/degradation logic (see ``docs/simload.md``).
+
+Per offered level the report records offered vs. achieved rps, p50/p99
+virtual latency, cache hit rate, coalesce rate, the shed (503/504)
+fraction, per-quality-tier serve counts, and window tick stats; the meta
+block carries the capacity knee — the highest offered rate whose shed
+fraction stays at or below 1%.
+
+Knobs (environment variables, all optional):
+
+``REPRO_BENCH_SIMLOAD_SCENARIO``  scenario name (default ``default``)
+``REPRO_BENCH_SIMLOAD_SEED``      workload seed (default 7)
+``REPRO_BENCH_SIMLOAD_DURATION``  virtual seconds per level (scenario's own
+                                  duration when unset)
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_simload.py --json out/
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.simload import get_scenario, sweep
+
+_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+_SHED_THRESHOLD = 0.01
+
+#: per-level metric-block fields mirrored into report cells
+_CELL_FIELDS = (
+    "offered_rps",
+    "achieved_rps",
+    "shed_fraction",
+    "shed_503",
+    "shed_504",
+    "latency_p50_s",
+    "latency_p99_s",
+    "cache_hit_rate",
+    "coalesce_rate",
+    "renders",
+    "window_ticks",
+)
+
+
+def run_simload_bench(
+    scenario_name: str, seed: int, duration_s: "float | None" = None
+) -> dict:
+    """One sweep; returns the summary dict ``repro.simload.sweep`` built."""
+    scenario = get_scenario(scenario_name)
+    if duration_s is not None:
+        scenario = dataclasses.replace(scenario, duration_s=duration_s)
+    return sweep(
+        scenario, seed=seed, factors=_FACTORS, shed_threshold=_SHED_THRESHOLD
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    import argparse
+
+    from _common import json_dir, write_report
+    from repro.bench.report import BenchReport
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="output directory for BENCH_simload.json "
+                             "(default: benchmarks/out)")
+    parser.add_argument("--scenario",
+                        default=os.environ.get(
+                            "REPRO_BENCH_SIMLOAD_SCENARIO", "default"))
+    parser.add_argument("--seed", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_BENCH_SIMLOAD_SEED", "7")))
+    parser.add_argument("--duration", type=float,
+                        default=(
+                            float(os.environ["REPRO_BENCH_SIMLOAD_DURATION"])
+                            if "REPRO_BENCH_SIMLOAD_DURATION" in os.environ
+                            else None
+                        ),
+                        help="virtual seconds per level (default: the "
+                             "scenario's own duration)")
+    ns = parser.parse_args(argv)
+    if ns.json:
+        os.environ["REPRO_BENCH_JSON"] = ns.json
+
+    summary = run_simload_bench(ns.scenario, ns.seed, ns.duration)
+    title = (
+        f"Simulated capacity sweep: scenario={ns.scenario} seed={ns.seed}, "
+        f"offered x{_FACTORS} (virtual time)"
+    )
+    lines = [title, "-" * len(title),
+             f"{'offered':>9s} {'achieved':>9s} {'shed':>8s} "
+             f"{'p50 s':>8s} {'p99 s':>8s} {'hit':>7s}"]
+    for rate, block in summary["levels"]:
+        lines.append(
+            f"{rate:9.2f} {block['achieved_rps']:9.2f} "
+            f"{block['shed_fraction']:8.4f} {block['latency_p50_s']:8.3f} "
+            f"{block['latency_p99_s']:8.3f} {block['cache_hit_rate']:7.3f}"
+        )
+    knee = summary["knee"]
+    lines.append(
+        "knee: none — every level shed above threshold"
+        if knee is None
+        else f"knee: max sustainable {knee['max_sustainable_qps']:g} qps "
+             f"(shed <= {_SHED_THRESHOLD:g}, next level sheds "
+             f"{knee.get('shed_fraction_beyond', 0.0):.4f})"
+    )
+    write_report("simload", "\n".join(lines))
+
+    report = BenchReport(
+        "simload", title=title, unit="mixed",
+        key_fields=["offered_rps", "metric"],
+    )
+    report.meta.update(
+        scenario=ns.scenario,
+        seed=ns.seed,
+        factors=list(_FACTORS),
+        shed_threshold=_SHED_THRESHOLD,
+        knee=knee,
+        virtual_time=True,
+    )
+    for rate, block in summary["levels"]:
+        for field in _CELL_FIELDS:
+            report.add_cell((f"{rate:g}", field), float(block[field]))
+        for tier, count in block["tiers"].items():
+            report.add_cell((f"{rate:g}", f"tier:{tier}"), float(count))
+    path = report.write(json_dir())
+    print(f"\n[bench report: {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,6 +57,10 @@ _ENV_KNOBS = (
     "REPRO_BENCH_SERVE_REQUESTS",
     "REPRO_BENCH_SERVE_CLIENTS",
     "REPRO_BENCH_SERVE_TILE",
+    "REPRO_BENCH_SERVE_SEED",
+    "REPRO_BENCH_SIMLOAD_SCENARIO",
+    "REPRO_BENCH_SIMLOAD_SEED",
+    "REPRO_BENCH_SIMLOAD_DURATION",
 )
 
 

@@ -33,6 +33,11 @@ Subcommands
     ``dist-worker`` processes (``--connect``) and/or spawn local ones
     (``--spawn``), then compute with ``backend="dist"`` and report the
     distributed counters.
+``simload``
+    Replay a deterministic simulated workload (``repro.simload``) against
+    an in-process tile service on a virtual clock: run one scenario and
+    print its metric block, or ``--sweep`` stepped offered-load levels to
+    find the max-sustainable-QPS knee.
 
 Examples
 --------
@@ -49,6 +54,9 @@ Examples
     python -m repro dist-worker --port 8801
     python -m repro dist --dataset seattle --connect 127.0.0.1:8801 --stats
     python -m repro dist --dataset seattle --spawn 2 --shards 8 -o out.ppm
+    python -m repro simload --list
+    python -m repro simload --scenario flashcrowd --seed 7 --json out/
+    python -m repro simload --scenario default --sweep --json out/
 """
 
 from __future__ import annotations
@@ -360,6 +368,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument("--stats", action="store_true",
                         help="print the merged distributed counters and "
                              "phase timings")
+
+    p_sim = sub.add_parser(
+        "simload",
+        help="replay a deterministic simulated workload (repro.simload)",
+    )
+    p_sim.add_argument("--scenario", default="default",
+                       help="scenario name (see --list; default: default)")
+    p_sim.add_argument("--seed", type=int, default=0,
+                       help="workload seed; one (scenario, seed) pair "
+                            "reproduces byte-for-byte (default 0)")
+    p_sim.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="override the scenario's virtual duration")
+    p_sim.add_argument("--rate", type=float, default=None, metavar="RPS",
+                       help="override the scenario's base offered rate "
+                            "(requests per virtual second)")
+    p_sim.add_argument("--sweep", action="store_true",
+                       help="run stepped offered-load levels instead of one "
+                            "run and report the max-sustainable-QPS knee")
+    p_sim.add_argument("--json", metavar="DIR", default=None,
+                       help="write the run's trace + metric block (or the "
+                            "sweep summary) as deterministic JSON into DIR")
+    p_sim.add_argument("--trace", action="store_true",
+                       help="print the canonical per-request trace lines")
+    p_sim.add_argument("--list", action="store_true",
+                       help="list available scenarios and exit")
 
     p_bench = sub.add_parser(
         "bench", help="run one benchmark module and write its reports"
@@ -758,6 +792,88 @@ def _cmd_dist(args: argparse.Namespace) -> int:
             pool.shutdown()
 
 
+def _cmd_simload(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    from pathlib import Path
+
+    from .simload import get_scenario, list_scenarios, run_scenario, sweep
+
+    if args.list:
+        print(f"{'scenario':12s} {'duration':>9s} {'base rps':>9s}  description")
+        for sc in list_scenarios():
+            print(f"{sc.name:12s} {sc.duration_s:8.0f}s {sc.arrivals.rate:9.1f}"
+                  f"  {sc.description}")
+        return 0
+    try:
+        scenario = get_scenario(args.scenario)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.duration is not None:
+        scenario = dataclasses.replace(scenario, duration_s=args.duration)
+    if args.rate is not None:
+        scenario = scenario.at_rate(args.rate)
+
+    out_dir = None
+    if args.json:
+        out_dir = Path(args.json)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.sweep:
+        summary = sweep(scenario, seed=args.seed)
+        print(f"scenario={scenario.name} seed={args.seed} "
+              f"(sweep, virtual time only)")
+        print(f"{'offered':>9s} {'achieved':>9s} {'shed':>8s} "
+              f"{'p50':>8s} {'p99':>8s} {'hit rate':>9s}")
+        for rate, block in summary["levels"]:
+            print(f"{rate:9.2f} {block['achieved_rps']:9.2f} "
+                  f"{block['shed_fraction']:8.4f} "
+                  f"{block['latency_p50_s']:8.3f} {block['latency_p99_s']:8.3f} "
+                  f"{block['cache_hit_rate']:9.3f}")
+        knee = summary["knee"]
+        if knee is None:
+            print("knee: none — every level shed above the threshold")
+        else:
+            print(f"knee: max sustainable {knee['max_sustainable_qps']:g} qps "
+                  f"(shed <= {knee['shed_threshold']:g})")
+        if out_dir is not None:
+            path = out_dir / f"simload_sweep_{scenario.name}.json"
+            path.write_text(json.dumps(summary, sort_keys=True, indent=2) + "\n")
+            print(f"wrote {path}")
+        return 0
+
+    result = run_scenario(scenario, seed=args.seed)
+    m = result.metrics
+    print(f"scenario={scenario.name} seed={args.seed} "
+          f"requests={m['requests']} events={result.events_processed} "
+          f"(virtual time only)")
+    print(f"offered {m['offered_rps']:g} rps, achieved {m['achieved_rps']:g} "
+          f"rps, shed {m['shed_fraction']:.4f} "
+          f"(503: {m['shed_503']}, 504: {m['shed_504']})")
+    print(f"latency p50 {m['latency_p50_s']:.3f}s  p99 {m['latency_p99_s']:.3f}s"
+          f"  cache hit rate {m['cache_hit_rate']:.3f}"
+          f"  coalesce rate {m['coalesce_rate']:.3f}")
+    print(f"tiers: {m['tiers']}  renders: {m['renders']}  "
+          f"window ticks: {m['window_ticks']}")
+    print(f"trace digest: {result.digest}")
+    if args.trace:
+        for line in result.trace:
+            print(line)
+    if out_dir is not None:
+        path = out_dir / f"simload_{scenario.name}_seed{args.seed}.json"
+        payload = {
+            "scenario": scenario.name,
+            "seed": args.seed,
+            "digest": result.digest,
+            "metrics": m,
+            "trace": result.trace,
+        }
+        path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
 def _benchmarks_dir():
     """Locate the repository's ``benchmarks/`` directory (source checkouts
     only — the modules are not shipped inside the package)."""
@@ -826,6 +942,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "dist-worker": _cmd_dist_worker,
         "dist": _cmd_dist,
+        "simload": _cmd_simload,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

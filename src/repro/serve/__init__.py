@@ -29,6 +29,7 @@ from .quality import (
     TileResponse,
 )
 from .service import (
+    PendingTile,
     ServiceClosed,
     ServiceOverloaded,
     ServiceTimeout,
@@ -47,6 +48,7 @@ __all__ = [
     "QualityPolicy",
     "Tier",
     "TileResponse",
+    "PendingTile",
     "ServiceClosed",
     "ServiceOverloaded",
     "ServiceTimeout",

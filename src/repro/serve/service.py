@@ -102,6 +102,7 @@ from .window import WindowError, WindowView, window_seconds
 
 __all__ = [
     "TileService",
+    "PendingTile",
     "ServiceClosed",
     "ServiceOverloaded",
     "ServiceTimeout",
@@ -122,6 +123,43 @@ class ServiceOverloaded(RuntimeError):
 
 class ServiceTimeout(TimeoutError):
     """The per-request deadline elapsed before the render finished."""
+
+
+class PendingTile:
+    """A tile answer that is still rendering on the pool.
+
+    Returned by :meth:`TileService.request_tile` with ``wait=False`` instead
+    of blocking on the render future — the seam the :mod:`repro.simload`
+    discrete-event simulator drives the service through: the caller owns the
+    wait, so a simulator can decide *in virtual time* when the render
+    completes before collecting the response.  ``key`` is the render's
+    cache/in-flight key (view-namespaced); joiners of one in-flight render
+    share one underlying future.
+    """
+
+    __slots__ = ("key", "future", "_service", "_view", "_tier")
+
+    def __init__(self, service, view, tier, key, future):
+        self._service = service
+        self._view = view
+        self._tier = tier
+        self.key = key
+        self.future = future
+
+    def done(self) -> bool:
+        """Whether the underlying render has finished."""
+        return self.future.done()
+
+    def resolve(self, timeout: "float | None" = None) -> TileResponse:
+        """Block (up to ``timeout``) for the render and build the response.
+
+        Raises exactly what the blocking :meth:`TileService.request_tile`
+        path would: :class:`ServiceTimeout` past the timeout,
+        :class:`ServiceClosed` if shutdown cancelled the render.
+        """
+        return self._service._await_render(
+            self._view, self._tier, self.key, self.future, timeout
+        )
 
 
 class TileService:
@@ -192,6 +230,13 @@ class TileService:
         Render override with the signature of
         :func:`~repro.viz.tiles.render_tile` (tests inject slow/controlled
         renders; production uses the default).
+    submit_hook:
+        Optional observer called (under the service lock) as
+        ``submit_hook(key, future)`` every time a render is handed to the
+        pool — cold-tile leaders and background refinements alike.  The
+        :mod:`repro.simload` simulator uses it to mirror the pool in
+        virtual time; it must be fast and must not call back into the
+        service.
     coordinator:
         Optional :class:`repro.dist.Coordinator`: cold-tile renders then run
         with ``backend="dist"``, fanning each render's row shards out to the
@@ -225,6 +270,7 @@ class TileService:
         recorder: "Recorder | None" = None,
         clock: Callable[[], float] = monotonic,
         render_fn=None,
+        submit_hook=None,
         coordinator=None,
     ):
         from ..data.points import PointSet
@@ -282,6 +328,7 @@ class TileService:
                 )
             render_fn = self._render_distributed
         self._render_fn = render_fn if render_fn is not None else render_tile
+        self._submit_hook = submit_hook
 
         # Served views, keyed by window length (None = the all-time view).
         # Each view owns a streaming engine (incrementally-maintained overview
@@ -367,7 +414,8 @@ class TileService:
         window: "float | str | None" = None,
         quality=None,
         max_error=None,
-    ) -> TileResponse:
+        wait: bool = True,
+    ) -> "TileResponse | PendingTile":
         """One tile plus its quality metadata, rendered at most once
         concurrently per tier.
 
@@ -387,6 +435,14 @@ class TileService:
         :class:`ServiceTimeout` when the deadline elapses first, and
         :class:`ServiceClosed` during shutdown.  ``deadline_s`` overrides
         the service default for this request (``...`` keeps the default).
+
+        ``wait=False`` never blocks on the render pool: when the answer
+        requires waiting for an in-flight exact render, a
+        :class:`PendingTile` is returned instead (its :meth:`~PendingTile.
+        resolve` performs the wait) and ``deadline_s`` is ignored — the
+        caller owns the deadline.  Everything answerable immediately (cache
+        hits, synchronous degraded renders, rejections) behaves exactly as
+        with ``wait=True``.
         """
         rec = self.recorder
         self.check_key(zoom, tx, ty)
@@ -457,6 +513,8 @@ class TileService:
                         )
                         self._inflight[exact_key] = future
                         rec.set_gauge("serve.queue_depth", len(self._inflight))
+                        if self._submit_hook is not None:
+                            self._submit_hook(exact_key, future)
                         chosen = tier
                         break
                     continue
@@ -479,20 +537,10 @@ class TileService:
                 )
 
         if chosen.kind == "exact":
+            if not wait:
+                return PendingTile(self, view, chosen, exact_key, future)
             timeout = self.deadline_s if deadline_s is ... else deadline_s
-            try:
-                grid = future.result(timeout=timeout)
-            except FutureTimeoutError:
-                rec.count("serve.rejected.deadline")
-                raise ServiceTimeout(
-                    f"tile {exact_key} not rendered within {timeout:.3f}s"
-                ) from None
-            except CancelledError:
-                # a queued render cancelled by shutdown before it started
-                raise ServiceClosed(
-                    "service shut down before the render ran"
-                ) from None
-            return self._respond(view, chosen, grid)
+            return self._await_render(view, chosen, exact_key, future, timeout)
 
         # degraded tiers render synchronously on the request thread: they
         # are cheap by construction and the pool is by definition busy
@@ -519,6 +567,26 @@ class TileService:
         rec.count(f"quality.served.{chosen.kind}")
         self._maybe_refine()
         return self._respond(view, chosen, grid)
+
+    def _await_render(
+        self, view: WindowView, tier: Tier, key: tuple, future, timeout
+    ) -> TileResponse:
+        """Wait for a pool render and package its response (shared by the
+        blocking :meth:`request_tile` path and :meth:`PendingTile.resolve`,
+        so both count deadline rejections identically)."""
+        try:
+            grid = future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self.recorder.count("serve.rejected.deadline")
+            raise ServiceTimeout(
+                f"tile {key} not rendered within {timeout:.3f}s"
+            ) from None
+        except CancelledError:
+            # a queued render cancelled by shutdown before it started
+            raise ServiceClosed(
+                "service shut down before the render ran"
+            ) from None
+        return self._respond(view, tier, grid)
 
     def tile_image(
         self, zoom: int, tx: int, ty: int, colormap: str = "heat", **kwargs
@@ -778,6 +846,8 @@ class TileService:
                 )
                 self._inflight[exact_key] = future
                 rec.set_gauge("serve.queue_depth", len(self._inflight))
+                if self._submit_hook is not None:
+                    self._submit_hook(exact_key, future)
 
     def _refine_into_cache(
         self, key: tuple, tile: tuple, view: WindowView, version: int,
@@ -813,6 +883,12 @@ class TileService:
             ysorted = self._ysorted_for(view, version)
             if ysorted is not None:
                 extra["ysorted"] = ysorted
+            if getattr(self._render_fn, "wants_cache_key", False):
+                # opt-in seam for instrumented render functions (the simload
+                # gated renderer): the cache key uniquely names this render,
+                # which tile coordinates alone cannot (windowed views reuse
+                # them)
+                extra["cache_key"] = key
             with rec.span("tiles.render"):
                 grid = self._render_fn(
                     points,

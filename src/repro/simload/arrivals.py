@@ -1,0 +1,122 @@
+"""Arrival processes: when do requests land on the service?
+
+Open-loop traffic is a (possibly time-varying) Poisson process.  We draw
+arrival instants by *thinning* (Lewis & Shedler): draw candidate points from
+a homogeneous Poisson process at the peak rate ``λ_max``, keep each with
+probability ``λ(t)/λ_max``.  Thinning is exact for any bounded rate
+function and — crucially here — deterministic given the seeded generator.
+
+Three rate shapes cover the scenarios in :mod:`repro.simload.scenarios`:
+
+* ``steady`` — constant offered load.
+* ``diurnal`` — a raised sinusoid ``base * (1 + amplitude*sin(...))``
+  squeezing a day into ``period_s`` of virtual time.
+* ``flash`` — steady base load plus a rectangular spike window during
+  which the rate multiplies by ``spike_factor`` (the flash crowd).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ArrivalSpec", "rate_at", "peak_rate", "arrival_times"]
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Declarative description of an offered-load curve.
+
+    Parameters
+    ----------
+    shape:
+        ``"steady"``, ``"diurnal"``, or ``"flash"``.
+    rate:
+        Base offered load in requests per virtual second.
+    amplitude:
+        Diurnal swing as a fraction of ``rate`` (0..1); ignored otherwise.
+    period_s:
+        Diurnal period in virtual seconds.
+    spike_start_s / spike_end_s:
+        Flash-crowd window (virtual seconds from scenario start).
+    spike_factor:
+        Rate multiplier inside the spike window.
+    """
+
+    shape: str = "steady"
+    rate: float = 20.0
+    amplitude: float = 0.6
+    period_s: float = 60.0
+    spike_start_s: float = 10.0
+    spike_end_s: float = 20.0
+    spike_factor: float = 6.0
+
+    def __post_init__(self):
+        if self.shape not in ("steady", "diurnal", "flash"):
+            raise ValueError(f"unknown arrival shape: {self.shape!r}")
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.shape == "flash" and self.spike_end_s <= self.spike_start_s:
+            raise ValueError("flash spike window must have positive length")
+
+    def scaled(self, factor: float) -> "ArrivalSpec":
+        """The same curve with base rate multiplied by ``factor`` (used by
+        load sweeps to step the offered level)."""
+        return ArrivalSpec(
+            shape=self.shape,
+            rate=self.rate * factor,
+            amplitude=self.amplitude,
+            period_s=self.period_s,
+            spike_start_s=self.spike_start_s,
+            spike_end_s=self.spike_end_s,
+            spike_factor=self.spike_factor,
+        )
+
+
+def rate_at(spec: ArrivalSpec, t: float) -> float:
+    """Instantaneous offered rate λ(t) in requests per virtual second."""
+    if spec.shape == "steady":
+        return spec.rate
+    if spec.shape == "diurnal":
+        phase = 2.0 * math.pi * t / spec.period_s
+        return spec.rate * (1.0 + spec.amplitude * math.sin(phase))
+    # flash
+    if spec.spike_start_s <= t < spec.spike_end_s:
+        return spec.rate * spec.spike_factor
+    return spec.rate
+
+
+def peak_rate(spec: ArrivalSpec) -> float:
+    """An upper bound on λ(t), the thinning envelope."""
+    if spec.shape == "steady":
+        return spec.rate
+    if spec.shape == "diurnal":
+        return spec.rate * (1.0 + spec.amplitude)
+    return spec.rate * spec.spike_factor
+
+
+def arrival_times(
+    spec: ArrivalSpec, duration_s: float, rng: np.random.Generator
+) -> np.ndarray:
+    """All arrival instants in ``[0, duration_s)``, sorted ascending.
+
+    Draws exponential gaps at the peak rate and keeps each candidate with
+    probability ``λ(t)/λ_max``.  The whole trace is materialised up front so
+    the event loop can schedule every request before running — simpler to
+    reason about than interleaved lazy draws, and the traces involved are
+    small (thousands of floats).
+    """
+    lam_max = peak_rate(spec)
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / lam_max))
+        if t >= duration_s:
+            break
+        if float(rng.random()) * lam_max <= rate_at(spec, t):
+            times.append(t)
+    return np.asarray(times, dtype=np.float64)

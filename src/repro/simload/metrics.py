@@ -1,0 +1,192 @@
+"""Rolling up a simulated run into serving metrics and a canonical trace.
+
+Two artifacts come out of a run:
+
+* **The trace** — one line per request, in arrival order, carrying the
+  virtual timestamp, tile address, outcome, served tier, and virtual
+  latency.  Its SHA-256 digest is the reproducibility fingerprint: two runs
+  of the same (scenario, seed) must produce byte-identical traces.
+* **The metric block** — offered vs. achieved rates, p50/p99 virtual
+  latency, cache hit rate, coalesce rate, shed (503/504) fraction,
+  per-quality-tier serve counts, and window tick/expiry stats, assembled
+  from the request records plus the service's own recorder counters.
+
+The knee finder turns a sweep (metric block per offered-load level) into a
+single capacity number: the highest offered rate whose shed fraction stays
+at or below the threshold (default 1%).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RequestRecord",
+    "trace_lines",
+    "trace_digest",
+    "summarize",
+    "find_knee",
+]
+
+#: request outcomes, in trace vocabulary
+OK = "ok"
+OVERLOAD = "overload"  # 503: every admissible tier saturated
+DEADLINE = "deadline"  # 504: answered, but after the virtual deadline
+ERROR = "error"  # unexpected exception (should never appear in a green run)
+
+
+@dataclass
+class RequestRecord:
+    """One simulated request, resolved."""
+
+    seq: int
+    t: float  # virtual arrival time
+    zoom: int
+    tx: int
+    ty: int
+    window: "float | None"
+    outcome: str  # OK / OVERLOAD / DEADLINE / ERROR
+    tier: "str | None"  # served tier name, None for rejections
+    latency_s: float  # virtual seconds from arrival to answer
+
+
+def trace_lines(records: "list[RequestRecord]") -> "list[str]":
+    """The canonical one-line-per-request trace (arrival order).
+
+    Floats are rounded to microseconds before formatting so the digest
+    never depends on float repr jitter across platforms.
+    """
+    lines = []
+    for r in sorted(records, key=lambda r: r.seq):
+        lines.append(
+            json.dumps(
+                {
+                    "seq": r.seq,
+                    "t": round(r.t, 6),
+                    "tile": [r.zoom, r.tx, r.ty],
+                    "window": r.window,
+                    "outcome": r.outcome,
+                    "tier": r.tier,
+                    "latency": round(r.latency_s, 6),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return lines
+
+
+def trace_digest(records: "list[RequestRecord]") -> str:
+    """SHA-256 over the canonical trace — the run's reproducibility
+    fingerprint."""
+    h = hashlib.sha256()
+    for line in trace_lines(records):
+        h.update(line.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _percentile(values: "list[float]", q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def summarize(
+    records: "list[RequestRecord]",
+    stats: dict,
+    duration_s: float,
+    offered: int,
+) -> dict:
+    """The metric block for one run.
+
+    ``stats`` is the service's :meth:`~repro.serve.TileService.stats`
+    snapshot (recorder counters + cache/window state); ``offered`` is the
+    number of arrivals the arrival process generated (every one of which
+    became a record), so ``offered_rps`` and ``achieved_rps`` separate
+    open-loop honesty from success throughput.
+    """
+    counters = stats["recorder"].get("counters", {})
+    ok = [r for r in records if r.outcome == OK]
+    shed = [r for r in records if r.outcome in (OVERLOAD, DEADLINE)]
+    errors = [r for r in records if r.outcome == ERROR]
+    latencies = [r.latency_s for r in ok]
+
+    hits = int(counters.get("tiles.cache.hits", 0))
+    misses = int(counters.get("tiles.cache.misses", 0))
+    probes = hits + misses
+    requests = len(records)
+
+    tiers: "dict[str, int]" = {}
+    for r in ok:
+        if r.tier is not None:
+            tiers[r.tier] = tiers.get(r.tier, 0) + 1
+
+    window = stats.get("window", {})
+    return {
+        "requests": requests,
+        "offered": offered,
+        "duration_s": round(duration_s, 6),
+        "offered_rps": round(offered / duration_s, 4),
+        "achieved_rps": round(len(ok) / duration_s, 4),
+        "ok": len(ok),
+        "shed": len(shed),
+        "shed_503": sum(1 for r in shed if r.outcome == OVERLOAD),
+        "shed_504": sum(1 for r in shed if r.outcome == DEADLINE),
+        "errors": len(errors),
+        "shed_fraction": round(len(shed) / requests, 6) if requests else 0.0,
+        "latency_p50_s": round(_percentile(latencies, 50.0), 6),
+        "latency_p99_s": round(_percentile(latencies, 99.0), 6),
+        "latency_mean_s": round(
+            float(np.mean(latencies)) if latencies else 0.0, 6
+        ),
+        "cache_hit_rate": round(hits / probes, 6) if probes else 0.0,
+        "coalesce_rate": (
+            round(int(counters.get("serve.coalesce.joined", 0)) / requests, 6)
+            if requests
+            else 0.0
+        ),
+        "renders": int(counters.get("serve.coalesce.leaders", 0)),
+        "refined": int(counters.get("quality.refined", 0)),
+        "tiers": dict(sorted(tiers.items())),
+        "window_ticks": int(window.get("ticks", 0)),
+        "window_expired_points": int(window.get("expired_points", 0)),
+        "cache_expirations": int(stats.get("cache", {}).get("expirations", 0)),
+    }
+
+
+def find_knee(
+    levels: "list[tuple[float, dict]]", shed_threshold: float = 0.01
+) -> "dict | None":
+    """Max sustainable offered rate from a sweep.
+
+    ``levels`` is ``[(offered_rps_target, metric_block), ...]`` in
+    ascending offered order.  The knee is the highest level whose shed
+    fraction stays at or below ``shed_threshold``; the answer names both
+    sides of the crossing so the report shows where service quality broke.
+    Returns ``None`` when even the lowest level sheds too much.
+    """
+    sustained = None
+    first_over = None
+    for rate, block in levels:
+        if block["shed_fraction"] <= shed_threshold:
+            if sustained is None or rate > sustained[0]:
+                sustained = (rate, block)
+        elif first_over is None:
+            first_over = (rate, block)
+    if sustained is None:
+        return None
+    knee = {
+        "max_sustainable_qps": sustained[0],
+        "shed_threshold": shed_threshold,
+        "shed_fraction_at_knee": sustained[1]["shed_fraction"],
+        "achieved_rps_at_knee": sustained[1]["achieved_rps"],
+    }
+    if first_over is not None:
+        knee["first_unsustainable_qps"] = first_over[0]
+        knee["shed_fraction_beyond"] = first_over[1]["shed_fraction"]
+    return knee

@@ -1,0 +1,462 @@
+"""The simulation runner: virtual time outside, real ``TileService`` inside.
+
+The hard problem this module solves is *deterministic saturation*.  The
+service's interesting behaviour — coalescing, backpressure, the quality
+ladder, 503s — only appears when its render pool is genuinely occupied,
+but real thread timing is not reproducible.  The runner squares the circle
+with three mechanisms:
+
+* **Gated renders.**  The injected ``render_fn`` computes the real grid
+  immediately, then blocks on a per-cache-key gate until the simulator
+  releases it at the render's *virtual* completion time.  The service's
+  real ``_inflight`` table therefore stays occupied across virtual time,
+  and its own admission/degradation/rejection logic runs unmodified.
+* **A mirrored virtual pool.**  ``submit_hook`` hands the simulator every
+  pool submission (leaders and background refinements) in order; the
+  simulator replays them through a virtual executor with the same worker
+  count and FIFO discipline, assigning start/completion times from the
+  scenario's :class:`~repro.simload.scenarios.CostModel`.  Because both
+  pools are FIFO with ``k`` slots, every virtually-running render has
+  really started, so releasing its gate can never deadlock.
+* **Single-threaded control.**  The simulator thread owns all service
+  calls (``request_tile(wait=False)`` never blocks; waiting happens via
+  :class:`~repro.serve.PendingTile` at release points), all ingest and
+  ticks, and the virtual clock the service reads.  Pool threads only
+  compute grids and block on gates — they never mutate shared state until
+  released, at a deterministic virtual instant.
+
+Latency is *virtual* throughout: queueing delay in the virtual pool plus
+the cost model's constants.  Nothing in a run reads the wall clock, so a
+(scenario, seed) pair reproduces byte-for-byte on any host.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.points import PointSet
+from ..serve import (
+    PendingTile,
+    QualityPolicy,
+    ServiceOverloaded,
+    TileService,
+)
+from ..viz.tiles import TileScheme, render_tile
+from .arrivals import arrival_times, rate_at
+from .events import EventLoop, SimClock
+from .metrics import (
+    DEADLINE,
+    ERROR,
+    OK,
+    OVERLOAD,
+    RequestRecord,
+    find_knee,
+    summarize,
+    trace_digest,
+    trace_lines,
+)
+from .scenarios import Scenario
+from .sessions import SessionWalk
+
+__all__ = ["SimResult", "SimulationRunner", "run_scenario", "sweep"]
+
+#: real-seconds guard on joins so a simulator bug fails fast, never hangs CI
+_JOIN_TIMEOUT_S = 120.0
+
+
+class _GateRegistry:
+    """Per-cache-key gates between pool render threads and the simulator.
+
+    Either side may create a key's gate first (``submit`` returns before the
+    hook's bookkeeping is visible to the pool thread), so both go through
+    get-or-create under one lock.  Single-flight rendering guarantees at
+    most one live render per key, which makes the key an unambiguous
+    address; entries are discarded only after the render's future is
+    joined, so the waiting thread has always passed the gate by then.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: "dict[tuple, threading.Event]" = {}
+
+    def _get(self, key: tuple) -> threading.Event:
+        with self._lock:
+            evt = self._events.get(key)
+            if evt is None:
+                evt = self._events[key] = threading.Event()
+            return evt
+
+    def wait(self, key: tuple) -> None:
+        if not self._get(key).wait(timeout=_JOIN_TIMEOUT_S):
+            raise RuntimeError(f"render gate for {key} never released")
+
+    def release(self, key: tuple) -> None:
+        self._get(key).set()
+
+    def discard(self, key: tuple) -> None:
+        with self._lock:
+            self._events.pop(key, None)
+
+
+def _gated_render_fn(registry: _GateRegistry):
+    """A ``render_fn`` that computes the true grid, then parks its pool
+    thread on the key's gate until the simulator reaches the render's
+    virtual completion time."""
+
+    def render(points, scheme, zoom, tx, ty, *, cache_key, **kwargs):
+        grid = render_tile(points, scheme, zoom, tx, ty, **kwargs)
+        registry.wait(cache_key)
+        return grid
+
+    render.wants_cache_key = True  # opt into the service's cache_key seam
+    return render
+
+
+@dataclass
+class _RenderJob:
+    """One pool submission mirrored into the virtual executor."""
+
+    key: tuple
+    future: object
+    submit_vt: float
+    start_vt: "float | None" = None
+    done_vt: "float | None" = None
+    waiters: "list[tuple[RequestRecord, PendingTile]]" = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class SimResult:
+    """Everything one run produced."""
+
+    scenario: str
+    seed: int
+    records: "list[RequestRecord]"
+    metrics: dict
+    stats: dict
+    events_processed: int
+
+    @property
+    def trace(self) -> "list[str]":
+        return trace_lines(self.records)
+
+    @property
+    def digest(self) -> str:
+        return trace_digest(self.records)
+
+
+def _make_dataset(
+    scenario: Scenario, rng: np.random.Generator
+) -> "tuple[PointSet, TileScheme, float, np.ndarray]":
+    """Synthetic clustered events in a unit-ish world, with timestamps.
+
+    Returns the seed point set, its tile scheme, a bandwidth sized to the
+    world, and the cluster centers (ingest batches re-use them so live
+    events land where the crowd looks).
+    """
+    centers = rng.uniform(0.2, 0.8, size=(scenario.n_clusters, 2))
+    n = scenario.n_points
+    which = rng.integers(0, scenario.n_clusters, size=n)
+    xy = centers[which] + rng.normal(0.0, 0.06, size=(n, 2))
+    xy = np.clip(xy, 0.0, 1.0)
+    # seed events carry slightly-past timestamps so a window view starts
+    # populated instead of empty
+    t = rng.uniform(-1.0, 0.0, size=n)
+    t.sort()
+    points = PointSet(xy=xy, t=t, name=f"simload-{scenario.name}")
+    scheme = TileScheme.for_points(xy)
+    bandwidth = 0.08 * scheme.world.width
+    return points, scheme, bandwidth, centers
+
+
+class SimulationRunner:
+    """Run one scenario at one seed; see the module docstring for how."""
+
+    def __init__(self, scenario: Scenario, seed: int = 0):
+        self.scenario = scenario
+        self.seed = int(seed)
+        # independent, reproducible streams per concern so e.g. a longer
+        # arrival trace cannot perturb the session walk
+        ss = np.random.SeedSequence(self.seed)
+        s_data, s_arrivals, s_sessions, s_ingest = ss.spawn(4)
+        self._rng_data = np.random.default_rng(s_data)
+        self._rng_arrivals = np.random.default_rng(s_arrivals)
+        self._rng_sessions = np.random.default_rng(s_sessions)
+        self._rng_ingest = np.random.default_rng(s_ingest)
+
+        self.clock = SimClock()
+        self.loop = EventLoop(self.clock)
+        self.records: "list[RequestRecord]" = []
+        self._registry = _GateRegistry()
+        self._submissions: "deque[tuple[tuple, object]]" = deque()
+        self._submissions_lock = threading.Lock()
+        self._jobs: "dict[tuple, _RenderJob]" = {}
+        self._vqueue: "deque[_RenderJob]" = deque()
+        self._slots_free = scenario.workers
+        self._offered = 0
+
+        (
+            self.points,
+            self.scheme,
+            self.bandwidth,
+            self.centers,
+        ) = _make_dataset(scenario, self._rng_data)
+        self.walk = SessionWalk(
+            scenario.session, self.scheme, self._rng_sessions
+        )
+        self.service = self._build_service()
+
+    def _build_service(self) -> TileService:
+        sc = self.scenario
+        quality = None
+        if sc.quality:
+            quality = QualityPolicy(
+                pyramid_levels=(1, 2),
+                coreset_sizes=(min(1024, sc.n_points // 2), 256),
+                calibration_size=32,
+                degraded_ttl_s=3.0,
+            )
+        return TileService(
+            self.points,
+            self.scheme,
+            tile_size=sc.tile_size,
+            bandwidth=self.bandwidth,
+            max_zoom=sc.max_zoom,
+            workers=sc.workers,
+            queue_limit=sc.queue_limit,
+            deadline_s=None,  # deadlines are virtual, enforced sim-side
+            cache_tiles=sc.cache_tiles,
+            cache_ttl_s=sc.cache_ttl_s,
+            window_s=sc.window_s,
+            tick_s=None,  # ticks are explicit simulator events
+            quality=quality,
+            clock=self.clock,
+            render_fn=_gated_render_fn(self._registry),
+            submit_hook=self._on_submit,
+        )
+
+    # -- virtual pool -------------------------------------------------------
+
+    def _on_submit(self, key: tuple, future) -> None:
+        """The service's ``submit_hook`` (called under its lock).  Only
+        records the submission; the simulator thread mirrors it into the
+        virtual pool at the next drain point."""
+        with self._submissions_lock:
+            self._submissions.append((key, future))
+
+    def _drain_submissions(self) -> None:
+        """Mirror freshly hooked submissions into the virtual executor.
+
+        Called on the simulator thread right after any service call that
+        can submit (a request, a resolved render's refinements), so virtual
+        queue order equals real submission order.
+        """
+        while True:
+            with self._submissions_lock:
+                if not self._submissions:
+                    return
+                key, future = self._submissions.popleft()
+            job = _RenderJob(key=key, future=future, submit_vt=self.clock.now)
+            self._jobs[key] = job
+            if self._slots_free > 0:
+                self._start_job(job)
+            else:
+                self._vqueue.append(job)
+
+    def _start_job(self, job: _RenderJob) -> None:
+        self._slots_free -= 1
+        job.start_vt = self.clock.now
+        job.done_vt = job.start_vt + self.scenario.cost.render_s
+        self.loop.schedule(job.done_vt, lambda j=job: self._on_render_done(j))
+
+    def _on_render_done(self, job: _RenderJob) -> None:
+        """A render's virtual completion: release its gate, join the real
+        future, resolve every waiter, then feed the freed slot."""
+        self._registry.release(job.key)
+        error = None
+        try:
+            job.future.result(timeout=_JOIN_TIMEOUT_S)
+        except Exception as exc:  # pragma: no cover - requires a render bug
+            error = exc
+        self._registry.discard(job.key)
+        self._jobs.pop(job.key, None)
+        # refinements submitted during this render's completion hooks are
+        # visible now (they run before the future resolves)
+        self._drain_submissions()
+        for record, pending in job.waiters:
+            if error is not None:  # pragma: no cover
+                record.outcome, record.tier = ERROR, None
+                record.latency_s = job.done_vt - record.t
+                continue
+            response = pending.resolve(timeout=_JOIN_TIMEOUT_S)
+            record.latency_s = job.done_vt - record.t
+            deadline = self.scenario.deadline_s
+            if deadline is not None and record.latency_s > deadline:
+                record.outcome, record.tier = DEADLINE, None
+                self.service.recorder.count("serve.rejected.deadline")
+            else:
+                record.outcome, record.tier = OK, response.tier
+        self._slots_free += 1
+        while self._slots_free > 0 and self._vqueue:
+            self._start_job(self._vqueue.popleft())
+
+    # -- workload events ----------------------------------------------------
+
+    def _in_flash(self) -> bool:
+        arr = self.scenario.arrivals
+        return arr.shape == "flash" and (
+            arr.spike_start_s <= self.clock.now < arr.spike_end_s
+        )
+
+    def _on_request(self, seq: int) -> None:
+        sc = self.scenario
+        zoom, tx, ty = self.walk.next_tile(in_flash=self._in_flash())
+        window = None
+        if sc.window_request_fraction > 0 and (
+            float(self._rng_sessions.random()) < sc.window_request_fraction
+        ):
+            window = sc.window_s
+        record = RequestRecord(
+            seq=seq,
+            t=self.clock.now,
+            zoom=zoom,
+            tx=tx,
+            ty=ty,
+            window=window,
+            outcome=ERROR,
+            tier=None,
+            latency_s=0.0,
+        )
+        self.records.append(record)
+        try:
+            answer = self.service.request_tile(
+                zoom, tx, ty, window=window, wait=False
+            )
+        except ServiceOverloaded:
+            record.outcome = OVERLOAD
+            record.latency_s = sc.cost.hit_s
+        except Exception:  # pragma: no cover - requires a service bug
+            record.outcome = ERROR
+            record.latency_s = sc.cost.hit_s
+        else:
+            # mirror any leader/refinement submission this request caused
+            # before looking its job up
+            self._drain_submissions()
+            if isinstance(answer, PendingTile):
+                job = self._jobs.get(answer.key)
+                if job is None:  # pragma: no cover - mirror invariant broken
+                    raise RuntimeError(
+                        f"no virtual job for in-flight render {answer.key}"
+                    )
+                job.waiters.append((record, answer))
+            else:
+                record.outcome = OK
+                record.tier = answer.tier
+                record.latency_s = (
+                    sc.cost.hit_s
+                    if answer.tier == "exact"
+                    else sc.cost.degraded_s
+                )
+        self._drain_submissions()
+
+    def _on_ingest(self) -> None:
+        spec = self.scenario.ingest
+        rng = self._rng_ingest
+        n = spec.batch
+        n_cluster = int(round(n * spec.cluster_fraction))
+        which = rng.integers(0, len(self.centers), size=n_cluster)
+        clustered = self.centers[which] + rng.normal(
+            0.0, 0.06, size=(n_cluster, 2)
+        )
+        uniform = rng.uniform(0.0, 1.0, size=(n - n_cluster, 2))
+        xy = np.clip(np.vstack([clustered, uniform]), 0.0, 1.0)
+        t = np.full(n, self.clock.now)
+        self.service.ingest(xy, t=t)
+        self._drain_submissions()
+
+    def _on_tick(self) -> None:
+        self.service.tick(now=self.clock.now)
+        self._drain_submissions()
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        sc = self.scenario
+        arrivals = arrival_times(sc.arrivals, sc.duration_s, self._rng_arrivals)
+        self._offered = len(arrivals)
+        for seq, t in enumerate(arrivals):
+            self.loop.schedule(float(t), lambda s=seq: self._on_request(s))
+        if sc.ingest is not None:
+            t = sc.ingest.interval_s
+            while t < sc.duration_s:
+                self.loop.schedule(t, self._on_ingest)
+                t += sc.ingest.interval_s
+        if sc.tick_s is not None:
+            t = sc.tick_s
+            while t < sc.duration_s:
+                self.loop.schedule(t, self._on_tick)
+                t += sc.tick_s
+
+        try:
+            # drain completely: late virtual renders schedule their own
+            # completion events, and refinement cascades can extend the heap
+            while len(self.loop) or self._submissions or self._vqueue:
+                self.loop.run()
+                self._drain_submissions()
+            stats = self.service.stats()
+        finally:
+            # release any gate a buggy run left parked so close() can join
+            for key in list(self._jobs):
+                self._registry.release(key)  # pragma: no cover
+            self.service.close(drain=True)
+
+        end = max(sc.duration_s, self.clock.now)
+        metrics = summarize(
+            self.records, stats, duration_s=end, offered=self._offered
+        )
+        metrics["arrival_peak_rps"] = round(
+            max(rate_at(sc.arrivals, t) for t in np.linspace(0, sc.duration_s, 101)),
+            4,
+        )
+        return SimResult(
+            scenario=sc.name,
+            seed=self.seed,
+            records=self.records,
+            metrics=metrics,
+            stats=stats,
+            events_processed=self.loop.processed,
+        )
+
+
+def run_scenario(scenario: Scenario, seed: int = 0) -> SimResult:
+    """One-shot convenience: build a runner and run it."""
+    return SimulationRunner(scenario, seed=seed).run()
+
+
+def sweep(
+    scenario: Scenario,
+    seed: int = 0,
+    factors: "tuple[float, ...]" = (0.25, 0.5, 1.0, 2.0, 4.0),
+    shed_threshold: float = 0.01,
+) -> dict:
+    """Open-loop capacity sweep: rerun the scenario at stepped offered
+    rates (each level an independent, identically seeded run) and find the
+    max-sustainable-QPS knee."""
+    levels = []
+    for factor in factors:
+        rate = scenario.arrivals.rate * factor
+        result = run_scenario(scenario.at_rate(rate), seed=seed)
+        levels.append((round(rate, 4), result))
+    blocks = [(rate, r.metrics) for rate, r in levels]
+    return {
+        "scenario": scenario.name,
+        "seed": seed,
+        "levels": blocks,
+        "knee": find_knee(blocks, shed_threshold=shed_threshold),
+        "shed_threshold": shed_threshold,
+    }

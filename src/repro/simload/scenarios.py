@@ -1,0 +1,228 @@
+"""Declarative scenario specs: everything a run needs, in one frozen object.
+
+A :class:`Scenario` bundles the four ingredients of a workload —
+
+1. an **arrival process** (:class:`~repro.simload.arrivals.ArrivalSpec`):
+   when requests land;
+2. a **session model** (:class:`~repro.simload.sessions.SessionSpec`):
+   which tiles they ask for;
+3. an **ingest model** (:class:`IngestSpec`, optional): the timestamped
+   event feed flowing into ``?window=`` views;
+4. a **service config + cost model**: how the simulated
+   :class:`~repro.serve.TileService` is built and how long its operations
+   take in *virtual* seconds.
+
+plus a duration.  Scenarios are frozen dataclasses so a (scenario, seed)
+pair fully determines a run — the reproducibility contract the tests pin.
+
+The registry ships four: ``default`` (steady load + quality ladder),
+``flashcrowd`` (a hotspot spike that drives degradation and shedding),
+``diurnal`` (a sinusoidal day), and ``ingest`` (streaming events + window
+views + ticks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .arrivals import ArrivalSpec
+from .sessions import SessionSpec
+
+__all__ = [
+    "CostModel",
+    "IngestSpec",
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "list_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """How long service operations take, in virtual seconds.
+
+    Real wall time is never measured (it would break byte-for-byte
+    reproducibility); instead every latency is derived from these
+    deterministic constants plus queueing delay in the virtual render pool.
+
+    Parameters
+    ----------
+    render_s:
+        One exact tile render occupying a virtual pool worker.
+    degraded_s:
+        One synchronous degraded render (pyramid/coreset tier) on the
+        request path.
+    hit_s:
+        A cache hit, an immediate rejection, or any other
+        answered-without-rendering response.
+    """
+
+    render_s: float = 0.08
+    degraded_s: float = 0.012
+    hit_s: float = 0.002
+
+    def __post_init__(self):
+        if min(self.render_s, self.degraded_s, self.hit_s) <= 0:
+            raise ValueError("all virtual costs must be positive")
+
+
+@dataclass(frozen=True)
+class IngestSpec:
+    """Steady timestamped event feed (virtual-time batches).
+
+    Every ``interval_s`` of virtual time a batch of ``batch`` events is
+    inserted with timestamps equal to the current virtual instant, so
+    ``?window=`` views age in simulation time.
+    """
+
+    interval_s: float = 2.0
+    batch: int = 64
+    cluster_fraction: float = 0.7
+
+    def __post_init__(self):
+        if self.interval_s <= 0:
+            raise ValueError("ingest interval_s must be positive")
+        if self.batch < 1:
+            raise ValueError("ingest batch must be >= 1")
+        if not 0.0 <= self.cluster_fraction <= 1.0:
+            raise ValueError("cluster_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One complete, reproducible workload description."""
+
+    name: str
+    description: str
+    duration_s: float = 30.0
+    # -- synthetic dataset ------------------------------------------------
+    n_points: int = 4000
+    n_clusters: int = 3
+    # -- service config ---------------------------------------------------
+    tile_size: int = 48
+    max_zoom: int = 3
+    workers: int = 2
+    queue_limit: int = 6
+    cache_tiles: int = 128
+    cache_ttl_s: "float | None" = None
+    window_s: "float | None" = None
+    tick_s: "float | None" = None
+    quality: bool = False
+    # -- request deadline (virtual seconds; late answers count as 504) ----
+    deadline_s: "float | None" = 1.0
+    # -- traffic -----------------------------------------------------------
+    arrivals: ArrivalSpec = ArrivalSpec()
+    session: SessionSpec = SessionSpec()
+    ingest: "IngestSpec | None" = None
+    window_request_fraction: float = 0.0
+    cost: CostModel = CostModel()
+
+    def __post_init__(self):
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.n_points < 10:
+            raise ValueError("n_points must be >= 10")
+        if self.session.max_zoom > self.max_zoom:
+            raise ValueError("session max_zoom cannot exceed service max_zoom")
+        if not 0.0 <= self.window_request_fraction <= 1.0:
+            raise ValueError("window_request_fraction must be in [0, 1]")
+        if self.window_request_fraction > 0 and self.window_s is None:
+            raise ValueError("window requests need window_s on the scenario")
+
+    def at_rate(self, rate: float) -> "Scenario":
+        """This scenario with the arrival base rate replaced (load sweeps
+        step the offered level through this)."""
+        factor = rate / self.arrivals.rate
+        return replace(self, arrivals=self.arrivals.scaled(factor))
+
+
+SCENARIOS: "dict[str, Scenario]" = {
+    s.name: s
+    for s in [
+        Scenario(
+            name="default",
+            description=(
+                "Steady Zipf + session traffic against a TTL'd cache with "
+                "no quality ladder: saturation surfaces as hard 503s and "
+                "late-answer 504s, which is what the capacity sweep knees "
+                "on."
+            ),
+            duration_s=30.0,
+            quality=False,
+            cache_ttl_s=4.0,
+            deadline_s=0.8,
+            arrivals=ArrivalSpec(shape="steady", rate=20.0),
+            session=SessionSpec(max_zoom=3),
+            cost=CostModel(render_s=0.25),
+        ),
+        Scenario(
+            name="flashcrowd",
+            description=(
+                "Steady background load with a 6x spike concentrated on a "
+                "hotspot region, quality ladder attached — the spike is "
+                "absorbed by degraded tiers instead of 503s."
+            ),
+            duration_s=30.0,
+            quality=True,
+            cache_ttl_s=4.0,
+            deadline_s=1.0,
+            arrivals=ArrivalSpec(
+                shape="flash",
+                rate=15.0,
+                spike_start_s=10.0,
+                spike_end_s=18.0,
+                spike_factor=6.0,
+            ),
+            session=SessionSpec(max_zoom=3, hotspot_tiles=3, hotspot_bias=0.9),
+            cost=CostModel(render_s=0.25),
+        ),
+        Scenario(
+            name="diurnal",
+            description=(
+                "A day squeezed into one virtual minute: sinusoidal offered "
+                "load over steady session traffic, no quality ladder (hard "
+                "503s at the peak)."
+            ),
+            duration_s=60.0,
+            quality=False,
+            cache_ttl_s=4.0,
+            deadline_s=0.8,
+            arrivals=ArrivalSpec(
+                shape="diurnal", rate=18.0, amplitude=0.8, period_s=60.0
+            ),
+            session=SessionSpec(max_zoom=3),
+            cost=CostModel(render_s=0.25),
+        ),
+        Scenario(
+            name="ingest",
+            description=(
+                "Steady requests split between the all-time pyramid and a "
+                "sliding window fed by timestamped ingest batches, with "
+                "periodic ticks expiring old events."
+            ),
+            duration_s=30.0,
+            quality=False,
+            window_s=12.0,
+            tick_s=3.0,
+            window_request_fraction=0.5,
+            ingest=IngestSpec(interval_s=2.0, batch=64),
+            arrivals=ArrivalSpec(shape="steady", rate=12.0),
+            session=SessionSpec(max_zoom=2),
+            cache_ttl_s=20.0,
+        ),
+    ]
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def list_scenarios() -> "list[Scenario]":
+    return [SCENARIOS[k] for k in sorted(SCENARIOS)]

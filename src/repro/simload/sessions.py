@@ -1,0 +1,207 @@
+"""Who asks for which tile: Zipf popularity + zoom/pan session walks.
+
+Map traffic is not uniform over the pyramid.  Two structures dominate:
+
+* **Heavy-tailed tile popularity.**  A few tiles (city centres, landmark
+  zooms) absorb most requests.  :class:`TilePopularity` ranks every tile of
+  the pyramid by a seeded shuffle and assigns Zipf(``s``) probabilities to
+  the ranks; sampling is a binary search over the cumulative distribution.
+* **Spatially correlated sessions.**  A user who just looked at a tile next
+  looks at a *related* tile — zoom into a child, zoom out to the parent, or
+  pan to a neighbour.  :class:`SessionWalk` replays the operation vocabulary
+  of :class:`repro.viz.explore.ExplorationSession` (zoom / pan / reset) in
+  tile coordinates, starting each session at a Zipf-drawn anchor.
+
+Flash crowds overlay both: during a spike the walk is redirected to a small
+hotspot tile set (chosen through
+:func:`repro.viz.explore.random_pan_regions` over the world region, so the
+hotspot is a contiguous sub-rectangle, not scattered tiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..viz.explore import random_pan_regions
+from ..viz.tiles import TileScheme
+
+__all__ = ["SessionSpec", "TilePopularity", "SessionWalk"]
+
+TileAddr = "tuple[int, int, int]"
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Declarative description of the request mix.
+
+    Parameters
+    ----------
+    max_zoom:
+        Deepest pyramid level requests may touch (kept small in scenarios so
+        the distinct-tile universe stays CI-sized).
+    zipf_s:
+        Zipf exponent for tile popularity (1.0 ≈ classic web-cache skew;
+        larger = more concentrated).
+    mean_session_len:
+        Mean number of requests per exploration session (geometric).
+    p_zoom_in / p_zoom_out / p_pan:
+        Per-step operation mix; the remainder is ``reset`` (jump to a fresh
+        Zipf anchor, ending the spatial run).  Mirrors the zoom / pan /
+        reset vocabulary of :class:`repro.viz.explore.ExplorationSession`.
+    hotspot_tiles:
+        Size of the flash-crowd hotspot set (contiguous tiles at
+        ``max_zoom``).
+    hotspot_bias:
+        Probability that a request lands in the hotspot set *during a flash
+        spike* (outside spikes the normal walk applies).
+    """
+
+    max_zoom: int = 3
+    zipf_s: float = 1.1
+    mean_session_len: float = 6.0
+    p_zoom_in: float = 0.3
+    p_zoom_out: float = 0.15
+    p_pan: float = 0.45
+    hotspot_tiles: int = 3
+    hotspot_bias: float = 0.9
+
+    def __post_init__(self):
+        if self.max_zoom < 0:
+            raise ValueError("max_zoom must be >= 0")
+        if self.zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+        if self.mean_session_len < 1:
+            raise ValueError("mean_session_len must be >= 1")
+        if min(self.p_zoom_in, self.p_zoom_out, self.p_pan) < 0 or (
+            self.p_zoom_in + self.p_zoom_out + self.p_pan
+        ) > 1.0:
+            raise ValueError("operation probabilities must be a sub-distribution")
+        if not 0.0 <= self.hotspot_bias <= 1.0:
+            raise ValueError("hotspot_bias must be in [0, 1]")
+
+
+def _pyramid_tiles(max_zoom: int) -> list[tuple[int, int, int]]:
+    tiles = []
+    for z in range(max_zoom + 1):
+        per_axis = 1 << z
+        for ty in range(per_axis):
+            for tx in range(per_axis):
+                tiles.append((z, tx, ty))
+    return tiles
+
+
+class TilePopularity:
+    """Zipf(``s``) popularity over every tile of a pyramid.
+
+    Ranks are assigned by a seeded shuffle of the tile list, so which tile
+    is "popular" varies with the seed but is fixed within a run.  Sampling
+    is ``searchsorted`` on the precomputed cumulative distribution — O(log
+    n) per draw and exactly reproducible.
+    """
+
+    def __init__(self, max_zoom: int, s: float, rng: np.random.Generator):
+        self.tiles = _pyramid_tiles(max_zoom)
+        order = rng.permutation(len(self.tiles))
+        self.tiles = [self.tiles[i] for i in order]
+        ranks = np.arange(1, len(self.tiles) + 1, dtype=np.float64)
+        weights = ranks**-s
+        self.probs = weights / weights.sum()
+        self._cum = np.cumsum(self.probs)
+        self._cum[-1] = 1.0
+
+    def sample(self, rng: np.random.Generator) -> tuple[int, int, int]:
+        idx = int(np.searchsorted(self._cum, float(rng.random()), side="right"))
+        return self.tiles[min(idx, len(self.tiles) - 1)]
+
+
+class SessionWalk:
+    """Stateful generator of ``(zoom, tx, ty)`` requests.
+
+    Call :meth:`next_tile` once per arrival; pass ``in_flash=True`` while a
+    flash-crowd spike is active to bias draws onto the hotspot set.  All
+    randomness comes from the injected generator, so the request sequence is
+    a pure function of (spec, scheme world, seed).
+    """
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        scheme: TileScheme,
+        rng: np.random.Generator,
+    ):
+        self.spec = spec
+        self.scheme = scheme
+        self.rng = rng
+        self.popularity = TilePopularity(spec.max_zoom, spec.zipf_s, rng)
+        self.hotspot = self._pick_hotspot()
+        self._current: "tuple[int, int, int] | None" = None
+        self._remaining = 0
+        self.sessions_started = 0
+
+    def _pick_hotspot(self) -> list[tuple[int, int, int]]:
+        """A contiguous run of tiles at max zoom covering a random
+        sub-rectangle of the world (the 'stadium' the crowd flashes to)."""
+        spec = self.spec
+        z = spec.max_zoom
+        [region] = random_pan_regions(
+            self.scheme.world, count=1, size_ratio=0.5, rng=self.rng
+        )
+        cx, cy = region.center
+        ctx, cty = self.scheme.tile_of_point(z, cx, cy)
+        per_axis = self.scheme.tiles_per_axis(z)
+        tiles: list[tuple[int, int, int]] = []
+        for i in range(spec.hotspot_tiles):
+            tx = min(max(ctx + (i % 2), 0), per_axis - 1)
+            ty = min(max(cty + (i // 2), 0), per_axis - 1)
+            if (z, tx, ty) not in tiles:
+                tiles.append((z, tx, ty))
+        return tiles
+
+    def _start_session(self) -> tuple[int, int, int]:
+        self.sessions_started += 1
+        # geometric with the configured mean: p = 1/mean, support {1, 2, ...}
+        p = 1.0 / self.spec.mean_session_len
+        self._remaining = int(self.rng.geometric(p))
+        self._current = self.popularity.sample(self.rng)
+        return self._current
+
+    def _step(self) -> tuple[int, int, int]:
+        assert self._current is not None
+        z, tx, ty = self._current
+        spec = self.spec
+        u = float(self.rng.random())
+        if u < spec.p_zoom_in and z < spec.max_zoom:
+            z += 1
+            tx = 2 * tx + int(self.rng.integers(0, 2))
+            ty = 2 * ty + int(self.rng.integers(0, 2))
+        elif u < spec.p_zoom_in + spec.p_zoom_out and z > 0:
+            z -= 1
+            tx //= 2
+            ty //= 2
+        elif u < spec.p_zoom_in + spec.p_zoom_out + spec.p_pan:
+            axis = int(self.rng.integers(0, 2))
+            delta = 1 if self.rng.random() < 0.5 else -1
+            per_axis = self.scheme.tiles_per_axis(z)
+            if axis == 0:
+                tx = min(max(tx + delta, 0), per_axis - 1)
+            else:
+                ty = min(max(ty + delta, 0), per_axis - 1)
+        else:
+            # reset: jump to a fresh popular anchor mid-session
+            self._current = self.popularity.sample(self.rng)
+            return self._current
+        self._current = (z, tx, ty)
+        return self._current
+
+    def next_tile(self, in_flash: bool = False) -> tuple[int, int, int]:
+        if in_flash and float(self.rng.random()) < self.spec.hotspot_bias:
+            idx = int(self.rng.integers(0, len(self.hotspot)))
+            return self.hotspot[idx]
+        if self._current is None or self._remaining <= 0:
+            tile = self._start_session()
+        else:
+            tile = self._step()
+        self._remaining -= 1
+        return tile

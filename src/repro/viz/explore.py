@@ -44,14 +44,20 @@ def random_pan_regions(
     count: int = 5,
     size_ratio: float = 0.5,
     seed: int = 0,
+    rng: "np.random.Generator | None" = None,
 ) -> list[Region]:
     """Random same-size sub-rectangles of ``base`` — the paper's panning
-    workload (five random ``0.5H x 0.5W`` rectangles inside the city MBR)."""
+    workload (five random ``0.5H x 0.5W`` rectangles inside the city MBR).
+
+    Pass ``rng`` to draw from an existing :class:`numpy.random.Generator`
+    (``seed`` is then ignored) — simulator session replays share one seeded
+    stream across all their draws this way."""
     if count < 1:
         raise ValueError("count must be >= 1")
     if not 0.0 < size_ratio <= 1.0:
         raise ValueError("size_ratio must be in (0, 1]")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     w = base.width * size_ratio
     h = base.height * size_ratio
     regions = []
@@ -186,13 +192,25 @@ class ExplorationSession:
         return sum(f.seconds for f in self.frames)
 
     def latency_summary(self) -> dict[str, float]:
-        """Min/mean/max per-frame latency over the session."""
+        """Min/mean/median-and-tail/max per-frame latency over the session."""
         if not self.frames:
-            return {"frames": 0, "min": 0.0, "mean": 0.0, "max": 0.0}
-        times = [f.seconds for f in self.frames]
+            return {
+                "frames": 0,
+                "min": 0.0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+                "max": 0.0,
+            }
+        times = np.asarray([f.seconds for f in self.frames], dtype=np.float64)
+        p50, p95, p99 = np.percentile(times, [50.0, 95.0, 99.0])
         return {
             "frames": len(times),
-            "min": min(times),
-            "mean": sum(times) / len(times),
-            "max": max(times),
+            "min": float(times.min()),
+            "mean": float(times.mean()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+            "max": float(times.max()),
         }

@@ -184,12 +184,14 @@ class TestServingBench:
         assert report["key_fields"] == ["metric"]
         cells = {tuple(c["key"]): c["value"] for c in report["cells"]}
         for metric in (
-            "throughput_rps", "latency_p50_ms", "latency_p99_ms",
-            "coalescing_ratio", "cache_hit_rate", "requests", "renders",
+            "offered_rps", "achieved_rps", "latency_p50_ms",
+            "latency_p99_ms", "coalescing_ratio", "cache_hit_rate",
+            "requests", "renders",
         ):
             assert (metric,) in cells, metric
         assert cells[("requests",)] == 60
-        assert cells[("throughput_rps",)] > 0
+        assert cells[("offered_rps",)] > 0
+        assert cells[("achieved_rps",)] <= cells[("offered_rps",)]
         assert 0.0 <= cells[("coalescing_ratio",)] < 1.0
         assert 0.0 <= cells[("cache_hit_rate",)] <= 1.0
         # every request was answered: renders bounded by distinct tiles (85)

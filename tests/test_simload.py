@@ -1,0 +1,294 @@
+"""repro.simload: event loop, arrival/session statistics, determinism.
+
+The headline contract under test: one (scenario, seed) pair reproduces
+byte-for-byte — identical request traces, identical metric blocks — across
+repeated runs, including through the ``repro simload`` CLI.  Statistical
+properties of the generators (Poisson counts, Zipf skew, flash-crowd bias)
+are pinned with tolerance bands on seeded draws, so they are exact-repeat
+stable while still checking the distributions mean something.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.simload import (
+    ArrivalSpec,
+    EventLoop,
+    SCENARIOS,
+    SessionSpec,
+    SimClock,
+    arrival_times,
+    find_knee,
+    get_scenario,
+    peak_rate,
+    rate_at,
+    run_scenario,
+    sweep,
+    trace_digest,
+)
+from repro.simload.metrics import OK, RequestRecord, trace_lines
+from repro.simload.sessions import SessionWalk, TilePopularity
+from repro.viz.region import Region
+from repro.viz.tiles import TileScheme
+
+
+def _short(name: str, **overrides):
+    """A scenario trimmed for unit-test speed."""
+    return dataclasses.replace(
+        get_scenario(name), duration_s=10.0, n_points=800, **overrides
+    )
+
+
+class TestEventLoop:
+    def test_clock_never_runs_backwards(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+        assert clock.now == clock() == 5.0
+
+    def test_events_fire_in_time_then_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda: fired.append("late"))
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(1.0, lambda: fired.append("b"))  # same instant: FIFO
+        assert loop.run() == 3
+        assert fired == ["a", "b", "late"]
+        assert loop.clock.now == 2.0
+
+    def test_actions_may_schedule_followups(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: loop.schedule(3.0, lambda: fired.append(3)))
+        loop.schedule(2.0, lambda: fired.append(2))
+        loop.run()
+        assert fired == [2, 3]
+
+    def test_cannot_schedule_into_the_past(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule(0.5, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run(until=2.0)
+        assert fired == [1] and len(loop) == 1
+
+
+class TestArrivals:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(shape="bogus")
+        with pytest.raises(ValueError):
+            ArrivalSpec(rate=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(shape="flash", spike_start_s=5.0, spike_end_s=5.0)
+
+    def test_rate_shapes(self):
+        steady = ArrivalSpec(shape="steady", rate=10.0)
+        assert rate_at(steady, 3.0) == 10.0 == peak_rate(steady)
+        diurnal = ArrivalSpec(
+            shape="diurnal", rate=10.0, amplitude=0.5, period_s=40.0
+        )
+        assert rate_at(diurnal, 10.0) == pytest.approx(15.0)  # sin peak
+        assert rate_at(diurnal, 30.0) == pytest.approx(5.0)  # trough
+        assert peak_rate(diurnal) == pytest.approx(15.0)
+        flash = ArrivalSpec(
+            shape="flash", rate=10.0, spike_start_s=5.0, spike_end_s=8.0,
+            spike_factor=4.0,
+        )
+        assert rate_at(flash, 6.0) == 40.0 and rate_at(flash, 9.0) == 10.0
+        assert peak_rate(flash) == 40.0
+
+    def test_steady_count_within_poisson_band(self):
+        spec = ArrivalSpec(shape="steady", rate=50.0)
+        times = arrival_times(spec, 40.0, np.random.default_rng(3))
+        expected = 50.0 * 40.0
+        # 5 sigma on a Poisson(2000): generous but meaningful
+        assert abs(len(times) - expected) < 5 * np.sqrt(expected)
+        assert np.all(np.diff(times) >= 0) and times[-1] < 40.0
+
+    def test_flash_density_ratio(self):
+        spec = ArrivalSpec(
+            shape="flash", rate=30.0, spike_start_s=10.0, spike_end_s=20.0,
+            spike_factor=6.0,
+        )
+        times = arrival_times(spec, 30.0, np.random.default_rng(4))
+        inside = np.sum((times >= 10.0) & (times < 20.0)) / 10.0
+        outside = np.sum((times < 10.0) | (times >= 20.0)) / 20.0
+        assert 4.0 < inside / outside < 8.0  # nominal 6x
+
+    def test_scaled_preserves_shape(self):
+        spec = ArrivalSpec(shape="diurnal", rate=10.0).scaled(3.0)
+        assert spec.rate == 30.0 and spec.shape == "diurnal"
+
+
+class TestSessions:
+    def _scheme(self):
+        return TileScheme(Region(0.0, 0.0, 1.0, 1.0))
+
+    def test_zipf_probabilities_are_ranked(self):
+        pop = TilePopularity(2, 1.2, np.random.default_rng(0))
+        assert len(pop.tiles) == 1 + 4 + 16
+        assert pop.probs.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(pop.probs) < 0)  # strictly decreasing by rank
+
+    def test_zipf_sampling_matches_weights(self):
+        rng = np.random.default_rng(1)
+        pop = TilePopularity(2, 1.2, rng)
+        draws = [pop.sample(rng) for _ in range(4000)]
+        top_frac = sum(1 for d in draws if d == pop.tiles[0]) / len(draws)
+        # chi-square-ish tolerance band around the rank-1 probability
+        assert abs(top_frac - pop.probs[0]) < 0.04
+
+    def test_walk_stays_inside_the_pyramid(self):
+        spec = SessionSpec(max_zoom=3)
+        walk = SessionWalk(spec, self._scheme(), np.random.default_rng(2))
+        for _ in range(500):
+            z, tx, ty = walk.next_tile()
+            per_axis = 1 << z
+            assert 0 <= z <= 3
+            assert 0 <= tx < per_axis and 0 <= ty < per_axis
+
+    def test_walk_is_seed_deterministic(self):
+        spec = SessionSpec(max_zoom=3)
+        a = SessionWalk(spec, self._scheme(), np.random.default_rng(7))
+        b = SessionWalk(spec, self._scheme(), np.random.default_rng(7))
+        assert [a.next_tile() for _ in range(200)] == [
+            b.next_tile() for _ in range(200)
+        ]
+
+    def test_flash_bias_hits_the_hotspot(self):
+        spec = SessionSpec(max_zoom=3, hotspot_tiles=3, hotspot_bias=0.9)
+        walk = SessionWalk(spec, self._scheme(), np.random.default_rng(5))
+        hot = set(walk.hotspot)
+        assert hot and all(z == 3 for z, _, _ in hot)
+        draws = [walk.next_tile(in_flash=True) for _ in range(600)]
+        frac = sum(1 for d in draws if d in hot) / len(draws)
+        assert 0.85 < frac <= 1.0  # nominal 0.9 plus walk spillover
+
+    def test_operation_mix_must_be_a_distribution(self):
+        with pytest.raises(ValueError):
+            SessionSpec(p_zoom_in=0.6, p_zoom_out=0.3, p_pan=0.3)
+
+
+class TestScenarios:
+    def test_registry_is_complete(self):
+        assert set(SCENARIOS) == {"default", "flashcrowd", "diurnal", "ingest"}
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("bogus")
+
+    def test_at_rate_scales_offered_load(self):
+        sc = get_scenario("default").at_rate(80.0)
+        assert sc.arrivals.rate == pytest.approx(80.0)
+        assert sc.name == "default"  # same workload, new level
+
+    def test_window_requests_require_a_window(self):
+        with pytest.raises(ValueError, match="window_s"):
+            dataclasses.replace(
+                get_scenario("default"), window_request_fraction=0.5
+            )
+
+
+class TestMetrics:
+    def _record(self, seq, **overrides):
+        base = dict(
+            seq=seq, t=0.5 * seq, zoom=1, tx=0, ty=1, window=None,
+            outcome=OK, tier="exact", latency_s=0.01,
+        )
+        base.update(overrides)
+        return RequestRecord(**base)
+
+    def test_trace_is_canonical_and_digest_sensitive(self):
+        records = [self._record(i) for i in range(5)]
+        assert trace_digest(records) == trace_digest(list(reversed(records)))
+        changed = [self._record(i) for i in range(5)]
+        changed[2].latency_s = 0.5
+        assert trace_digest(changed) != trace_digest(records)
+        assert len(trace_lines(records)) == 5
+
+    def test_find_knee_crossing(self):
+        levels = [
+            (5.0, {"shed_fraction": 0.0, "achieved_rps": 5.0}),
+            (10.0, {"shed_fraction": 0.004, "achieved_rps": 9.9}),
+            (20.0, {"shed_fraction": 0.08, "achieved_rps": 15.0}),
+        ]
+        knee = find_knee(levels)
+        assert knee["max_sustainable_qps"] == 10.0
+        assert knee["first_unsustainable_qps"] == 20.0
+
+    def test_find_knee_none_sustainable(self):
+        assert find_knee([(5.0, {"shed_fraction": 0.5, "achieved_rps": 2.0})]) is None
+
+    def test_find_knee_all_sustainable(self):
+        knee = find_knee([(5.0, {"shed_fraction": 0.0, "achieved_rps": 5.0})])
+        assert knee["max_sustainable_qps"] == 5.0
+        assert "first_unsustainable_qps" not in knee
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_trace_and_metrics(self):
+        sc = _short("default")
+        a = run_scenario(sc, seed=11)
+        b = run_scenario(sc, seed=11)
+        assert a.trace == b.trace
+        assert a.metrics == b.metrics
+        assert a.digest == b.digest
+
+    def test_different_seeds_differ(self):
+        sc = _short("default")
+        assert run_scenario(sc, seed=1).digest != run_scenario(sc, seed=2).digest
+
+    def test_flashcrowd_repeats_through_quality_ladder(self):
+        sc = _short("flashcrowd")
+        a = run_scenario(sc, seed=11)
+        b = run_scenario(sc, seed=11)
+        assert a.trace == b.trace and a.metrics == b.metrics
+
+    def test_sweep_reports_a_knee_on_the_default_scenario(self):
+        summary = sweep(_short("default"), seed=7, factors=(0.5, 1.0, 4.0))
+        rates = [rate for rate, _ in summary["levels"]]
+        assert rates == sorted(rates)
+        knee = summary["knee"]
+        assert knee is not None
+        assert knee["max_sustainable_qps"] in rates
+        # the top level must genuinely shed: that's what the knee knees on
+        assert summary["levels"][-1][1]["shed_fraction"] > 0.01
+
+    def test_cli_double_run_is_byte_identical(self, tmp_path):
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        outs = []
+        for sub in ("a", "b"):
+            out = tmp_path / sub
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "simload",
+                 "--scenario", "flashcrowd", "--seed", "7",
+                 "--json", str(out)],
+                capture_output=True, text=True, timeout=300, env=env,
+                cwd=str(tmp_path),
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append((out / "simload_flashcrowd_seed7.json").read_bytes())
+        assert outs[0] == outs[1]
+        payload = json.loads(outs[0])
+        assert payload["metrics"]["requests"] == len(payload["trace"])
+        assert payload["metrics"]["errors"] == 0
