@@ -5,13 +5,17 @@ Each distributed cell spawns real worker processes
 (:func:`repro.dist.launch_local_workers`), renders the workload through a
 :class:`repro.dist.Coordinator`, and tears the pool down again, so the
 numbers include connection setup and result shipping — the honest cost of
-the socket path.  Three question the report answers:
+the socket path.  Four questions the report answers:
 
 * **speedup** — wall time at 1/2/4 workers against the in-process serial
   sweep (the ``serial`` row);
 * **merge overhead** — the coordinator's ``dist.plan`` + ``dist.merge``
   phase seconds as a fraction of the render, i.e. what sharding itself
   costs beyond the sweeps;
+* **transport bytes** — TCP bytes shipped per shard under the zero-copy
+  shared-memory transport (the local-pool default) versus forced pickle
+  (``Coordinator(..., shm=False)``), plus the ``dist.shm_bytes`` volume
+  that moved through shared memory instead (see ``docs/native.md``);
 * **recovery latency** — extra wall time when one of two workers is
   SIGKILLed mid-render versus the same throttled render undisturbed.
 
@@ -191,6 +195,38 @@ def test_speedup_vs_workers(benchmark, workload, workers):
         "bytes_tx": counters.get("dist.bytes_tx"),
         "bytes_rx": counters.get("dist.bytes_rx"),
         "overhead_fraction": _overhead_fraction(snapshot, elapsed),
+    }
+
+
+@pytest.mark.parametrize("transport", ("shm", "pickle"))
+def test_transport_bytes(benchmark, workload, transport):
+    """Same render, two local workers, shared-memory transport on vs forced
+    pickle — the wire-byte delta is what the zero-copy path saves."""
+    pool = launch_local_workers(2)
+    try:
+        with Coordinator(pool.addrs, shm=(transport == "shm")) as coord:
+            assert coord.connect() == 2
+
+            def call():
+                return compute_kdv(
+                    workload, backend="dist", coordinator=coord,
+                    **_kdv_kwargs(),
+                )
+
+            benchmark.pedantic(call, rounds=1, iterations=1, warmup_rounds=0)
+            elapsed = float(benchmark.stats.stats.mean)
+            counters = coord.recorder.snapshot().get("counters", {})
+    finally:
+        pool.shutdown()
+    _cells[("transport", transport)] = elapsed
+    shards = counters.get("dist.shards") or 0
+    bytes_tx = counters.get("dist.bytes_tx", 0)
+    _meta[f"transport:{transport}"] = {
+        "shards": shards,
+        "bytes_tx": bytes_tx,
+        "bytes_rx": counters.get("dist.bytes_rx"),
+        "shm_bytes": counters.get("dist.shm_bytes", 0),
+        "tcp_bytes_per_shard": round(bytes_tx / shards) if shards else None,
     }
 
 

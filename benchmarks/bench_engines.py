@@ -1,11 +1,15 @@
-"""SLAM row-engine shootout: python vs numpy vs numpy_batch.
+"""SLAM row-engine shootout: python vs numpy vs numpy_batch vs native.
 
-Measures the three ``slam_bucket`` engines over a grid of resolutions and
+Measures the ``slam_bucket`` engines over a grid of resolutions and
 dataset sizes on the clustered benchmark workload, serial, with the y-sorted
 index prebuilt outside the timed region — so each cell times exactly the
 sweep the engine owns.  Every cell reports min-of-repeats wall clock and
 rows/sec; the numpy-relative speedup column quantifies what the
 block-vectorized engine buys.
+
+On compiled checkouts the fused-C ``native`` engine joins the grid
+(serial, plus an OpenMP ``native@<T>T`` cell when the machine has more
+than one CPU — see ``docs/native.md``); fallback checkouts simply skip it.
 
 The headline acceptance cell is ``numpy_batch`` vs ``numpy`` at 1280x960,
 n = 100k, Epanechnikov, bandwidth 15 (a sharp-hotspot bandwidth, ~4 px —
@@ -29,6 +33,10 @@ Knobs (environment variables, all optional):
     Bandwidth in world units (default ``15``).
 ``REPRO_BENCH_ENGINES_REPEATS``
     Timing repeats per cell; the minimum is reported (default ``3``).
+``REPRO_BENCH_ENGINES_NATIVE_THREADS``
+    OpenMP thread count for the extra ``native@<T>T`` cell (default: CPU
+    count; the cell only appears when the count is > 1 and the extension
+    compiled).
 
 Run with::
 
@@ -51,10 +59,13 @@ from _common import MAX_CELL_COST, emit_json, write_report
 from repro.bench.harness import format_table
 from repro.core.envelope import YSortedIndex
 from repro.core.kernels import get_kernel
+from repro.core.native import NATIVE_AVAILABLE
 from repro.core.slam_bucket import slam_bucket_grid
 from repro.viz.region import Raster, Region
 
-ENGINES = ("python", "numpy", "numpy_batch")
+ENGINES = ("python", "numpy", "numpy_batch") + (
+    ("native",) if NATIVE_AVAILABLE else ()
+)
 
 #: Interpreter-overhead multiplier for the python engine's cost estimate
 #: (pure-Python per-point loops vs vectorized passes), used only for the
@@ -84,6 +95,24 @@ def _repeats() -> int:
     return max(1, int(os.environ.get("REPRO_BENCH_ENGINES_REPEATS", "3")))
 
 
+def _native_threads() -> int:
+    raw = os.environ.get("REPRO_BENCH_ENGINES_NATIVE_THREADS", "")
+    return max(1, int(raw)) if raw else (os.cpu_count() or 1)
+
+
+def _engine_cells() -> tuple[tuple[str, int], ...]:
+    """(engine, threads) pairs: every engine serial, plus an OpenMP cell
+    for ``native`` when the machine can actually parallelize."""
+    cells = [(engine, 1) for engine in ENGINES]
+    if NATIVE_AVAILABLE and _native_threads() > 1:
+        cells.append(("native", _native_threads()))
+    return tuple(cells)
+
+
+def _cell_label(engine: str, threads: int) -> str:
+    return engine if threads == 1 else f"{engine}@{threads}T"
+
+
 def _engine_cost(engine: str, width: int, height: int, n: int) -> float:
     cost = height * (width + n)
     return cost * _PYTHON_OVERHEAD if engine == "python" else cost
@@ -99,16 +128,23 @@ def build_workload(width: int, n: int):
     return xy, raster, YSortedIndex(xy)
 
 
-def timed_cell(engine: str, width: int, n: int, repeats: int) -> tuple[float, float]:
-    """(min wall seconds, rows/sec) for one engine cell, serial sweep."""
+def timed_cell(
+    engine: str, width: int, n: int, repeats: int, threads: int = 1,
+) -> tuple[float, float]:
+    """(min wall seconds, rows/sec) for one engine cell.
+
+    ``threads > 1`` is only meaningful for ``native``, where it becomes the
+    OpenMP thread count; the other engines are always timed serial.
+    """
     xy, raster, ysorted = build_workload(width, n)
     kernel = get_kernel("epanechnikov")
     fn = slam_bucket_grid[engine]
     bandwidth = _bandwidth()
+    kwargs = {"workers": threads} if engine == "native" and threads > 1 else {}
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        fn(xy, raster, kernel, bandwidth, ysorted=ysorted)
+        fn(xy, raster, kernel, bandwidth, ysorted=ysorted, **kwargs)
         best = min(best, time.perf_counter() - t0)
     return best, raster.height / best
 
@@ -124,14 +160,15 @@ def _report():
         height = max(1, (width * 3) // 4)
         for n in _point_counts():
             numpy_t = _cells.get(("numpy", width, n))
-            for engine in ENGINES:
-                t = _cells.get((engine, width, n))
+            for engine, threads in _engine_cells():
+                label = _cell_label(engine, threads)
+                t = _cells.get((label, width, n))
                 if t is None:
                     continue
                 rel = f"{numpy_t / t:.2f}x" if numpy_t else "-"
                 rows.append([
-                    f"{width}x{height}", f"{n:,}", engine, f"{t:.3f}",
-                    f"{_rows_per_sec[(engine, width, n)]:,.0f}", rel,
+                    f"{width}x{height}", f"{n:,}", label, f"{t:.3f}",
+                    f"{_rows_per_sec[(label, width, n)]:,.0f}", rel,
                 ])
     title = (
         f"SLAM row-engine comparison (slam_bucket, serial, epanechnikov, "
@@ -159,7 +196,8 @@ def _report_meta() -> dict:
             for (e, w, n), rps in sorted(_rows_per_sec.items())
         },
     }
-    # headline speedup: numpy_batch vs per-row numpy at the largest cell
+    # headline speedups at the largest cell: numpy_batch vs per-row numpy,
+    # and (on compiled checkouts) native vs numpy_batch
     width, n = max(_resolutions()), max(_point_counts())
     numpy_t = _cells.get(("numpy", width, n))
     batch_t = _cells.get(("numpy_batch", width, n))
@@ -168,13 +206,29 @@ def _report_meta() -> dict:
             "resolution": width, "n": n,
             "speedup_numpy_batch_vs_numpy": numpy_t / batch_t,
         }
+    native_t = _cells.get(("native", width, n))
+    if batch_t and native_t:
+        meta.setdefault("headline_cell", {"resolution": width, "n": n})
+        meta["headline_cell"]["speedup_native_vs_numpy_batch"] = (
+            batch_t / native_t
+        )
+        omp_t = _cells.get(
+            (_cell_label("native", _native_threads()), width, n)
+        )
+        if omp_t and _native_threads() > 1:
+            meta["headline_cell"]["speedup_native_omp_vs_serial"] = (
+                native_t / omp_t
+            )
     return meta
 
 
 @pytest.mark.parametrize("n", _point_counts())
 @pytest.mark.parametrize("width", _resolutions())
-@pytest.mark.parametrize("engine", ENGINES)
-def test_engine_cell(benchmark, engine, width, n):
+@pytest.mark.parametrize(
+    "engine,threads", _engine_cells(),
+    ids=[_cell_label(e, t) for e, t in _engine_cells()],
+)
+def test_engine_cell(benchmark, engine, threads, width, n):
     height = max(1, (width * 3) // 4)
     if _engine_cost(engine, width, height, n) > MAX_CELL_COST:
         pytest.skip(
@@ -184,12 +238,13 @@ def test_engine_cell(benchmark, engine, width, n):
     result = {}
 
     def call():
-        result["cell"] = timed_cell(engine, width, n, _repeats())
+        result["cell"] = timed_cell(engine, width, n, _repeats(), threads)
 
     benchmark.pedantic(call, rounds=1, iterations=1, warmup_rounds=0)
     seconds, rps = result["cell"]
-    _cells[(engine, width, n)] = seconds
-    _rows_per_sec[(engine, width, n)] = rps
+    label = _cell_label(engine, threads)
+    _cells[(label, width, n)] = seconds
+    _rows_per_sec[(label, width, n)] = rps
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -214,15 +269,19 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--engines",
         default=None,
-        help="comma-separated engines (default: python,numpy,numpy_batch)",
+        help="comma-separated engines (default: python,numpy,numpy_batch, "
+        "plus native on compiled checkouts)",
     )
     ns = parser.parse_args(argv)
     if ns.json:
         os.environ["REPRO_BENCH_JSON"] = ns.json
-    engines = tuple(ns.engines.split(",")) if ns.engines else ENGINES
-    for engine in engines:
+    for engine in ns.engines.split(",") if ns.engines else ():
         if engine not in slam_bucket_grid:
             parser.error(f"unknown engine {engine!r}")
+    if ns.engines:
+        cells = tuple((engine, 1) for engine in ns.engines.split(","))
+    else:
+        cells = _engine_cells()
 
     title = (
         f"SLAM row-engine comparison (slam_bucket, serial, epanechnikov, "
@@ -233,22 +292,27 @@ def main(argv: "list[str] | None" = None) -> int:
     for width in _resolutions():
         height = max(1, (width * 3) // 4)
         for n in _point_counts():
-            for engine in engines:
+            for engine, threads in cells:
+                label = _cell_label(engine, threads)
                 if _engine_cost(engine, width, height, n) > MAX_CELL_COST:
-                    print(f"{engine:12s} {width}x{height} n={n:,}: skipped "
+                    print(f"{label:12s} {width}x{height} n={n:,}: skipped "
                           "(over budget)")
                     continue
-                seconds, rps = timed_cell(engine, width, n, _repeats())
-                _cells[(engine, width, n)] = seconds
-                _rows_per_sec[(engine, width, n)] = rps
-                report.add_cell((engine, width, n), seconds, rows_per_sec=rps)
-                print(f"{engine:12s} {width}x{height} n={n:,}: "
+                seconds, rps = timed_cell(engine, width, n, _repeats(),
+                                          threads)
+                _cells[(label, width, n)] = seconds
+                _rows_per_sec[(label, width, n)] = rps
+                report.add_cell((label, width, n), seconds, rows_per_sec=rps)
+                print(f"{label:12s} {width}x{height} n={n:,}: "
                       f"{seconds:7.3f}s  {rps:,.0f} rows/s")
     report.meta.update(_report_meta())
-    headline = report.meta.get("headline_cell")
-    if headline:
+    headline = report.meta.get("headline_cell") or {}
+    if "speedup_numpy_batch_vs_numpy" in headline:
         print(f"\nnumpy_batch speedup at the headline cell: "
               f"{headline['speedup_numpy_batch_vs_numpy']:.2f}x")
+    if "speedup_native_vs_numpy_batch" in headline:
+        print(f"native speedup over numpy_batch at the headline cell: "
+              f"{headline['speedup_native_vs_numpy_batch']:.2f}x")
     # one instrumented numpy_batch run so the report carries a phase profile
     recorder = Recorder()
     width, n = max(_resolutions()), max(_point_counts())

@@ -1,3 +1,118 @@
-from setuptools import setup
+"""Build script with an *optional* native extension.
 
-setup()
+The package is pure python; ``repro.core._native_sweep`` (the fused C bucket
+sweep behind the ``native`` engine) is a best-effort accelerator:
+
+* a working C toolchain builds it automatically;
+* any compile or link failure degrades to a pure-python install with a
+  warning — never a failed install (``repro.core.native`` detects the
+  missing module and the ``native`` engine simply is not registered);
+* OpenMP is probed the same way: if ``-fopenmp`` fails, the extension is
+  rebuilt without it (single-threaded native sweep).
+
+Environment knobs:
+
+``REPRO_BUILD_NATIVE=0``
+    Skip the extension entirely (CI uses this to pin the pure-python
+    fallback path).
+``REPRO_NATIVE_REQUIRE=1``
+    Make build failures fatal (the ``native-smoke`` CI job uses this so a
+    broken extension fails loudly instead of silently falling back).
+``REPRO_NATIVE_MARCH``
+    Target microarchitecture for gcc/clang (default ``native`` — lets the
+    compiler auto-vectorize the index phase with whatever SIMD the build
+    host has; div/sqrt/round/convert are IEEE-correctly-rounded in SIMD
+    form, so this cannot change a bit of output).  Set to an explicit arch
+    for a portable binary, or empty to drop the flag entirely.  A build
+    that fails with the flag is retried without it.
+"""
+
+import os
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+def _truthy(value):
+    return str(value).strip().lower() not in ("", "0", "false", "no")
+
+
+BUILD_NATIVE = _truthy(os.environ.get("REPRO_BUILD_NATIVE", "1"))
+REQUIRE_NATIVE = _truthy(os.environ.get("REPRO_NATIVE_REQUIRE", "0"))
+
+# -ffp-contract=off is load-bearing: the engine's bit-identity contract
+# (docs/native.md) forbids the compiler from fusing a*b+c into FMA, which
+# rounds once instead of twice.  MSVC does not contract by default.
+_UNIX_ARGS = ["-O3", "-ffp-contract=off", "-fno-math-errno"]
+_OPENMP_UNIX = ["-fopenmp"]
+_MSVC_ARGS = ["/O2", "/fp:strict"]
+_OPENMP_MSVC = ["/openmp"]
+
+_MARCH = os.environ.get("REPRO_NATIVE_MARCH", "native").strip()
+_MARCH_UNIX = [f"-march={_MARCH}"] if _MARCH else []
+
+NATIVE_EXT = Extension(
+    "repro.core._native_sweep",
+    sources=["src/repro/core/_native_sweep.c"],
+)
+
+
+class optional_build_ext(build_ext):
+    """Build the extension if we can; degrade gracefully if we cannot.
+
+    Attempts the OpenMP build first, retries without OpenMP on failure, and
+    only then gives up on the extension (unless ``REPRO_NATIVE_REQUIRE=1``).
+    """
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:
+            self._handle_failure(exc)
+
+    def build_extension(self, ext):
+        if self.compiler.compiler_type == "msvc":
+            base, omp, march = list(_MSVC_ARGS), list(_OPENMP_MSVC), []
+            omp_link = []
+        else:
+            base, omp, march = (
+                list(_UNIX_ARGS), list(_OPENMP_UNIX), list(_MARCH_UNIX)
+            )
+            omp_link = list(_OPENMP_UNIX)
+        # Most capable first; each retry drops one optional flag group.
+        attempts = [
+            (base + march + omp, omp_link),
+            (base + march, []),
+            (base + omp, omp_link),
+            (base, []),
+        ]
+        last = len(attempts) - 1
+        for i, (compile_args, link_args) in enumerate(attempts):
+            ext.extra_compile_args = compile_args
+            ext.extra_link_args = link_args
+            try:
+                super().build_extension(ext)
+                return
+            except Exception as exc:
+                if i == last:
+                    self._handle_failure(exc)
+                else:
+                    self.warn(
+                        f"building {ext.name} with {compile_args} failed; "
+                        "retrying with fewer optional flags"
+                    )
+
+    def _handle_failure(self, exc):
+        if REQUIRE_NATIVE:
+            raise exc
+        self.warn(
+            "could not build the optional native sweep extension "
+            f"({type(exc).__name__}: {exc}); installing pure python — the "
+            "'native' engine will be unavailable (see docs/native.md)"
+        )
+
+
+setup(
+    ext_modules=[NATIVE_EXT] if BUILD_NATIVE else [],
+    cmdclass={"build_ext": optional_build_ext},
+)

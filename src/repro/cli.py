@@ -173,11 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
                                 "scott (default), silverman, lcv")
     p_compute.add_argument("--method", default="slam_bucket_rao",
                            choices=method_names())
+    # "native" stays in the choices even on a checkout without the compiled
+    # extension: selecting it then raises the unknown-engine error naming
+    # the engines that ARE available (tested by tests/test_native.py).
     p_compute.add_argument("--engine", default="numpy",
-                           choices=("python", "numpy", "numpy_batch"),
+                           choices=("python", "numpy", "numpy_batch",
+                                    "native"),
                            help="SLAM row engine: python (pseudocode), numpy "
-                                "(per-row, default), or numpy_batch "
-                                "(block-vectorized; fastest)")
+                                "(per-row, default), numpy_batch "
+                                "(block-vectorized), or native (fused C "
+                                "loop + OpenMP; fastest, needs the compiled "
+                                "extension -- see docs/native.md)")
     p_compute.add_argument("--workers", type=_parse_workers, default=1,
                            help="row-sweep workers for SLAM methods: a count "
                                 "or 'auto' (default 1, serial)")
@@ -362,7 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=PARALLEL_METHODS,
                         help="SLAM method (the distributable ones)")
     p_dist.add_argument("--engine", default="numpy",
-                        choices=("python", "numpy", "numpy_batch"))
+                        choices=("python", "numpy", "numpy_batch", "native"))
     p_dist.add_argument("--colormap", default="heat",
                         choices=("heat", "viridis", "gray"))
     p_dist.add_argument("--stats", action="store_true",
@@ -447,17 +453,32 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         return 2
 
     start = time.perf_counter()
-    result = compute_kdv(
-        points,
-        size=args.size,
-        kernel=args.kernel,
-        bandwidth=bandwidth,
-        method=args.method,
-        engine=args.engine,
-        workers=args.workers,
-        collect_stats=args.stats,
-        **extra,
-    )
+    try:
+        result = compute_kdv(
+            points,
+            size=args.size,
+            kernel=args.kernel,
+            bandwidth=bandwidth,
+            method=args.method,
+            engine=args.engine,
+            workers=args.workers,
+            collect_stats=args.stats,
+            **extra,
+        )
+    except ValueError as exc:
+        if "unknown engine" not in str(exc):
+            raise
+        # e.g. --engine native on a checkout without the compiled extension:
+        # the message names the engines that ARE registered.
+        print(f"error: {exc}", file=sys.stderr)
+        if args.engine == "native":
+            print(
+                "hint: the native engine needs the compiled extension; "
+                "build it with `python setup.py build_ext --inplace` "
+                "(see docs/native.md)",
+                file=sys.stderr,
+            )
+        return 2
     elapsed = time.perf_counter() - start
     coordinator = extra.get("coordinator")
     if coordinator is not None:

@@ -165,10 +165,13 @@ def compute_kdv(
         One of :func:`method_names`.
     engine:
         ``"numpy"`` (vectorized per row, default), ``"python"`` (literal
-        transcription of the published pseudocode), or ``"numpy_batch"``
+        transcription of the published pseudocode), ``"numpy_batch"``
         (whole row blocks in O(1) array calls; bit-identical to ``"numpy"``
-        under the bucket methods — see :mod:`repro.core.batch`) where
-        available.
+        under the bucket methods — see :mod:`repro.core.batch`), or
+        ``"native"`` (fused C loop with OpenMP row parallelism, bit-identical
+        to ``"numpy_batch"``; registered only when the optional extension is
+        compiled — see :mod:`repro.core.native` and ``docs/native.md``)
+        where available.
     normalization:
         ``"none"`` (raw kernel sums, w = 1), ``"count"`` (w = 1/n, default;
         1/total-weight for weighted datasets), or ``"density"`` (proper 2-D

@@ -191,23 +191,49 @@ class NumpyBatchEngine:
             return out
 
         # Chunk boundaries: bound both the difference tensor and the pair
-        # working set by max_block_bytes (see module docstring).
+        # working set by max_block_bytes (see module docstring).  Boundaries
+        # depend only on the envelope counts, so they are computed up front —
+        # which also yields the largest chunk's pair count, letting the
+        # per-pair scratch below be allocated once per block instead of once
+        # per chunk (the repeated-temporary fix pinned by
+        # tests/test_batch.py's tracemalloc bound).
         max_pairs = max(self.max_block_bytes // _BYTES_PER_PAIR, 1)
         max_chunk_rows = max(
             self.max_block_bytes // (8 * (num_pixels + 1) * nch), 1
         )
         cum_pairs = np.cumsum(counts_all)
+        chunks: "list[tuple[int, int]]" = []
+        cap = 0
+        r0 = 0
+        while r0 < num_rows:
+            base = cum_pairs[r0 - 1] if r0 > 0 else 0
+            r1 = int(
+                np.searchsorted(cum_pairs, base + max_pairs, side="right")
+            ) + 1
+            r1 = min(max(r1, r0 + 1), num_rows, r0 + max_chunk_rows)
+            chunks.append((r0, r1))
+            cap = max(cap, int(cum_pairs[r1 - 1] - base))
+            r0 = r1
+
+        # Reusable per-pair scratch, sized to the largest chunk.  Every
+        # whole-chunk array op below lands in a view of these buffers (the
+        # values — and their operand order — are exactly the previous
+        # allocate-per-chunk expressions).
+        buf_names = ["u", "v", "v2", "rad", "lb", "ub"]
+        if nch > 1:
+            buf_names.append("s")
+        if nch > 4:
+            buf_names += ["su", "ss", "u2g"]
+        if sorted_weights is not None:
+            buf_names.append("w")
+        buf = {name: np.empty(cap, dtype=np.float64) for name in buf_names}
+        ones_full = (
+            np.ones(cap, dtype=np.float64) if sorted_weights is None else None
+        )
         if rec is not None:
             envelope_seconds += perf() - t0
 
-        row0 = 0
-        while row0 < num_rows:
-            base = cum_pairs[row0 - 1] if row0 > 0 else 0
-            row1 = int(
-                np.searchsorted(cum_pairs, base + max_pairs, side="right")
-            ) + 1
-            row1 = min(max(row1, row0 + 1), num_rows, row0 + max_chunk_rows)
-
+        for row0, row1 in chunks:
             t0 = perf() if rec is not None else 0.0
             # Compress the chunk to its non-empty rows: empty rows stay zero
             # in `out` (exactly what the serial loop's `continue` produces),
@@ -215,7 +241,6 @@ class NumpyBatchEngine:
             rows_nz = np.nonzero(counts_all[row0:row1])[0]
             num_nz = len(rows_nz)
             if num_nz == 0:
-                row0 = row1
                 continue
             counts = counts_all[row0:row1][rows_nz]
             lo = lo_all[row0:row1][rows_nz]
@@ -235,15 +260,16 @@ class NumpyBatchEngine:
 
             # Stage 2: scaled local frame + channel values for all pairs.
             # u is gathered from the per-point precomputation; v is per-pair.
-            u = point_u[pt]
-            v = ysorted.sorted_y[pt] - np.repeat(ks[row0:row1][rows_nz], counts)
+            u = np.take(point_u, pt, out=buf["u"][:total])
+            v = np.take(ysorted.sorted_y, pt, out=buf["v"][:total])
+            v -= np.repeat(ks[row0:row1][rows_nz], counts)
             v /= bandwidth
-            v2 = v * v
-            radicand = 1.0 - v2
+            v2 = np.multiply(v, v, out=buf["v2"][:total])
+            radicand = np.subtract(1.0, v2, out=buf["rad"][:total])
             np.clip(radicand, 0.0, None, out=radicand)
-            half = np.sqrt(radicand)
-            lb = u - half
-            ub = u + half
+            half = np.sqrt(radicand, out=radicand)
+            lb = np.subtract(u, half, out=buf["lb"][:total])
+            ub = np.add(u, half, out=buf["ub"][:total])
             # Channel values, expressed as bincount weight arrays instead of
             # a materialized (total, nch) matrix: channel 0 is the count
             # (weight w, or an implicit 1), and only the channels live at
@@ -251,20 +277,26 @@ class NumpyBatchEngine:
             # s = x*x + y*y with x = u (precomputed square) and y = v.
             chan_weights: dict[int, np.ndarray | None] = {0: None}
             if nch > 1:
-                s = point_u2[pt]
+                s = np.take(point_u2, pt, out=buf["s"][:total])
                 s += v2
                 chan_weights[1] = u
                 chan_weights[3] = s
                 if nch > 4:
-                    chan_weights[4] = s * u
-                    chan_weights[6] = s * s
-                    chan_weights[7] = point_u2[pt]
+                    chan_weights[4] = np.multiply(s, u, out=buf["su"][:total])
+                    chan_weights[6] = np.multiply(s, s, out=buf["ss"][:total])
+                    chan_weights[7] = np.take(
+                        point_u2, pt, out=buf["u2g"][:total]
+                    )
             if sorted_weights is not None:
-                w = sorted_weights[pt]
-                chan_weights = {
-                    c: (w if a is None else a * w)
-                    for c, a in chan_weights.items()
-                }
+                # In-place: every value above is already a private scratch
+                # view, and a*w elementwise equals the old out-of-place
+                # product bit for bit.
+                w = np.take(sorted_weights, pt, out=buf["w"][:total])
+                for c, a in chan_weights.items():
+                    if a is None:
+                        chan_weights[c] = w
+                    else:
+                        a *= w
             if rec is not None:
                 t1 = perf()
                 envelope_seconds += t1 - t0
@@ -286,15 +318,12 @@ class NumpyBatchEngine:
             # channels stay absent; the kernels' qy = 0 fast path never
             # reads them).
             num_buckets = num_nz * (num_pixels + 1)
-            ones = None
             channel_map: dict[int, np.ndarray] = {}
             for c, a in chan_weights.items():
                 if a is None:
                     # Unweighted count channel: float weights of 1.0 keep the
                     # bincount in float64 (no int round trip) at equal values.
-                    if ones is None:
-                        ones = np.ones(total, dtype=np.float64)
-                    a = ones
+                    a = ones_full[:total]
                 net = np.bincount(enter, weights=a, minlength=num_buckets)
                 net -= np.bincount(leave, weights=a, minlength=num_buckets)
                 body = net.reshape(num_nz, num_pixels + 1)[:, :num_pixels]
@@ -309,7 +338,6 @@ class NumpyBatchEngine:
                 out[row0 + rows_nz] = density
             if rec is not None:
                 sweep_seconds += perf() - t0
-            row0 = row1
 
         if rec is not None:
             self._flush_recorder(

@@ -33,6 +33,7 @@ import numpy as np
 from ..obs import Recorder
 from .batch import numpy_batch_grid
 from .bounds import bucket_indices
+from .native import NATIVE_AVAILABLE, native_grid
 from .kernels import Kernel
 from .sweep import PHASE_ENDPOINT_BUCKET, PHASE_PREFIX_SWEEP, make_grid_function
 
@@ -139,3 +140,8 @@ slam_bucket_grid = {
     "numpy": make_grid_function(slam_bucket_row_numpy),
     "numpy_batch": numpy_batch_grid,
 }
+
+# The fused-C ``native`` engine registers only when its extension compiled
+# (optional-build pattern; see repro.core.native and docs/native.md).
+if NATIVE_AVAILABLE:
+    slam_bucket_grid["native"] = native_grid

@@ -35,6 +35,7 @@ import numpy as np
 from ..obs import Recorder
 from .batch import numpy_batch_grid
 from .kernels import Kernel
+from .native import NATIVE_AVAILABLE, native_grid
 from .sweep import PHASE_ENDPOINT_SORT, PHASE_PREFIX_SWEEP, make_grid_function
 
 __all__ = [
@@ -139,3 +140,8 @@ slam_sort_grid = {
     "numpy": make_grid_function(slam_sort_row_numpy),
     "numpy_batch": numpy_batch_grid,
 }
+
+# ``native`` always buckets (bit-identical to the slam_bucket numpy engine),
+# mirroring numpy_batch's registration rationale above.
+if NATIVE_AVAILABLE:
+    slam_sort_grid["native"] = native_grid

@@ -23,7 +23,8 @@ The coordinator owns the fault-tolerance policy; the workers stay dumb:
 
 Observability: each render merges per-shard worker recorders plus the
 coordinator's own counters (``dist.shards``, ``dist.retries``,
-``dist.worker_deaths``, ``dist.bytes_rx``/``tx``, ``dist.local_shards``,
+``dist.worker_deaths``, ``dist.bytes_rx``/``tx``, ``dist.shm_bytes``,
+``dist.shm_demotions``, ``dist.local_shards``,
 ``dist.heartbeats``) and phase timers (``dist.plan``, ``dist.dispatch``,
 ``dist.merge``) into the recorder handed to :meth:`Coordinator.render_sweep`
 and the coordinator's own long-lived recorder (the one ``/metricz`` sees).
@@ -39,7 +40,7 @@ import time
 import numpy as np
 
 from ..obs import Recorder, active
-from . import proto
+from . import proto, shm
 from .errors import ConnectionClosed, DistError, DistTimeout, ProtocolError
 from .plan import ShardPlan, plan_shards
 from .worker import compute_shard
@@ -83,6 +84,8 @@ class WorkerAddress:
         self.dead = False
         #: Checked out by a dispatcher thread (one in-flight shard per worker).
         self.busy = False
+        #: Cleared when a runtime shm failure demotes this worker to pickle.
+        self.shm_ok = True
 
     @property
     def addr(self) -> str:
@@ -124,6 +127,13 @@ class Coordinator:
         Shard planner balance mode (``"points"`` or ``"rows"``).
     connect_timeout_s:
         TCP connect + handshake budget per worker.
+    shm:
+        Allow the zero-copy shared-memory shard transport (default on).
+        It only actually engages per worker when the HELLO handshake shows
+        the worker is shm-capable *and* on this machine (same ``node``
+        token); remote or incapable workers keep the pickle transport, and
+        a worker whose mapping fails at runtime is demoted to pickle for
+        the life of the pool.  See :mod:`repro.dist.shm`.
     recorder:
         Long-lived recorder accumulating across renders (e.g. the tile
         service's).  Each render *also* gets its counters merged into the
@@ -146,6 +156,7 @@ class Coordinator:
         shards_per_worker: int = 2,
         balance: str = "points",
         connect_timeout_s: float = 5.0,
+        shm: bool = True,
         recorder: "Recorder | None" = None,
     ):
         if isinstance(workers, str):
@@ -166,6 +177,8 @@ class Coordinator:
         self.shards_per_worker = int(shards_per_worker)
         self.balance = balance
         self.connect_timeout_s = float(connect_timeout_s)
+        self.use_shm = bool(shm)
+        self._node = proto.node_id()
         self.recorder = recorder if recorder is not None else Recorder()
         self._cond = threading.Condition()
         self._closed = False
@@ -331,77 +344,140 @@ class Coordinator:
         render_rec.timer("dist.plan").add(time.perf_counter() - t_plan)
         render_rec.count("dist.shards", len(plan))
 
-        grid = np.empty((plan.height, len(xs_scaled)), dtype=np.float64)
-        snapshots: "list[dict]" = [None] * len(plan)
-        errors: "list[BaseException]" = []
-        errors_lock = threading.Lock()
-
-        def make_task(shard) -> dict:
-            halo = slice(shard.halo_start, shard.halo_stop)
-            return {
-                "shard_id": shard.shard_id,
-                "row_start": shard.row_start,
-                "row_stop": shard.row_stop,
-                "halo_xy": ysorted.sorted_xy[halo],
-                "halo_weights": None
-                if sorted_weights is None
-                else sorted_weights[halo],
-                "y_centers": y_centers[shard.row_start : shard.row_stop],
-                "xs_scaled": xs_scaled,
-                "cx": cx,
-                "bandwidth": bandwidth,
-                "kernel": kernel.name if hasattr(kernel, "name") else str(kernel),
-                "engine": engine,
-                "collect": collect,
-            }
-
-        def run_shard(shard) -> None:
-            try:
-                block, snapshot = self._run_shard(make_task(shard), render_rec)
-            except BaseException as exc:
-                with errors_lock:
-                    errors.append(exc)
-                return
-            # Disjoint row bands: concurrent writers never overlap.
-            grid[shard.row_start : shard.row_stop] = block
-            if snapshot is not None:
-                snapshots[shard.shard_id] = snapshot
-
-        with render_rec.span("dist.dispatch"):
-            work = [s for s in plan if s.rows > 0]
-            if len(work) <= 1 or self.num_alive() == 0:
-                # Nothing to overlap: run shards inline (covers the
-                # worker-less coordinator and the single-shard plan).
-                for shard in work:
-                    run_shard(shard)
-                    if errors:
-                        break
-            else:
-                threads = [
-                    threading.Thread(
-                        target=run_shard,
-                        name=f"dist-shard-{shard.shard_id}",
-                        args=(shard,),
-                        daemon=True,
-                    )
-                    for shard in work
-                ]
-                for t in threads:
-                    t.start()
-                for t in threads:
-                    t.join()
-        if errors:
-            raise errors[0]
-
-        with render_rec.span("dist.merge"):
-            # The blocks were written straight into their row bands above, so
-            # the merge phase is just this (timed) validation that every band
-            # got filled — kept as a span so merge overhead is measurable.
-            covered = sum(s.rows for s in plan)
-            if covered != plan.height:
-                raise DistError(
-                    f"shard plan covers {covered}/{plan.height} rows"
+        # Transport selection: the shared-memory segments are created once
+        # per render (the "generation"), and only when some connected worker
+        # can actually map them — a pickle-only pool pays nothing.
+        req_seg = resp_seg = None
+        if self.use_shm and shm.SHM_AVAILABLE:
+            with self._cond:
+                any_shm = any(
+                    w.sock is not None and not w.dead and self._worker_shm_ok(w)
+                    for w in self._workers
                 )
+            if any_shm:
+                req_seg = shm.RequestSegment(
+                    ysorted.sorted_xy, sorted_weights, y_centers, xs_scaled
+                )
+                resp_seg = shm.ResponseSegment(plan.height, len(xs_scaled))
+                render_rec.count("dist.shm_bytes", req_seg.nbytes)
+
+        try:
+            # With shm, the output grid IS the response segment: worker band
+            # writes are the merge, and local/pickle shards write into the
+            # same view below.
+            grid = (
+                resp_seg.grid()
+                if resp_seg is not None
+                else np.empty((plan.height, len(xs_scaled)), dtype=np.float64)
+            )
+            snapshots: "list[dict]" = [None] * len(plan)
+            errors: "list[BaseException]" = []
+            errors_lock = threading.Lock()
+
+            def make_task(shard) -> dict:
+                halo = slice(shard.halo_start, shard.halo_stop)
+                return {
+                    "shard_id": shard.shard_id,
+                    "row_start": shard.row_start,
+                    "row_stop": shard.row_stop,
+                    "halo_xy": ysorted.sorted_xy[halo],
+                    "halo_weights": None
+                    if sorted_weights is None
+                    else sorted_weights[halo],
+                    "y_centers": y_centers[shard.row_start : shard.row_stop],
+                    "xs_scaled": xs_scaled,
+                    "cx": cx,
+                    "bandwidth": bandwidth,
+                    "kernel": kernel.name if hasattr(kernel, "name") else str(kernel),
+                    "engine": engine,
+                    "collect": collect,
+                }
+
+            def make_task_shm(shard) -> dict:
+                # Same schema minus the arrays: names + integer offsets only,
+                # so the TASK frame stays under a kilobyte.
+                return {
+                    "shard_id": shard.shard_id,
+                    "row_start": shard.row_start,
+                    "row_stop": shard.row_stop,
+                    "halo_start": shard.halo_start,
+                    "halo_stop": shard.halo_stop,
+                    "cx": cx,
+                    "bandwidth": bandwidth,
+                    "kernel": kernel.name if hasattr(kernel, "name") else str(kernel),
+                    "engine": engine,
+                    "collect": collect,
+                    "shm": {"req": req_seg.descr, "resp": resp_seg.name},
+                }
+
+            def run_shard(shard) -> None:
+                try:
+                    block, snapshot = self._run_shard(
+                        shard,
+                        make_task,
+                        make_task_shm if resp_seg is not None else None,
+                        render_rec,
+                    )
+                except BaseException as exc:
+                    with errors_lock:
+                        errors.append(exc)
+                    return
+                # Disjoint row bands: concurrent writers never overlap.  A
+                # ``None`` block means the worker already wrote its band into
+                # the response segment.
+                if block is not None:
+                    grid[shard.row_start : shard.row_stop] = block
+                if snapshot is not None:
+                    snapshots[shard.shard_id] = snapshot
+
+            with render_rec.span("dist.dispatch"):
+                work = [s for s in plan if s.rows > 0]
+                if len(work) <= 1 or self.num_alive() == 0:
+                    # Nothing to overlap: run shards inline (covers the
+                    # worker-less coordinator and the single-shard plan).
+                    for shard in work:
+                        run_shard(shard)
+                        if errors:
+                            break
+                else:
+                    threads = [
+                        threading.Thread(
+                            target=run_shard,
+                            name=f"dist-shard-{shard.shard_id}",
+                            args=(shard,),
+                            daemon=True,
+                        )
+                        for shard in work
+                    ]
+                    for t in threads:
+                        t.start()
+                    for t in threads:
+                        t.join()
+            if errors:
+                raise errors[0]
+
+            with render_rec.span("dist.merge"):
+                # The blocks were written straight into their row bands above,
+                # so the merge phase is just this (timed) validation that every
+                # band got filled — kept as a span so merge overhead is
+                # measurable.
+                covered = sum(s.rows for s in plan)
+                if covered != plan.height:
+                    raise DistError(
+                        f"shard plan covers {covered}/{plan.height} rows"
+                    )
+                if resp_seg is not None:
+                    # Detach copy: the segment is unlinked below, so the
+                    # caller gets ordinary process-private memory.
+                    grid = np.array(grid)
+        finally:
+            # Segments are strictly coordinator-owned: unlink on every exit,
+            # so neither a failed render nor a SIGKILL'd worker leaks a
+            # /dev/shm entry.
+            if req_seg is not None:
+                req_seg.unlink()
+            if resp_seg is not None:
+                resp_seg.unlink()
 
         self.recorder.merge(render_rec)
         out_snapshots = [s for s in snapshots if s is not None]
@@ -410,20 +486,49 @@ class Coordinator:
 
     # -- per-shard dispatch ------------------------------------------------
 
+    def _worker_shm_ok(self, worker: WorkerAddress) -> bool:
+        """Can this worker take shared-memory tasks?  Requires the HELLO
+        capability, the same machine (``node`` token), and no prior runtime
+        demotion."""
+        hello = worker.hello or {}
+        caps = hello.get("caps") or {}
+        return (
+            worker.shm_ok
+            and bool(caps.get("shm"))
+            and hello.get("node") == self._node
+        )
+
     def _run_shard(
-        self, task: dict, render_rec: Recorder
-    ) -> "tuple[np.ndarray, dict | None]":
+        self, shard, make_task, make_task_shm, render_rec: Recorder
+    ) -> "tuple[np.ndarray | None, dict | None]":
         """Run one shard to completion: try workers, retry on death or
-        deadline, fall back to in-process compute when the pool is gone."""
+        deadline, fall back to in-process compute when the pool is gone.
+
+        The transport is picked per checkout: an shm-capable worker gets the
+        offsets-only task, everyone else (and the in-process fallback, which
+        has the arrays already) gets the pickle task.  Returns ``(None,
+        snapshot)`` when the band was delivered through the response segment.
+        """
         timeouts = 0
         attempt = 0
         while True:
             worker = self._checkout()
             if worker is None:
                 render_rec.count("dist.local_shards", 1)
-                return compute_shard(task)
+                return compute_shard(make_task(shard))
+            use_shm = make_task_shm is not None and self._worker_shm_ok(worker)
+            task = make_task_shm(shard) if use_shm else make_task(shard)
             try:
                 block, snapshot = self._run_on(worker, task, render_rec)
+            except _ShmFailed:
+                # The worker could not map the segments (stale namespace,
+                # permissions, ...): demote it to pickle for the life of the
+                # pool and resubmit — degrade the transport, not the render.
+                worker.shm_ok = False
+                render_rec.count("dist.shm_demotions", 1)
+                render_rec.count("dist.retries", 1)
+                self._checkin(worker)
+                continue
             except _WorkerDied:
                 render_rec.count("dist.worker_deaths", 1)
                 render_rec.count("dist.retries", 1)
@@ -497,8 +602,16 @@ class Coordinator:
                     # a reused connection — cannot happen because timed-out
                     # connections are abandoned, so treat it as corruption.
                     raise _WorkerDied()
+                if payload.get("shm"):
+                    # The band is already in the response segment.
+                    render_rec.count(
+                        "dist.shm_bytes", int(payload.get("shm_bytes") or 0)
+                    )
+                    return None, payload.get("snapshot")
                 return payload["block"], payload.get("snapshot")
             elif msg_type == proto.MSG_ERROR:
+                if payload.get("shm_failed"):
+                    raise _ShmFailed()
                 raise DistError(
                     f"worker {worker.addr} failed shard "
                     f"{payload.get('shard_id')}: {payload.get('error')}"
@@ -508,6 +621,10 @@ class Coordinator:
 
 class _WorkerDied(Exception):
     """Private control flow: the connection broke during an attempt."""
+
+
+class _ShmFailed(Exception):
+    """Private control flow: the worker could not map the shm segments."""
 
 
 class _AttemptTimedOut(Exception):

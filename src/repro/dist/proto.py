@@ -18,8 +18,12 @@ a worker.
 
 Versioning: the protocol version rides in *every* header, so a mismatched
 peer is rejected on the first frame; the explicit :func:`client_handshake` /
-:func:`server_handshake` exchange additionally carries the peer's pid and
-advertised capabilities for diagnostics.
+:func:`server_handshake` exchange additionally carries the peer's pid,
+advertised capabilities, and machine identity (``node``).  v2 added the
+``caps``/``node`` fields, which the coordinator uses to negotiate the
+zero-copy shared-memory shard transport with co-located workers (see
+:mod:`repro.dist.shm`); capability keys are additive, so future transports
+slot in without another version bump.
 
 All send/recv helpers return the byte count they moved, which the
 coordinator feeds the ``dist.bytes_tx`` / ``dist.bytes_rx`` counters.
@@ -53,12 +57,15 @@ __all__ = [
     "send_msg",
     "recv_msg",
     "hello_payload",
+    "node_id",
     "client_handshake",
     "server_handshake",
 ]
 
 #: Wire protocol version; bumped on any frame or payload schema change.
-PROTO_VERSION = 1
+#: v2: HELLO carries ``caps`` + ``node``; TASK may carry an ``shm`` descriptor
+#: and RESULT may omit ``block`` when the band was written to shared memory.
+PROTO_VERSION = 2
 
 #: Frame preamble — rejects peers that are not speaking this protocol at all.
 MAGIC = b"RKDV"
@@ -171,9 +178,33 @@ def recv_msg(
     return msg_type, payload, HEADER.size + length
 
 
+def node_id() -> str:
+    """A same-machine identity token for the HELLO handshake.
+
+    Two processes report the same ``node`` iff they can plausibly share a
+    ``/dev/shm`` namespace: same hostname and same boot (the boot id guards
+    against identically-named hosts/containers).  Shared memory is only
+    negotiated between peers whose tokens match.
+    """
+    boot = ""
+    try:  # Linux; other platforms fall back to hostname-only
+        with open("/proc/sys/kernel/random/boot_id") as fh:
+            boot = fh.read().strip()
+    except OSError:
+        pass
+    return f"{socket.gethostname()}:{boot}"
+
+
 def hello_payload() -> dict:
     """The handshake payload each side sends."""
-    return {"proto": PROTO_VERSION, "pid": os.getpid()}
+    from .shm import SHM_AVAILABLE
+
+    return {
+        "proto": PROTO_VERSION,
+        "pid": os.getpid(),
+        "node": node_id(),
+        "caps": {"shm": SHM_AVAILABLE},
+    }
 
 
 def client_handshake(sock: socket.socket, timeout: float = 10.0) -> dict:

@@ -1,0 +1,287 @@
+"""Zero-copy shared-memory shard transport for co-located worker pools.
+
+The pickle transport ships each shard's halo point slice over TCP and the
+computed row band back — ~150 KB each way for even a small tile render.
+When coordinator and workers share a machine (same ``node`` token in the
+HELLO handshake, see :func:`repro.dist.proto.node_id`), that is pure waste:
+both processes can map the same pages.
+
+This module implements the segment layer:
+
+* **Request segment** — the coordinator packs the render's y-sorted point
+  array, optional sorted weights, the full ``y_centers`` vector, and
+  ``xs_scaled`` into one named ``multiprocessing.shared_memory`` segment,
+  *once per render* (the "generation").  Every shard's TASK frame then
+  carries only the segment name plus integer offsets (< 1 KB on the wire);
+  workers map the segment and slice their halo window zero-copy.
+* **Response segment** — one ``height x width`` float64 band buffer.  Each
+  worker writes its disjoint row band directly into it and replies with a
+  tiny RESULT frame (no ``block``).  The coordinator's output grid *is* a
+  view of this segment, so "merge" is a no-op and the only copy is the
+  final detach copy.
+
+Ownership and cleanup: segments are strictly coordinator-owned.  The
+coordinator creates and unlinks them in a ``try/finally`` around the
+render, so a SIGKILL'd worker — or a whole failed render — never leaks a
+``/dev/shm`` entry.  Workers *attach* and must therefore never unlink; on
+CPython < 3.13 ``SharedMemory`` registers attachments with the
+``resource_tracker`` as if they were owned, which both spews "leaked
+shared_memory" warnings and lets the tracker unlink segments still in use,
+so :func:`attach` immediately unregisters the attachment (the documented
+workaround for bpo-39959).  If the coordinator process itself dies
+uncleanly, *its* resource tracker still reclaims the segments — exactly the
+ownership the registration is meant to express.
+
+Failure model: any worker-side mapping error (segment vanished, truncated,
+permissions) is reported back as an ERROR frame flagged ``shm_failed``; the
+coordinator then demotes that worker to the pickle transport for the rest
+of the pool's life and resubmits the shard, so a broken shm path degrades
+to correctness, never to a failed render.  See ``docs/native.md`` for the
+negotiation walk-through.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+import numpy as np
+
+from .errors import DistError
+
+try:  # pragma: no cover - present on every supported CPython
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "SHM_AVAILABLE",
+    "ShmError",
+    "RequestSegment",
+    "ResponseSegment",
+    "attach",
+    "detach",
+    "map_request",
+    "write_band",
+]
+
+#: ``True`` when :mod:`multiprocessing.shared_memory` imported; advertised
+#: as the ``shm`` capability in the HELLO handshake.
+SHM_AVAILABLE = _shared_memory is not None
+
+_FLOAT = np.dtype(np.float64)
+
+#: Names created (and therefore tracker-registered) by THIS process.  An
+#: attach to one of our own segments — the in-thread worker servers the
+#: tests use — must not unregister it, or the owner's eventual ``unlink``
+#: would double-unregister and the tracker process logs a KeyError.
+_OWNED: set = set()
+
+
+class ShmError(DistError):
+    """A shared-memory mapping failed (attach, size check, band write).
+
+    Workers report it as an ERROR frame flagged ``shm_failed`` so the
+    coordinator can demote them to the pickle transport and resubmit,
+    instead of treating the shard as poisoned.
+    """
+
+
+def _untrack(seg) -> None:
+    """Unregister an *attached* segment from this process's resource tracker.
+
+    Attaching is not owning: without this, the attaching process's tracker
+    would warn about (and eventually unlink) the coordinator's segments.
+    CPython 3.13+ has ``track=False`` for the same purpose; this is the
+    portable spelling.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variations across builds
+        pass
+
+
+def attach(name: str):
+    """Map an existing segment by name (worker side); never unlinks it."""
+    if _shared_memory is None:  # pragma: no cover
+        raise ShmError("shared memory is unavailable in this interpreter")
+    try:
+        seg = _shared_memory.SharedMemory(name=name)
+    except (OSError, ValueError) as exc:
+        raise ShmError(f"cannot attach shm segment {name!r}: {exc}") from exc
+    if seg.name not in _OWNED:
+        _untrack(seg)
+    return seg
+
+
+def detach(seg) -> None:
+    """Close a mapping without unlinking (both sides; owners unlink too)."""
+    if seg is None:
+        return
+    try:
+        seg.close()
+    except OSError:  # pragma: no cover - close on a dead mapping
+        pass
+
+
+def _segment_name(prefix: str) -> str:
+    # Short + collision-proof; shm names share a flat per-boot namespace.
+    return f"{prefix}-{secrets.token_hex(6)}"
+
+
+class RequestSegment:
+    """Coordinator-owned segment holding one render's shared input arrays.
+
+    Layout (all float64, C order, 8-byte aligned by construction)::
+
+        [ sorted_xy (n, 2) | sorted_weights (n)? | y_centers (H) | xs_scaled (W) ]
+
+    The descriptor (:attr:`descr`) travels in each TASK frame; workers
+    rebuild the views with :func:`map_request`.
+    """
+
+    def __init__(self, sorted_xy, sorted_weights, y_centers, xs_scaled):
+        if _shared_memory is None:  # pragma: no cover
+            raise DistError("shared memory is unavailable in this interpreter")
+        xy = np.ascontiguousarray(sorted_xy, dtype=_FLOAT)
+        w = (
+            None
+            if sorted_weights is None
+            else np.ascontiguousarray(sorted_weights, dtype=_FLOAT)
+        )
+        ys = np.ascontiguousarray(y_centers, dtype=_FLOAT)
+        xs = np.ascontiguousarray(xs_scaled, dtype=_FLOAT)
+        n = len(xy)
+        height = len(ys)
+        width = len(xs)
+        nbytes = (xy.nbytes + (0 if w is None else w.nbytes)
+                  + ys.nbytes + xs.nbytes)
+        self.seg = _shared_memory.SharedMemory(
+            create=True, size=max(nbytes, 1), name=_segment_name("rkdv-req")
+        )
+        _OWNED.add(self.seg.name)
+        off = 0
+        for arr in (xy, w, ys, xs):
+            if arr is None:
+                continue
+            dst = np.ndarray(arr.shape, dtype=_FLOAT,
+                             buffer=self.seg.buf, offset=off)
+            dst[...] = arr
+            off += arr.nbytes
+        #: Wire descriptor: everything a worker needs to rebuild the views.
+        self.descr = {
+            "name": self.seg.name,
+            "n": n,
+            "weighted": w is not None,
+            "height": height,
+            "width": width,
+        }
+        #: Bytes published through shared memory (feeds ``dist.shm_bytes``).
+        self.nbytes = off
+
+    def unlink(self) -> None:
+        """Release the mapping and remove the segment (owner side)."""
+        detach(self.seg)
+        _OWNED.discard(self.seg.name)
+        try:
+            self.seg.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+            pass
+
+
+def map_request(seg, descr: dict):
+    """Rebuild ``(sorted_xy, sorted_weights, y_centers, xs_scaled)`` views
+    over an attached request segment (worker side, zero-copy)."""
+    n = int(descr["n"])
+    height = int(descr["height"])
+    width = int(descr["width"])
+    weighted = bool(descr["weighted"])
+    need = (2 * n + (n if weighted else 0) + height + width) * _FLOAT.itemsize
+    if seg.size < need:
+        raise ShmError(
+            f"shm request segment {descr['name']!r} is {seg.size} bytes; "
+            f"descriptor implies {need}"
+        )
+    off = 0
+    xy = np.ndarray((n, 2), dtype=_FLOAT, buffer=seg.buf, offset=off)
+    off += xy.nbytes
+    w = None
+    if weighted:
+        w = np.ndarray((n,), dtype=_FLOAT, buffer=seg.buf, offset=off)
+        off += w.nbytes
+    ys = np.ndarray((height,), dtype=_FLOAT, buffer=seg.buf, offset=off)
+    off += ys.nbytes
+    xs = np.ndarray((width,), dtype=_FLOAT, buffer=seg.buf, offset=off)
+    return xy, w, ys, xs
+
+
+class ResponseSegment:
+    """Coordinator-owned ``height x width`` float64 band buffer.
+
+    The coordinator's render grid is :meth:`grid` — a view straight over the
+    segment — so worker band writes *are* the merge.
+    """
+
+    def __init__(self, height: int, width: int):
+        if _shared_memory is None:  # pragma: no cover
+            raise DistError("shared memory is unavailable in this interpreter")
+        self.height = int(height)
+        self.width = int(width)
+        nbytes = self.height * self.width * _FLOAT.itemsize
+        self.seg = _shared_memory.SharedMemory(
+            create=True, size=max(nbytes, 1), name=_segment_name("rkdv-resp")
+        )
+        self.name = self.seg.name
+        _OWNED.add(self.name)
+
+    def grid(self) -> np.ndarray:
+        """The full-grid view (valid until :meth:`unlink`)."""
+        return np.ndarray(
+            (self.height, self.width), dtype=_FLOAT, buffer=self.seg.buf
+        )
+
+    def unlink(self) -> None:
+        detach(self.seg)
+        _OWNED.discard(self.name)
+        try:
+            self.seg.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+            pass
+
+
+def write_band(name: str, descr: dict, row_start: int, block) -> int:
+    """Worker side: write a computed row band into the response segment.
+
+    Returns the band's byte count (the worker's ``dist.shm_bytes``
+    contribution).  Attach/close per call — bands are written once.
+    """
+    block = np.ascontiguousarray(block, dtype=_FLOAT)
+    height = int(descr["height"])
+    width = int(descr["width"])
+    if block.ndim != 2 or block.shape[1] != width:
+        raise ShmError(
+            f"band shape {block.shape} does not match grid width {width}"
+        )
+    if not (0 <= row_start and row_start + block.shape[0] <= height):
+        raise ShmError(
+            f"band rows [{row_start}, {row_start + block.shape[0]}) outside "
+            f"grid height {height}"
+        )
+    seg = attach(name)
+    try:
+        if seg.size < height * width * _FLOAT.itemsize:
+            raise ShmError(
+                f"shm response segment {name!r} is {seg.size} bytes; grid "
+                f"needs {height * width * _FLOAT.itemsize}"
+            )
+        dst = np.ndarray(
+            block.shape,
+            dtype=_FLOAT,
+            buffer=seg.buf,
+            offset=row_start * width * _FLOAT.itemsize,
+        )
+        dst[...] = block
+    finally:
+        detach(seg)
+    return block.nbytes

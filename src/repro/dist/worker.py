@@ -35,12 +35,13 @@ import numpy as np
 
 from ..core.batch import NumpyBatchEngine
 from ..core.envelope import YSortedIndex
+from ..core.native import NATIVE_AVAILABLE, NativeEngine
 from ..core.kernels import get_kernel
 from ..core.slam_bucket import slam_bucket_row_numpy, slam_bucket_row_python
 from ..core.slam_sort import slam_sort_row_numpy, slam_sort_row_python
 from ..core.sweep import sweep_rows, sweep_rows_batched
 from ..obs import Recorder
-from . import proto
+from . import proto, shm
 from .errors import ConnectionClosed, DistError, ProtocolError
 
 __all__ = [
@@ -71,6 +72,8 @@ def engine_spec(row_engine) -> dict:
     :class:`~repro.core.batch.NumpyBatchEngine` instances serialize as a
     ``batch`` spec carrying their chunking knob.
     """
+    if isinstance(row_engine, NativeEngine):
+        return {"kind": "native", "threads": row_engine.threads}
     if isinstance(row_engine, NumpyBatchEngine):
         return {"kind": "batch", "max_block_bytes": row_engine.max_block_bytes}
     for name, fn in ROW_ENGINES.items():
@@ -78,7 +81,7 @@ def engine_spec(row_engine) -> dict:
             return {"kind": "row", "name": name}
     raise DistError(
         f"engine {row_engine!r} has no wire name; distributable engines are "
-        f"{sorted(ROW_ENGINES)} and numpy_batch"
+        f"{sorted(ROW_ENGINES)}, numpy_batch, and native"
     )
 
 
@@ -90,6 +93,14 @@ def resolve_row_engine(spec: dict):
         max_block_bytes = spec.get("max_block_bytes")
         if max_block_bytes:
             return NumpyBatchEngine(max_block_bytes)
+        return NumpyBatchEngine()
+    if spec["kind"] == "native":
+        threads = int(spec.get("threads") or 1)
+        if NATIVE_AVAILABLE:
+            return NativeEngine(threads=threads)
+        # Bit-identical fallback: a worker whose checkout has no compiled
+        # extension still computes the exact same grid (the native engine's
+        # contract is bit-identity with numpy_batch), just slower.
         return NumpyBatchEngine()
     if spec["kind"] == "row":
         try:
@@ -108,7 +119,28 @@ def compute_shard(task: dict) -> "tuple[np.ndarray, dict | None]":
     :class:`YSortedIndex` here is an identity permutation — every row's
     envelope slice has exactly the content and order the serial sweep would
     see, which is what makes the merged grid bit-identical.
+
+    A shared-memory task (one carrying an ``shm`` descriptor instead of
+    inline arrays) is materialized first: the request segment is mapped and
+    the halo/geometry arrays become zero-copy views over it for the duration
+    of the compute.  The numbers that come out are bit-identical either way
+    — the views hold exactly the bytes the pickle path would have shipped.
     """
+    descr = task.get("shm")
+    if descr is not None:
+        seg = shm.attach(descr["req"]["name"])
+        try:
+            xy, w, ys_all, xs = shm.map_request(seg, descr["req"])
+            halo = slice(int(task["halo_start"]), int(task["halo_stop"]))
+            rows = slice(int(task["row_start"]), int(task["row_stop"]))
+            task = dict(task)
+            task["halo_xy"] = xy[halo]
+            task["halo_weights"] = None if w is None else w[halo]
+            task["y_centers"] = ys_all[rows]
+            task["xs_scaled"] = xs
+            return compute_shard(task | {"shm": None})
+        finally:
+            shm.detach(seg)
     kernel = get_kernel(task["kernel"])
     engine = resolve_row_engine(task["engine"])
     ysorted = YSortedIndex(np.asarray(task["halo_xy"], dtype=np.float64))
@@ -289,13 +321,28 @@ class WorkerServer:
                 "shard_id": shard_id,
                 "row_start": task.get("row_start"),
                 "row_stop": task.get("row_stop"),
-                "block": block,
                 "snapshot": snapshot,
                 "pid": os.getpid(),
             }
+            descr = task.get("shm")
+            if descr is not None:
+                # Zero-copy return: the band goes straight into the
+                # response segment; the RESULT frame stays tiny.
+                reply["shm_bytes"] = shm.write_band(
+                    descr["resp"], descr["req"], int(task["row_start"]), block
+                )
+                reply["shm"] = True
+            else:
+                reply["block"] = block
         except Exception as exc:
             reply_type = proto.MSG_ERROR
-            reply = {"shard_id": shard_id, "error": f"{type(exc).__name__}: {exc}"}
+            reply = {
+                "shard_id": shard_id,
+                "error": f"{type(exc).__name__}: {exc}",
+                # Lets the coordinator tell a broken shm mapping (demote to
+                # pickle and resubmit) from a poisoned shard (propagate).
+                "shm_failed": isinstance(exc, shm.ShmError),
+            }
             self._log(f"shard {shard_id} failed: {exc}")
         finally:
             done.set()
@@ -307,7 +354,7 @@ class WorkerServer:
             raise ConnectionClosed("coordinator went away mid-result") from None
         if reply_type == proto.MSG_RESULT:
             self.tasks_done += 1
-            self._log(f"shard {shard_id} done ({reply['block'].shape[0]} rows)")
+            self._log(f"shard {shard_id} done ({block.shape[0]} rows)")
 
     def _heartbeat_loop(
         self,

@@ -28,6 +28,7 @@ from repro.core.batch import (
 from repro.core.bounds import bucket_indices
 from repro.core.envelope import YSortedIndex
 from repro.core.kernels import get_kernel
+from repro.core.native import NATIVE_AVAILABLE, native_grid
 from repro.core.slam_bucket import slam_bucket_row_numpy
 from repro.core.sweep import sweep_kdv
 from repro.obs import Recorder
@@ -116,6 +117,57 @@ class TestBitIdentity:
         np.testing.assert_allclose(b / scale, a / scale, atol=1e-12)
 
 
+class TestScratchReuse:
+    """The chunk loop runs in per-block scratch: more chunks must not mean
+    more allocation (the hoisted-buffer contract in the chunking comment)."""
+
+    @staticmethod
+    def _sweep_peak(xy, weights, height: int, max_block_bytes: int) -> int:
+        """tracemalloc peak (bytes) of one warmed sweep_block call."""
+        import tracemalloc
+
+        raster = Raster(Region(0.0, 0.0, 100.0, 80.0), 64, height)
+        kernel = get_kernel("quartic")  # most channels -> most scratch
+        idx = YSortedIndex(xy)
+        sw = weights[idx.order]
+        engine = NumpyBatchEngine(max_block_bytes=max_block_bytes)
+        args = (
+            0, height, raster.y_centers(),
+            (raster.x_centers() - 50.0) / 9.0, idx, 50.0, 9.0, kernel,
+        )
+        engine.sweep_block(*args, sorted_weights=sw)  # warm caches/imports
+        tracemalloc.start()
+        try:
+            engine.sweep_block(*args, sorted_weights=sw)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    def test_chunking_adds_no_allocation_growth(
+        self, cluster_xy, cluster_weights
+    ):
+        """Doubling the row count (and therefore the chunk count, at a fixed
+        ``max_block_bytes``) may grow the peak by the extra output rows and
+        envelope bookkeeping — never by per-chunk scratch accumulation."""
+        few = self._sweep_peak(cluster_xy, cluster_weights, 48, 16 * 1024)
+        many = self._sweep_peak(cluster_xy, cluster_weights, 96, 16 * 1024)
+        # Outputs are (height, 64) float64; row-proportional bookkeeping
+        # (envelope bounds, cumsums) gets a generous 64 KiB of slack.
+        out_delta = (96 - 48) * 64 * 8
+        assert many <= few + out_delta + 64 * 1024
+
+    def test_small_chunks_bound_the_working_set(
+        self, cluster_xy, cluster_weights
+    ):
+        """A chunked sweep must peak well below the single-chunk sweep: the
+        whole point of ``max_block_bytes`` is a bounded working set, and the
+        hoisted scratch is sized to the largest chunk, not the block."""
+        chunked = self._sweep_peak(cluster_xy, cluster_weights, 96, 16 * 1024)
+        single = self._sweep_peak(cluster_xy, cluster_weights, 96, 1 << 30)
+        assert chunked < single
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     seed=st.integers(0, 2**32 - 1),
@@ -125,10 +177,15 @@ class TestBitIdentity:
     height=st.integers(1, 24),
     kernel_name=st.sampled_from(KERNEL_NAMES),
     weighted=st.booleans(),
+    threads=st.integers(1, 4),
 )
-def test_batch_parity_property(seed, n, b, width, height, kernel_name, weighted):
+def test_batch_parity_property(
+    seed, n, b, width, height, kernel_name, weighted, threads
+):
     """Hypothesis sweep of the bit-identity contract, including degenerate
-    rasters (1-pixel rows/columns) and empty/tiny datasets."""
+    rasters (1-pixel rows/columns) and empty/tiny datasets.  When the
+    compiled ``native`` engine is present it joins the matrix: same bits as
+    the per-row numpy engine for every drawn case and OpenMP thread count."""
     rng = np.random.default_rng(seed)
     xy = rng.uniform((0.0, 0.0), (50.0, 40.0), (n, 2))
     weights = rng.uniform(0.1, 3.0, n) if weighted else None
@@ -137,6 +194,9 @@ def test_batch_parity_property(seed, n, b, width, height, kernel_name, weighted)
     a = sweep_kdv(xy, raster, kernel, b, slam_bucket_row_numpy, weights=weights)
     c = numpy_batch_grid(xy, raster, kernel, b, weights=weights)
     assert np.array_equal(a, c)
+    if NATIVE_AVAILABLE:
+        d = native_grid(xy, raster, kernel, b, weights=weights, workers=threads)
+        assert np.array_equal(a, d)
 
 
 class TestBatchEdgeCases:

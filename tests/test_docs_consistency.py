@@ -109,7 +109,8 @@ class TestDesignInventory:
                     "docs/architecture.md", "docs/reproducing.md",
                     "docs/benchmarks.md", "docs/observability.md",
                     "docs/serving.md", "docs/streaming.md",
-                    "docs/quality.md", "docs/distributed.md"):
+                    "docs/quality.md", "docs/distributed.md",
+                    "docs/native.md"):
             assert (REPO / doc).is_file(), doc
 
 
@@ -258,7 +259,7 @@ class TestDocumentedKnobTables:
         )
         env_sources = src + "\n".join(
             p.read_text() for p in (REPO / "benchmarks").glob("*.py")
-        )
+        ) + (REPO / "setup.py").read_text()  # REPRO_NATIVE_* build knobs
         rows = 0
         missing = []
         for doc, cells in self._knob_rows():

@@ -86,11 +86,16 @@ class TestEngineParity:
     """The python/numpy engine tables expose matching keys everywhere."""
 
     def test_slam_tables(self):
+        from repro.core.native import NATIVE_AVAILABLE
         from repro.core.slam_bucket import slam_bucket_grid
         from repro.core.slam_sort import slam_sort_grid
 
-        assert set(slam_sort_grid) == {"python", "numpy", "numpy_batch"}
-        assert set(slam_bucket_grid) == {"python", "numpy", "numpy_batch"}
+        expected = {"python", "numpy", "numpy_batch"}
+        if NATIVE_AVAILABLE:
+            # The compiled engine registers conditionally (docs/native.md).
+            expected.add("native")
+        assert set(slam_sort_grid) == expected
+        assert set(slam_bucket_grid) == expected
 
     def test_unknown_engine_raises_valueerror_via_api(self, small_xy):
         from repro import compute_kdv
