@@ -17,7 +17,13 @@ the socket path.  Four questions the report answers:
   (``Coordinator(..., shm=False)``), plus the ``dist.shm_bytes`` volume
   that moved through shared memory instead (see ``docs/native.md``);
 * **recovery latency** — extra wall time when one of two workers is
-  SIGKILLed mid-render versus the same throttled render undisturbed.
+  SIGKILLed mid-render versus the same throttled render undisturbed;
+* **skew & scheduling** — a skewed-dataset matrix (Gaussian hotspot, Zipf
+  y-bands) comparing the cost-model planner (``balance="cost"`` + work
+  stealing) against the points-balanced baseline: per-shard time spread,
+  p99 tail latency, and the ``balance_ratio`` (max/mean shard seconds) from
+  ``Coordinator.last_report`` — plus a straggler cell where one of two
+  workers runs 4x throttled (see ``docs/scheduling.md``).
 
 Knobs (environment variables, all optional):
 
@@ -50,6 +56,8 @@ from repro.viz.region import Region
 
 _cells: dict[tuple[str, ...], float] = {}
 _meta: dict[str, dict] = {}
+#: label -> max/mean per-shard seconds; surfaces as top-level meta field.
+_balance_ratios: dict[str, float] = {}
 _STARTED = time.perf_counter()
 
 METHOD = "slam_bucket"
@@ -146,6 +154,7 @@ def _report():
             "engine": ENGINE,
             "worker_counts": list(_worker_counts()),
             "cpu_count": os.cpu_count(),
+            "balance_ratio": _balance_ratios or None,
             "cells": _meta,
         },
         started=_STARTED,
@@ -270,6 +279,118 @@ def test_recovery_after_kill(benchmark, workload):
     _cells[("recovery", "killed")] = killed
     _cells[("recovery", "baseline")] = baseline
     _meta["recovery"] = {"latency_s": max(killed - baseline, 0.0)}
+
+
+def _skewed_workload(kind: str) -> np.ndarray:
+    """Workloads whose per-row cost is very unevenly distributed in y —
+    exactly where point- or row-balanced planning falls apart."""
+    n = _num_points()
+    rng = np.random.default_rng(20260808)
+    if kind == "hotspot":
+        # 80% of the mass in one Gaussian blob spanning a thin y band.
+        hot = rng.normal((5_000.0, 1_500.0), (2_500.0, 250.0), (n * 4 // 5, 2))
+        cold = rng.uniform((0.0, 0.0), (10_000.0, 7_500.0), (n - len(hot), 2))
+        xy = np.vstack([hot, cold])
+    else:
+        # Zipf-distributed y bands: a few of 16 horizontal stripes hold
+        # nearly all points.
+        band = (rng.zipf(1.5, n) - 1) % 16
+        step = 7_500.0 / 16
+        y = band * step + rng.uniform(0.0, step, n)
+        x = rng.uniform(0.0, 10_000.0, n)
+        xy = np.column_stack([x, y])
+    return np.clip(xy, 0.0, (10_000.0, 7_500.0))
+
+
+def _record_sched_cell(key: tuple, label: str, elapsed: float, coord) -> None:
+    report = coord.last_report
+    _cells[key] = elapsed
+    seconds = report.shard_seconds() if report else []
+    ratio = report.balance_ratio() if report else None
+    meta = {
+        "balance": getattr(report, "balance", None),
+        "shards": len(seconds),
+        "balance_ratio": ratio,
+        "p99_s": report.p99_seconds() if report else None,
+        "shard_spread_s": (
+            float(max(seconds) - min(seconds)) if seconds else None
+        ),
+        "steals": getattr(report, "steals", 0),
+        "steal_rows": getattr(report, "steal_rows", 0),
+        "refine_moves": getattr(report, "refine_moves", 0),
+    }
+    _meta[label] = meta
+    if ratio is not None:
+        _balance_ratios[label] = ratio
+
+
+@pytest.mark.parametrize("dataset", ("hotspot", "zipf"))
+@pytest.mark.parametrize("mode", ("points", "cost"))
+def test_skewed_balance(benchmark, dataset, mode):
+    """Skewed datasets, two workers: points-balanced planning (stealing off,
+    the pre-scheduler baseline) vs cost planning with stealing on."""
+    xy = _skewed_workload(dataset)
+    pool = launch_local_workers(2)
+    try:
+        with Coordinator(
+            pool.addrs,
+            balance=mode,
+            steal=(mode == "cost"),
+            steal_factor=2.0,
+            steal_min_s=0.2,
+        ) as coord:
+            assert coord.connect() == 2
+
+            def call():
+                return compute_kdv(
+                    xy, backend="dist", coordinator=coord, **_kdv_kwargs()
+                )
+
+            benchmark.pedantic(call, rounds=1, iterations=1, warmup_rounds=0)
+            elapsed = float(benchmark.stats.stats.mean)
+            _record_sched_cell(
+                ("skew", dataset, mode), f"skew:{dataset}:{mode}",
+                elapsed, coord,
+            )
+    finally:
+        pool.shutdown()
+
+
+@pytest.mark.parametrize("mode", ("points", "cost"))
+def test_straggler_modes(benchmark, workload, mode):
+    """One of two workers runs 4x throttled.  Points-balanced planning with
+    no stealing rides the straggler's clock; cost planning plus stealing
+    should land near the balanced ideal."""
+    # Heartbeats every 50ms: steal triggers are only evaluated on signs of
+    # life, so they must tick several times within one throttled shard.
+    fast = launch_local_workers(1, heartbeat_s=0.05)
+    slow = launch_local_workers(1, heartbeat_s=0.05, slow_factor=4.0)
+    try:
+        with Coordinator(
+            fast.addrs + slow.addrs,
+            balance=mode,
+            steal=(mode == "cost"),
+            steal_factor=1.5,
+            steal_min_s=0.1,
+            min_steal_rows=4,
+            shards=4,
+        ) as coord:
+            assert coord.connect() == 2
+
+            def call():
+                return compute_kdv(
+                    workload, backend="dist", coordinator=coord,
+                    **_kdv_kwargs(),
+                )
+
+            benchmark.pedantic(call, rounds=1, iterations=1, warmup_rounds=0)
+            elapsed = float(benchmark.stats.stats.mean)
+            _record_sched_cell(
+                ("straggler", mode), f"straggler:{mode}", elapsed, coord
+            )
+    finally:
+        fast.shutdown()
+        slow.shutdown()
 
 
 def main(argv: "list[str] | None" = None) -> int:

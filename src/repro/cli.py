@@ -333,6 +333,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument("--delay-s", type=float, default=0.0,
                           help="artificial pre-compute delay per shard "
                                "(testing knob for fault injection)")
+    p_worker.add_argument("--slow-factor", type=float, default=1.0,
+                          help="throttle compute to 1/N of native speed "
+                               "(testing knob: models a slow machine for "
+                               "work-stealing experiments; default 1.0)")
     p_worker.add_argument("--verbose", action="store_true",
                           help="log connections and shards to stderr")
 
@@ -355,6 +359,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument("--deadline", type=float, default=None,
                         help="per-shard deadline in seconds (straggler "
                              "detection; default: wait)")
+    p_dist.add_argument("--balance", default="cost",
+                        choices=("cost", "points", "rows"),
+                        help="shard balance mode (default cost: the "
+                             "calibrated allocate-then-refine planner; see "
+                             "docs/scheduling.md)")
+    p_dist.add_argument("--no-steal", action="store_true",
+                        help="disable coordinator-side work stealing")
+    p_dist.add_argument("--steal-factor", type=float, default=3.0,
+                        help="steal when a shard's elapsed exceeds its "
+                             "prediction by this factor (default 3.0)")
+    p_dist.add_argument("--sched-state", default=None, metavar="PATH",
+                        help="JSON file to warm-start the shard cost model "
+                             "from and persist calibration back to")
     p_dist.add_argument("-o", "--output", default="kdv.ppm",
                         help="output PPM path (default kdv.ppm)")
     p_dist.add_argument("--size", type=_parse_size, default=(640, 480),
@@ -738,6 +755,7 @@ def _cmd_dist_worker(args: argparse.Namespace) -> int:
         port=args.port,
         heartbeat_s=args.heartbeat,
         delay_s=args.delay_s,
+        slow_factor=args.slow_factor,
         verbose=args.verbose,
     )
     # Machine-readable ready line first: launchers block on it to learn the
@@ -775,7 +793,13 @@ def _cmd_dist(args: argparse.Namespace) -> int:
             pool = launch_local_workers(args.spawn)
             addrs.extend(pool.addrs)
         coordinator = Coordinator(
-            addrs, deadline_s=args.deadline, shards=args.shards
+            addrs,
+            deadline_s=args.deadline,
+            shards=args.shards,
+            balance=args.balance,
+            steal=not args.no_steal,
+            steal_factor=args.steal_factor,
+            sched_state=args.sched_state,
         )
         alive = coordinator.connect()
         print(f"{alive}/{len(addrs)} worker(s) reachable"
@@ -803,6 +827,8 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         )
         if args.stats:
             print(result.recorder.summary())
+            if coordinator.last_report is not None:
+                print(coordinator.last_report.describe())
         print(f"wrote {args.output}")
         if pool is not None:
             coordinator.shutdown_workers()

@@ -128,10 +128,15 @@ def launch_local_workers(
     host: str = "127.0.0.1",
     heartbeat_s: float = 0.25,
     delay_s: float = 0.0,
+    slow_factor: float = 1.0,
     startup_timeout_s: float = 20.0,
     python: "str | None" = None,
 ) -> LocalWorkerPool:
     """Spawn ``n`` local worker processes and wait for all to be ready.
+
+    ``delay_s`` and ``slow_factor`` are fault-injection knobs applied to
+    *every* worker in the pool (spawn a second pool to build a
+    heterogeneous cluster, as the sched smoke test does).
 
     Raises :class:`WorkerLaunchError` (after cleaning up any workers that
     did start) if a child dies or fails to print its ready line in time.
@@ -160,6 +165,8 @@ def launch_local_workers(
     ]
     if delay_s > 0:
         cmd += ["--delay-s", str(delay_s)]
+    if slow_factor > 1.0:
+        cmd += ["--slow-factor", str(slow_factor)]
     workers: "list[LocalWorker]" = []
     procs: "list[subprocess.Popen]" = []
     try:

@@ -23,7 +23,10 @@ advertised capabilities, and machine identity (``node``).  v2 added the
 ``caps``/``node`` fields, which the coordinator uses to negotiate the
 zero-copy shared-memory shard transport with co-located workers (see
 :mod:`repro.dist.shm`); capability keys are additive, so future transports
-slot in without another version bump.
+slot in without another version bump.  v3 added the CANCEL frame and
+progress-bearing heartbeats for coordinator-side work stealing
+(``docs/scheduling.md``), plus HELLO ``specs`` (cpu count) feeding the
+scheduler's capacity priors.
 
 All send/recv helpers return the byte count they moved, which the
 coordinator feeds the ``dist.bytes_tx`` / ``dist.bytes_rx`` counters.
@@ -53,6 +56,7 @@ __all__ = [
     "MSG_HEARTBEAT",
     "MSG_SHUTDOWN",
     "MSG_BYE",
+    "MSG_CANCEL",
     "MSG_NAMES",
     "send_msg",
     "recv_msg",
@@ -65,7 +69,10 @@ __all__ = [
 #: Wire protocol version; bumped on any frame or payload schema change.
 #: v2: HELLO carries ``caps`` + ``node``; TASK may carry an ``shm`` descriptor
 #: and RESULT may omit ``block`` when the band was written to shared memory.
-PROTO_VERSION = 2
+#: v3: CANCEL frames truncate an in-flight shard at a row boundary (work
+#: stealing), heartbeats carry ``rows_done`` progress, RESULT carries the
+#: actually-computed ``row_stop``, and HELLO adds ``specs``.
+PROTO_VERSION = 3
 
 #: Frame preamble — rejects peers that are not speaking this protocol at all.
 MAGIC = b"RKDV"
@@ -82,6 +89,12 @@ MSG_ERROR = 6
 MSG_HEARTBEAT = 7
 MSG_SHUTDOWN = 8
 MSG_BYE = 9
+#: Coordinator -> worker: stop computing shard ``shard_id`` at band-relative
+#: row ``row_stop`` (its tail was stolen by an idle worker).  Cooperative —
+#: the worker truncates at the next chunk boundary at or after ``row_stop``
+#: and replies with a normal, shorter RESULT.  A CANCEL for a shard that is
+#: no longer in flight is stale and silently ignored.
+MSG_CANCEL = 10
 
 #: For diagnostics and log lines.
 MSG_NAMES = {
@@ -94,6 +107,7 @@ MSG_NAMES = {
     MSG_HEARTBEAT: "HEARTBEAT",
     MSG_SHUTDOWN: "SHUTDOWN",
     MSG_BYE: "BYE",
+    MSG_CANCEL: "CANCEL",
 }
 
 #: Refuse absurd frames before allocating for them (a corrupted length field
@@ -203,7 +217,10 @@ def hello_payload() -> dict:
         "proto": PROTO_VERSION,
         "pid": os.getpid(),
         "node": node_id(),
-        "caps": {"shm": SHM_AVAILABLE},
+        "caps": {"shm": SHM_AVAILABLE, "steal": True},
+        # Static machine specs: the scheduler's capacity prior before any
+        # throughput sample lands (repro.dist.sched.CostModel.hello).
+        "specs": {"cpus": os.cpu_count()},
     }
 
 

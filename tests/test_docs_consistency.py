@@ -110,7 +110,7 @@ class TestDesignInventory:
                     "docs/benchmarks.md", "docs/observability.md",
                     "docs/serving.md", "docs/streaming.md",
                     "docs/quality.md", "docs/distributed.md",
-                    "docs/native.md"):
+                    "docs/native.md", "docs/scheduling.md"):
             assert (REPO / doc).is_file(), doc
 
 
